@@ -1,0 +1,135 @@
+// E10 — Section 5.2: distributed Bayesian linear regression. d(d+1)/2 + d
+// non-monotonic counters track the posterior's precision matrix and moment
+// vector within per-entry relative accuracy eps, at total cost
+// Õ(sqrt(k n) d^2 / eps). The harness sweeps d and n, comparing the
+// recovered posterior mean against the exact streaming posterior and the
+// generating weights, and reports the communication growth.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "regression/bayes_linreg.h"
+#include "regression/distributed_linreg.h"
+#include "sim/assignment.h"
+#include "streams/regression_data.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::common::Format;
+
+struct RegressionRun {
+  int64_t messages = 0;
+  double mean_rel_error_vs_exact = 0.0;
+  double mean_rel_error_vs_truth = 0.0;
+  double precision_max_entry_rel_error = 0.0;
+};
+
+RegressionRun RunRegression(int64_t n, int dim, int k, uint64_t seed) {
+  nmc::streams::RegressionDataOptions data_options;
+  data_options.dim = dim;
+  data_options.noise_precision = 25.0;
+  data_options.seed = seed;
+  const auto data = nmc::streams::GenerateRegressionData(n, data_options);
+
+  nmc::regression::BayesLinRegOptions model;
+  model.dim = dim;
+  model.prior_variance = 10.0;
+  model.noise_precision = 25.0;
+
+  nmc::regression::ExactBayesLinReg exact(model);
+  nmc::regression::DistributedLinRegOptions tracker_options;
+  tracker_options.model = model;
+  tracker_options.counter_epsilon = 0.05;
+  tracker_options.horizon_n = n;
+  tracker_options.response_bound = 16.0;
+  tracker_options.seed = seed + 1;
+  nmc::regression::DistributedLinRegTracker tracker(k, tracker_options);
+  nmc::sim::RoundRobinAssignment psi(k);
+
+  for (int64_t t = 0; t < n; ++t) {
+    const auto& s = data.samples[static_cast<size_t>(t)];
+    exact.Update(s.x, s.y);
+    tracker.ProcessUpdate(psi.NextSite(t, s.y), s.x, s.y);
+  }
+
+  RegressionRun run;
+  run.messages = tracker.stats().total();
+  nmc::regression::Vector exact_mean, tracked_mean;
+  if (exact.PosteriorMean(&exact_mean) && tracker.PosteriorMean(&tracked_mean)) {
+    run.mean_rel_error_vs_exact =
+        nmc::regression::NormDiff(tracked_mean, exact_mean) /
+        std::max(1e-9, nmc::regression::Norm(exact_mean));
+    run.mean_rel_error_vs_truth =
+        nmc::regression::NormDiff(tracked_mean, data.true_weights) /
+        std::max(1e-9, nmc::regression::Norm(data.true_weights));
+  }
+  const auto tracked_precision = tracker.TrackedPrecision();
+  const auto& exact_precision = exact.precision();
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      const double truth = exact_precision.At(i, j);
+      if (std::fabs(truth) < 1.0) continue;
+      run.precision_max_entry_rel_error =
+          std::max(run.precision_max_entry_rel_error,
+                   std::fabs(tracked_precision.At(i, j) - truth) /
+                       std::fabs(truth));
+    }
+  }
+  return run;
+}
+
+void SweepDim() {
+  std::printf("\n-- posterior tracking vs dimension d (n = 16000, k = 4) --\n");
+  nmc::common::Table table({"d", "counters", "messages", "msgs/d^2",
+                            "mean_err_vs_exact", "prec_entry_err"});
+  std::vector<double> ds, costs;
+  for (int dim : {2, 4, 8}) {
+    const auto run = RunRegression(16000, dim, 4, 41);
+    const int64_t counters = dim * (dim + 1) / 2 + dim;
+    table.AddRow({Format(static_cast<int64_t>(dim)), Format(counters),
+                  Format(run.messages),
+                  Format(static_cast<double>(run.messages) / (dim * dim), 0),
+                  Format(run.mean_rel_error_vs_exact, 4),
+                  Format(run.precision_max_entry_rel_error, 4)});
+    ds.push_back(static_cast<double>(dim));
+    costs.push_back(static_cast<double>(run.messages));
+  }
+  table.Print();
+  nmc::bench::PrintFit("messages vs d", ds, costs);
+  std::printf("theory: d(d+1)/2 + d counters -> messages ~ d^2 (exponent 2)\n");
+}
+
+void SweepN() {
+  std::printf("\n-- posterior tracking vs n (d = 4, k = 4) --\n");
+  nmc::common::Table table({"n", "messages", "msgs/n", "mean_err_vs_exact",
+                            "mean_err_vs_truth"});
+  std::vector<double> ns, costs;
+  for (int64_t n : {4000, 16000, 64000}) {
+    const auto run = RunRegression(n, 4, 4, 43);
+    table.AddRow({Format(n), Format(run.messages),
+                  Format(static_cast<double>(run.messages) / static_cast<double>(n), 2),
+                  Format(run.mean_rel_error_vs_exact, 4),
+                  Format(run.mean_rel_error_vs_truth, 4)});
+    ns.push_back(static_cast<double>(n));
+    costs.push_back(static_cast<double>(run.messages));
+  }
+  table.Print();
+  nmc::bench::PrintFit("messages vs n", ns, costs);
+  std::printf("theory: sublinear in n (the diagonal precision entries drift\n"
+              "upward and get cheap; the error vs the exact posterior also\n"
+              "reflects the conditioning of the precision matrix, as the\n"
+              "paper cautions)\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E10 — Section 5.2: distributed Bayesian linear regression",
+         "Õ(sqrt(k n) d^2/eps) messages to track the posterior continuously");
+  SweepDim();
+  SweepN();
+  return 0;
+}

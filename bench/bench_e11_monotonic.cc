@@ -1,0 +1,135 @@
+// E11 — the mu = 1 special case: on an all-increments stream the
+// non-monotonic counter must match the dedicated HYZ monotonic counter
+// [12] up to polylog factors (Theorem 3.3 with mu = 1 reduces to the
+// Θ̃(sqrt(k)/eps) bound). The harness compares our counter (in drift mode)
+// with a native HYZ instance and ExactSync across k and eps.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/exact_sync.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "hyz/hyz_counter.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+std::function<std::vector<double>(int)> OnesStream(int64_t n) {
+  return [n](int) { return std::vector<double>(static_cast<size_t>(n), 1.0); };
+}
+
+void SweepK() {
+  std::printf("\n-- monotonic stream: our counter vs HYZ vs ExactSync "
+              "(n = 2^17, eps = 0.1) --\n");
+  const int64_t n = 1 << 17;
+  const double epsilon = 0.1;
+  nmc::common::Table table({"k", "ours", "hyz", "exact", "ours/hyz",
+                            "violations"});
+  std::vector<double> ks, hyz_costs;
+  for (int k : {1, 16, 64, 256}) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.drift_mode = nmc::core::DriftMode::kUnknownUnitDrift;
+    options.seed = 45;
+    const auto ours = Repeat(3, k, epsilon, OnesStream(n),
+                             CounterFactory(k, options));
+    const auto hyz = Repeat(3, k, epsilon, OnesStream(n), [k, epsilon](int trial) {
+      nmc::hyz::HyzOptions hyz_options;
+      hyz_options.epsilon = epsilon;
+      hyz_options.delta = 1e-6;
+      hyz_options.seed = 4500 + static_cast<uint64_t>(trial);
+      return std::make_unique<nmc::hyz::HyzProtocol>(k, hyz_options);
+    });
+    table.AddRow({Format(static_cast<int64_t>(k)),
+                  Format(ours.mean_messages, 0), Format(hyz.mean_messages, 0),
+                  Format(static_cast<double>(n), 0),
+                  Format(ours.mean_messages / hyz.mean_messages, 1),
+                  Format(static_cast<int64_t>(ours.trials_with_violation +
+                                              hyz.trials_with_violation))});
+    ks.push_back(static_cast<double>(k));
+    hyz_costs.push_back(hyz.mean_messages);
+  }
+  table.Print();
+  nmc::bench::PrintFit("hyz messages vs k", ks, hyz_costs);
+  std::printf("theory: both sublinear; ours pays the Phase-1 overhead (the\n"
+              "GPSearch warm-up and guard syncs) before handing off to its\n"
+              "internal HYZ pair — a polylog-factor premium, flat in n.\n"
+              "HYZ's per-round rate is ~(sqrt(k L) + L)/eps, so the sqrt(k)\n"
+              "growth emerges once k >> L = log(1/delta) ~ 24\n");
+}
+
+void SweepEpsilon() {
+  std::printf("\n-- HYZ cost vs eps (k = 4, n = 2^17) --\n");
+  const int64_t n = 1 << 17;
+  const int k = 4;
+  nmc::common::Table table({"eps", "hyz_msgs", "msgs*eps"});
+  std::vector<double> inv_eps, costs;
+  for (double epsilon : {0.02, 0.05, 0.1, 0.2}) {
+    const auto hyz = Repeat(3, k, epsilon, OnesStream(n), [k, epsilon](int trial) {
+      nmc::hyz::HyzOptions hyz_options;
+      hyz_options.epsilon = epsilon;
+      hyz_options.delta = 1e-6;
+      hyz_options.seed = 4600 + static_cast<uint64_t>(trial);
+      return std::make_unique<nmc::hyz::HyzProtocol>(k, hyz_options);
+    });
+    table.AddRow({Format(epsilon, 3), Format(hyz.mean_messages, 0),
+                  Format(hyz.mean_messages * epsilon, 1)});
+    inv_eps.push_back(1.0 / epsilon);
+    costs.push_back(hyz.mean_messages);
+  }
+  table.Print();
+  nmc::bench::PrintFit("hyz messages vs 1/eps", inv_eps, costs);
+  std::printf("theory: ~1/eps (exponent 1) plus the k log n round floor\n");
+}
+
+void SampledVsDeterministic() {
+  std::printf("\n-- HYZ variants: sampled vs deterministic thresholds "
+              "(n = 2^17, eps = 0.1) --\n");
+  const int64_t n = 1 << 17;
+  nmc::common::Table table({"k", "sampled", "deterministic", "violations"});
+  for (int k : {1, 4, 16, 64, 256}) {
+    auto make = [k](nmc::hyz::HyzMode mode) {
+      return [k, mode](int trial) {
+        nmc::hyz::HyzOptions options;
+        options.mode = mode;
+        options.epsilon = 0.1;
+        options.delta = 1e-6;
+        options.seed = 4700 + static_cast<uint64_t>(trial);
+        return std::make_unique<nmc::hyz::HyzProtocol>(k, options);
+      };
+    };
+    const auto sampled =
+        Repeat(2, k, 0.1, OnesStream(n), make(nmc::hyz::HyzMode::kSampled));
+    const auto det = Repeat(2, k, 0.1, OnesStream(n),
+                            make(nmc::hyz::HyzMode::kDeterministic));
+    table.AddRow({Format(static_cast<int64_t>(k)),
+                  Format(sampled.mean_messages, 0),
+                  Format(det.mean_messages, 0),
+                  Format(static_cast<int64_t>(sampled.trials_with_violation +
+                                              det.trials_with_violation))});
+  }
+  table.Print();
+  std::printf("theory: per round the sampled variant costs ~(sqrt(kL)+L)/eps\n"
+              "(L = log(1/delta) ~ 24) and the deterministic one ~2k/eps —\n"
+              "deterministic wins while k = O(L), sampling wins beyond;\n"
+              "this is the two-regime structure [12] describes\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E11 — mu = 1 special case vs the monotonic counter of [12]",
+         "our counter matches HYZ's Θ̃(sqrt(k)/eps) up to polylog factors");
+  SweepK();
+  SweepEpsilon();
+  SampledVsDeterministic();
+  return 0;
+}

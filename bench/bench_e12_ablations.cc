@@ -1,0 +1,239 @@
+// E12 — ablations of the design choices DESIGN.md calls out:
+//   * stage policy (cost-based auto vs the paper's literal boundary vs
+//     SBC-only vs StraightSync-only),
+//   * the conservative drift guard (Section 3.2's "type 1 waste"),
+//   * the sampling law's log exponent beta (correctness margin vs cost),
+//   * the Phase-2 handoff on drifting streams.
+// Every row reports both cost and the violation outcome, because several
+// knobs trade one for the other.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/horizon_free.h"
+#include "streams/bernoulli.h"
+#include "streams/permutation.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+constexpr int64_t kN = 1 << 18;
+constexpr int kK = 4;
+constexpr double kEps = 0.25;
+constexpr int kTrials = 3;
+
+std::function<std::vector<double>(int)> BalancedPermuted() {
+  return [](int trial) {
+    return nmc::streams::RandomlyPermuted(
+        nmc::streams::SignMultiset(kN, 0.5),
+        1300 + static_cast<uint64_t>(trial));
+  };
+}
+
+std::function<std::vector<double>(int)> Drifting() {
+  return [](int trial) {
+    return nmc::streams::BernoulliStream(kN, 0.25,
+                                         1400 + static_cast<uint64_t>(trial));
+  };
+}
+
+nmc::core::CounterOptions Base() {
+  nmc::core::CounterOptions options;
+  options.epsilon = kEps;
+  options.horizon_n = kN;
+  options.seed = 47;
+  return options;
+}
+
+void AddRow(nmc::common::Table* table, const std::string& name,
+            const nmc::core::CounterOptions& options,
+            const std::function<std::vector<double>(int)>& stream) {
+  const auto summary = Repeat(kTrials, kK, kEps, stream,
+                              CounterFactory(kK, options));
+  table->AddRow({name, Format(summary.mean_messages, 0),
+                 Format(summary.violation_fraction, 6),
+                 Format(static_cast<int64_t>(summary.trials_with_violation)),
+                 Format(summary.max_rel_error, 4)});
+}
+
+void StagePolicyAblation() {
+  std::printf("\n-- stage policy (balanced permuted multiset, n = 2^18, "
+              "k = 4) --\n");
+  nmc::common::Table table({"policy", "messages", "viol_frac",
+                            "viol_trials", "max_rel_err"});
+  auto options = Base();
+  AddRow(&table, "auto (cost-based)", options, BalancedPermuted());
+  options.stage_policy = nmc::core::StagePolicy::kPaperBoundary;
+  AddRow(&table, "paper (eps*S)^2>=k", options, BalancedPermuted());
+  options.stage_policy = nmc::core::StagePolicy::kSbcOnly;
+  AddRow(&table, "sbc_only", options, BalancedPermuted());
+  options.stage_policy = nmc::core::StagePolicy::kStraightOnly;
+  AddRow(&table, "straight_only", options, BalancedPermuted());
+  table.Print();
+  std::printf("takeaway: all four track correctly; the literal boundary\n"
+              "leaves a band where SBC syncs at rate ~1 and pays 3k+1 per\n"
+              "update, and sbc_only pays it everywhere near zero — the\n"
+              "stage switch is what buys sqrt(k n) instead of k*n\n");
+}
+
+void BoundaryFactorAblation() {
+  std::printf("\n-- stage boundary bias factor (same workload) --\n");
+  nmc::common::Table table({"factor", "messages", "viol_frac",
+                            "viol_trials", "max_rel_err"});
+  for (double factor : {0.25, 1.0, 4.0}) {
+    auto options = Base();
+    options.stage_boundary_factor = factor;
+    AddRow(&table, Format(factor, 2), options, BalancedPermuted());
+  }
+  table.Print();
+  std::printf("takeaway: the cost comparison is flat around the optimum —\n"
+              "the boundary constant is second-order, as the Õ analysis\n"
+              "predicts\n");
+}
+
+void DriftGuardAblation() {
+  std::printf("\n-- drift guard on/off --\n");
+  nmc::common::Table table({"config", "messages", "viol_frac",
+                            "viol_trials", "max_rel_err"});
+  {
+    auto options = Base();
+    AddRow(&table, "guard on, driftless input", options, BalancedPermuted());
+    options.enable_drift_guard = false;
+    AddRow(&table, "guard off, driftless input", options, BalancedPermuted());
+  }
+  {
+    auto options = Base();
+    AddRow(&table, "guard on, mu=0.25 input", options, Drifting());
+    options.enable_drift_guard = false;
+    AddRow(&table, "guard off, mu=0.25 input", options, Drifting());
+  }
+  table.Print();
+  std::printf("takeaway: the guard costs ~k log^2(n)/eps extra syncs (pure\n"
+              "overhead on driftless input) but is what keeps drifting\n"
+              "streams correct — exactly the Section 3.2 trade\n");
+}
+
+void BetaAblation() {
+  std::printf("\n-- sampling-law exponent beta (rate ~ log^beta n/(eps s)^2) "
+              "--\n");
+  nmc::common::Table table({"beta", "messages", "viol_frac", "viol_trials",
+                            "max_rel_err"});
+  for (double beta : {0.0, 1.0, 2.0}) {
+    auto options = Base();
+    options.beta = beta;
+    // Isolate the walk law: drop the guard so beta alone controls safety.
+    options.enable_drift_guard = false;
+    AddRow(&table, Format(beta, 1), options, BalancedPermuted());
+  }
+  table.Print();
+  std::printf("takeaway: beta = 2 is the paper's structurally-needed margin\n"
+              "(per-sync failure n^{-sqrt(2 alpha)}); smaller beta is\n"
+              "cheaper but the violation columns show the guarantee erode\n");
+}
+
+void Phase2Ablation() {
+  std::printf("\n-- Phase 2 on/off on a drifting stream (mu = 0.25) --\n");
+  nmc::common::Table table({"config", "messages", "viol_frac", "viol_trials",
+                            "max_rel_err"});
+  {
+    auto options = Base();
+    options.drift_mode = nmc::core::DriftMode::kUnknownUnitDrift;
+    AddRow(&table, "phase2 on (auto hyz variant)", options, Drifting());
+    options.phase2_auto_hyz_mode = false;
+    AddRow(&table, "phase2 on (sampled hyz only)", options, Drifting());
+    options.enable_phase2 = false;
+    AddRow(&table, "phase2 off (guard only)", options, Drifting());
+  }
+  table.Print();
+  std::printf("takeaway: both correct (the guard alone already yields the\n"
+              "sqrt(k)/(eps mu) Phase-1 cost). With the auto HYZ-variant\n"
+              "pick (deterministic at k << log(1/delta)) the handoff is\n"
+              "near break-even at this n; its advantage is a log factor\n"
+              "that matters asymptotically, and it is what makes the\n"
+              "mu-adaptive bound provable\n");
+}
+
+void VarianceAdaptiveAblation() {
+  std::printf("\n-- variance-adaptive sampling on a tiny-value multiset "
+              "(±0.05, permuted, k = 1) --\n");
+  nmc::common::Table table({"config", "messages", "viol_frac", "viol_trials",
+                            "max_rel_err"});
+  auto tiny_stream = [](int trial) {
+    std::vector<double> multiset(static_cast<size_t>(kN));
+    for (int64_t i = 0; i < kN; ++i) {
+      multiset[static_cast<size_t>(i)] = (i % 2 == 0) ? 0.05 : -0.05;
+    }
+    return nmc::streams::RandomlyPermuted(multiset,
+                                          1500 + static_cast<uint64_t>(trial));
+  };
+  {
+    auto options = Base();
+    const auto summary =
+        Repeat(kTrials, 1, kEps, tiny_stream, CounterFactory(1, options));
+    table.AddRow({"plain eq. (1)", Format(summary.mean_messages, 0),
+                  Format(summary.violation_fraction, 6),
+                  Format(static_cast<int64_t>(summary.trials_with_violation)),
+                  Format(summary.max_rel_error, 4)});
+    options.variance_adaptive = true;
+    const auto adaptive =
+        Repeat(kTrials, 1, kEps, tiny_stream, CounterFactory(1, options));
+    table.AddRow({"variance_adaptive", Format(adaptive.mean_messages, 0),
+                  Format(adaptive.violation_fraction, 6),
+                  Format(static_cast<int64_t>(adaptive.trials_with_violation)),
+                  Format(adaptive.max_rel_error, 4)});
+  }
+  table.Print();
+  std::printf("takeaway: eq. (1) is calibrated for ±1 steps; on ±0.05 steps\n"
+              "it is pinned at rate 1 (Theta(n)). Scaling the law by the\n"
+              "observed mean square restores sublinearity while keeping the\n"
+              "guarantee — the library's value-scale extension\n");
+}
+
+void HorizonFreeAblation() {
+  std::printf("\n-- horizon-free doubling wrapper vs known horizon --\n");
+  nmc::common::Table table({"config", "messages", "viol_frac", "viol_trials",
+                            "max_rel_err"});
+  {
+    const auto known = Repeat(kTrials, kK, kEps, BalancedPermuted(),
+                              CounterFactory(kK, Base()));
+    table.AddRow({"horizon known (n)", Format(known.mean_messages, 0),
+                  Format(known.violation_fraction, 6),
+                  Format(static_cast<int64_t>(known.trials_with_violation)),
+                  Format(known.max_rel_error, 4)});
+    const auto free = Repeat(
+        kTrials, kK, kEps, BalancedPermuted(), [](int trial) {
+          nmc::core::HorizonFreeOptions options;
+          options.counter.epsilon = kEps;
+          options.counter.seed = 1600 + static_cast<uint64_t>(trial);
+          return std::make_unique<nmc::core::HorizonFreeCounter>(kK, options);
+        });
+    table.AddRow({"horizon-free", Format(free.mean_messages, 0),
+                  Format(free.violation_fraction, 6),
+                  Format(static_cast<int64_t>(free.trials_with_violation)),
+                  Format(free.max_rel_error, 4)});
+  }
+  table.Print();
+  std::printf("takeaway: the doubling trick discharges the known-n\n"
+              "assumption at a small constant factor (log(horizon) shrinks\n"
+              "in early epochs, which can even make it cheaper)\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E12 — ablations of the algorithm's design choices",
+         "stage switch, drift guard, log exponent, Phase-2 handoff");
+  StagePolicyAblation();
+  BoundaryFactorAblation();
+  DriftGuardAblation();
+  BetaAblation();
+  Phase2Ablation();
+  VarianceAdaptiveAblation();
+  HorizonFreeAblation();
+  return 0;
+}

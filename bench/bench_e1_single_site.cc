@@ -1,0 +1,99 @@
+// E1 — Theorem 3.1: single-site non-monotonic counting of an i.i.d. ±1
+// stream with zero drift costs O(sqrt(n)/eps * log n) messages while
+// tracking within eps w.h.p. This harness sweeps n (growth exponent should
+// approach 1/2) and eps (cost should grow as ~1/eps), and verifies the
+// tracking guarantee held in every run.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "streams/bernoulli.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+void SweepN() {
+  std::printf("\n-- messages vs n (k = 1, eps = 0.25) --\n");
+  const double epsilon = 0.25;
+  const int trials = 5;
+  nmc::common::Table table({"n", "messages", "stderr", "msgs/sqrt(n)",
+                            "msgs/(sqrt(n)logn)", "violations",
+                            "max_rel_err"});
+  std::vector<double> ns, costs;
+  for (int64_t n = 1 << 14; n <= (1 << 20); n <<= 1) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 11;
+    const auto summary = Repeat(
+        trials, 1, epsilon,
+        [n](int trial) {
+          return nmc::streams::BernoulliStream(
+              n, 0.0, 100 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(1, options));
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    const double log_n = std::log(static_cast<double>(n));
+    table.AddRow({Format(n), Format(summary.mean_messages, 0),
+                  Format(summary.stderr_messages, 0),
+                  Format(summary.mean_messages / sqrt_n, 1),
+                  Format(summary.mean_messages / (sqrt_n * log_n), 2),
+                  Format(static_cast<int64_t>(summary.trials_with_violation)),
+                  Format(summary.max_rel_error, 4)});
+    ns.push_back(static_cast<double>(n));
+    costs.push_back(summary.mean_messages);
+  }
+  table.Print();
+  nmc::bench::PrintFit("messages", ns, costs);
+  std::printf("theory: exponent -> 0.5 as n -> inf (finite-n runs carry the\n"
+              "log(n)/eps-wide rate-1 band around zero, which biases the\n"
+              "fitted exponent slightly above 1/2)\n");
+}
+
+void SweepEpsilon() {
+  std::printf("\n-- messages vs eps (k = 1, n = 2^18) --\n");
+  const int64_t n = 1 << 18;
+  const int trials = 3;
+  nmc::common::Table table(
+      {"eps", "messages", "msgs*eps", "violations", "max_rel_err"});
+  std::vector<double> inv_eps, costs;
+  for (double epsilon : {0.05, 0.1, 0.2, 0.4}) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 13;
+    const auto summary = Repeat(
+        trials, 1, epsilon,
+        [n](int trial) {
+          return nmc::streams::BernoulliStream(
+              n, 0.0, 200 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(1, options));
+    table.AddRow({Format(epsilon, 3), Format(summary.mean_messages, 0),
+                  Format(summary.mean_messages * epsilon, 0),
+                  Format(static_cast<int64_t>(summary.trials_with_violation)),
+                  Format(summary.max_rel_error, 4)});
+    inv_eps.push_back(1.0 / epsilon);
+    costs.push_back(summary.mean_messages);
+  }
+  table.Print();
+  nmc::bench::PrintFit("messages vs 1/eps", inv_eps, costs);
+  std::printf("theory: messages ~ 1/eps (exponent 1); at small eps the cost\n"
+              "saturates at min(.., n) = %lld\n", static_cast<long long>(n));
+}
+
+}  // namespace
+
+int main() {
+  Banner("E1 — Theorem 3.1: single-site counter, i.i.d. input, zero drift",
+         "messages = O(sqrt(n)/eps * log n), tracking holds w.p. 1-O(1/n)");
+  SweepN();
+  SweepEpsilon();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E2 — Theorem 3.2: k-site counting of a zero-drift i.i.d. stream costs
+// O(sqrt(k*n)/eps * log n). The sweep over k checks the sqrt(k) growth
+// (driven by the SBC/StraightSync boundary sitting at |S| ~ sqrt(k)/eps),
+// and a second table shows the cost is insensitive to the adversary's
+// partition psi.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "streams/bernoulli.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+void SweepK() {
+  std::printf("\n-- messages vs k (n = 2^18, eps = 0.25) --\n");
+  const int64_t n = 1 << 18;
+  const double epsilon = 0.25;
+  const int trials = 3;
+  nmc::common::Table table({"k", "messages", "msgs/sqrt(k)", "violations",
+                            "max_rel_err"});
+  std::vector<double> ks, costs;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 17;
+    const auto summary = Repeat(
+        trials, k, epsilon,
+        [n](int trial) {
+          return nmc::streams::BernoulliStream(
+              n, 0.0, 300 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(k, options));
+    table.AddRow({Format(static_cast<int64_t>(k)),
+                  Format(summary.mean_messages, 0),
+                  Format(summary.mean_messages / std::sqrt(static_cast<double>(k)), 0),
+                  Format(static_cast<int64_t>(summary.trials_with_violation)),
+                  Format(summary.max_rel_error, 4)});
+    ks.push_back(static_cast<double>(k));
+    costs.push_back(summary.mean_messages);
+  }
+  table.Print();
+  nmc::bench::PrintFit("messages vs k", ks, costs);
+  std::printf("theory: exponent -> 0.5; for large k the cost saturates at\n"
+              "the StraightSync floor 2n = %lld (the sqrt(k)/eps boundary\n"
+              "exceeds the walk's range at this n)\n",
+              static_cast<long long>(2 * n));
+}
+
+void SweepPsi() {
+  std::printf("\n-- messages vs adversary partition psi (k = 8) --\n");
+  const int64_t n = 1 << 17;
+  const double epsilon = 0.25;
+  const int k = 8;
+  const int trials = 3;
+  nmc::common::Table table({"psi", "messages", "violations", "max_rel_err"});
+  for (const char* psi : {"round_robin", "random", "single", "block",
+                          "sign_split"}) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 19;
+    const auto summary = Repeat(
+        trials, k, epsilon,
+        [n](int trial) {
+          return nmc::streams::BernoulliStream(
+              n, 0.0, 400 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(k, options), psi);
+    table.AddRow({psi, Format(summary.mean_messages, 0),
+                  Format(static_cast<int64_t>(summary.trials_with_violation)),
+                  Format(summary.max_rel_error, 4)});
+  }
+  table.Print();
+  std::printf("theory: the bound is independent of psi (adversarial\n"
+              "partitioning only reroutes, never changes, the sync pattern)\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E2 — Theorem 3.2: k-site counter, i.i.d. input, zero drift",
+         "messages = O(sqrt(k*n)/eps * log n), independent of psi");
+  SweepK();
+  SweepPsi();
+  return 0;
+}

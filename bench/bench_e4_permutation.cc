@@ -1,0 +1,102 @@
+// E4 — Theorem 3.4: randomly permuted adversarial multisets. Whatever
+// bounded values the adversary fixes, presenting them in random order
+// admits tracking at O(sqrt(k n)/eps log n + log^3 n) messages. The sweep
+// crosses adversary multisets with n, and contrasts the cost against the
+// always-correct ExactSync baseline.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/exact_sync.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "streams/permutation.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+void SweepMultisets() {
+  const double epsilon = 0.25;
+  const int k = 4;
+  const int trials = 3;
+  for (const char* name : {"balanced", "biased", "oscillating", "skewed"}) {
+    std::printf("\n-- adversary multiset: %s (k = 4, eps = 0.25) --\n", name);
+    nmc::common::Table table({"n", "messages", "msgs/n", "violations",
+                              "max_rel_err"});
+    std::vector<double> ns, costs;
+    for (int64_t n = 1 << 16; n <= (1 << 20); n <<= 2) {
+      nmc::core::CounterOptions options;
+      options.epsilon = epsilon;
+      options.horizon_n = n;
+      options.seed = 21;
+      const auto summary = Repeat(
+          trials, k, epsilon,
+          [n, name](int trial) {
+            return nmc::streams::RandomlyPermuted(
+                nmc::streams::MakeAdversaryMultiset(name, n),
+                700 + static_cast<uint64_t>(trial));
+          },
+          CounterFactory(k, options));
+      table.AddRow({Format(n), Format(summary.mean_messages, 0),
+                    Format(summary.mean_messages / static_cast<double>(n), 3),
+                    Format(static_cast<int64_t>(summary.trials_with_violation)),
+                    Format(summary.max_rel_error, 4)});
+      ns.push_back(static_cast<double>(n));
+      costs.push_back(summary.mean_messages);
+    }
+    table.Print();
+    nmc::bench::PrintFit("messages", ns, costs);
+  }
+  std::printf("\ntheory: all multisets sublinear (exponent < 1, approaching\n"
+              "1/2 for the balanced case; biased multisets ride the cheaper\n"
+              "drift regime, capped below by the guard's ~log^3 n term)\n");
+}
+
+void VsExactSync() {
+  std::printf("\n-- counter vs ExactSync on a balanced permuted multiset --\n");
+  const double epsilon = 0.25;
+  const int k = 1;
+  nmc::common::Table table({"n", "counter_msgs", "exact_msgs", "ratio"});
+  for (int64_t n = 1 << 16; n <= (1 << 20); n <<= 2) {
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 23;
+    const auto counter_summary = Repeat(
+        2, k, epsilon,
+        [n](int trial) {
+          return nmc::streams::RandomlyPermuted(
+              nmc::streams::SignMultiset(n, 0.5),
+              800 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(k, options));
+    const auto exact_summary = Repeat(
+        1, k, epsilon,
+        [n](int trial) {
+          return nmc::streams::RandomlyPermuted(
+              nmc::streams::SignMultiset(n, 0.5),
+              800 + static_cast<uint64_t>(trial));
+        },
+        [k](int) { return std::make_unique<nmc::baselines::ExactSyncProtocol>(k); });
+    table.AddRow({Format(n), Format(counter_summary.mean_messages, 0),
+                  Format(exact_summary.mean_messages, 0),
+                  Format(exact_summary.mean_messages /
+                             counter_summary.mean_messages, 2)});
+  }
+  table.Print();
+  std::printf("theory: the savings ratio grows as sqrt(n)/polylog\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E4 — Theorem 3.4: randomly permuted adversarial input",
+         "messages = O(sqrt(k n)/eps log n + log^3 n) for ANY bounded multiset");
+  SweepMultisets();
+  VsExactSync();
+  return 0;
+}

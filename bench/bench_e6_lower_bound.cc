@@ -1,0 +1,142 @@
+// E6 — Theorems 4.1 / 4.2 / 4.5: the sample-path lower bounds. Any
+// correct tracker must communicate on (essentially) every visit of the
+// count to the error-sensitive region E = {|s| <= 1/eps} — so the measured
+// occupancy of E lower-bounds E[messages]. This harness measures the
+// occupancy growth in n (Omega(sqrt(n)/eps)), its drift dependence
+// (Omega(min{1/(eps|mu|), sqrt(n)/eps})), the k-site phase version
+// (Theorem 4.5), and the ratio of the algorithm's actual cost to the
+// measured bound (should be a polylog factor).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "core/lower_bound.h"
+#include "streams/bernoulli.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::common::Format;
+
+double MeanOccupancy(int64_t n, double mu, double radius, int trials,
+                     uint64_t seed_base) {
+  nmc::common::RunningStat stat;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto stream = nmc::streams::BernoulliStream(
+        n, mu, seed_base + static_cast<uint64_t>(trial));
+    stat.Add(static_cast<double>(nmc::core::CountOccupancy(stream, radius)));
+  }
+  return stat.mean();
+}
+
+void OccupancyVsN() {
+  std::printf("\n-- E-occupancy vs n (mu = 0, eps = 0.1 -> radius 10) --\n");
+  nmc::common::Table table({"n", "occupancy", "occ/sqrt(n)"});
+  std::vector<double> ns, occs;
+  for (int64_t n = 1 << 12; n <= (1 << 20); n <<= 2) {
+    const double occ = MeanOccupancy(n, 0.0, 10.0, 16, 1000);
+    table.AddRow({Format(n), Format(occ, 0),
+                  Format(occ / std::sqrt(static_cast<double>(n)), 2)});
+    ns.push_back(static_cast<double>(n));
+    occs.push_back(occ);
+  }
+  table.Print();
+  nmc::bench::PrintFit("occupancy", ns, occs);
+  std::printf("theory: exponent 1/2 — Theorem 4.1's Omega(sqrt(n)/eps)\n");
+}
+
+void OccupancyVsEpsilon() {
+  std::printf("\n-- E-occupancy vs radius 1/eps (n = 2^18, mu = 0) --\n");
+  nmc::common::Table table({"eps", "radius", "occupancy", "occ*eps"});
+  std::vector<double> radii, occs;
+  for (double eps : {0.4, 0.2, 0.1, 0.05, 0.025}) {
+    const double occ = MeanOccupancy(1 << 18, 0.0, 1.0 / eps, 12, 2000);
+    table.AddRow({Format(eps, 3), Format(1.0 / eps, 1), Format(occ, 0),
+                  Format(occ * eps, 0)});
+    radii.push_back(1.0 / eps);
+    occs.push_back(occ);
+  }
+  table.Print();
+  nmc::bench::PrintFit("occupancy vs 1/eps", radii, occs);
+  std::printf("theory: exponent 1 — the bound scales as 1/eps\n");
+}
+
+void OccupancyVsDrift() {
+  std::printf("\n-- E-occupancy vs drift mu (n = 2^18, eps = 0.1) --\n");
+  const int64_t n = 1 << 18;
+  nmc::common::Table table({"mu", "occupancy", "min(1/(eps mu), sqrt(n)/eps)"});
+  for (double mu : {0.0, 0.001, 0.004, 0.016, 0.064, 0.25, 1.0}) {
+    const double occ = MeanOccupancy(n, mu, 10.0, 12, 3000);
+    const double theory =
+        mu == 0.0 ? std::sqrt(static_cast<double>(n)) / 0.1
+                  : std::min(1.0 / (0.1 * mu),
+                             std::sqrt(static_cast<double>(n)) / 0.1);
+    table.AddRow({Format(mu, 3), Format(occ, 0), Format(theory, 0)});
+  }
+  table.Print();
+  std::printf("theory: Theorem 4.2 — occupancy (and hence the bound) decays\n"
+              "as 1/(eps*mu) once mu >> 1/sqrt(n)\n");
+}
+
+void PhaseOccupancyVsK() {
+  std::printf("\n-- Theorem 4.5 phase bound: k * phase-occupancy vs k "
+              "(n = 2^18, eps = 0.1) --\n");
+  const int64_t n = 1 << 18;
+  nmc::common::Table table({"k", "phases_counted", "k*phases (LB msgs)"});
+  for (int64_t k : {4, 16, 64, 256}) {
+    nmc::common::RunningStat stat;
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto stream = nmc::streams::BernoulliStream(
+          n, 0.0, 4000 + static_cast<uint64_t>(trial));
+      stat.Add(static_cast<double>(
+          nmc::core::CountPhaseOccupancy(stream, k, 0.1)));
+    }
+    table.AddRow({Format(k), Format(stat.mean(), 0),
+                  Format(stat.mean() * static_cast<double>(k), 0)});
+  }
+  table.Print();
+  std::printf("theory: k * phases ~ sqrt(k n)/eps: each counted phase forces\n"
+              "Theta(k) messages (the tracking-k-inputs reduction)\n");
+}
+
+void AlgorithmVsBound() {
+  std::printf("\n-- our algorithm's cost vs the measured lower bound --\n");
+  const double epsilon = 0.25;
+  nmc::common::Table table({"n", "lower_bound", "algorithm", "ratio"});
+  for (int64_t n = 1 << 14; n <= (1 << 20); n <<= 2) {
+    const double occ = MeanOccupancy(n, 0.0, 1.0 / epsilon, 8, 5000);
+    nmc::core::CounterOptions options;
+    options.epsilon = epsilon;
+    options.horizon_n = n;
+    options.seed = 29;
+    const auto summary = nmc::bench::Repeat(
+        3, 1, epsilon,
+        [n](int trial) {
+          return nmc::streams::BernoulliStream(
+              n, 0.0, 5000 + static_cast<uint64_t>(trial));
+        },
+        nmc::bench::CounterFactory(1, options));
+    table.AddRow({Format(n), Format(occ, 0),
+                  Format(summary.mean_messages, 0),
+                  Format(summary.mean_messages / occ, 2)});
+  }
+  table.Print();
+  std::printf("theory: upper and lower bounds match up to polylog factors,\n"
+              "so the ratio should stay bounded (and grow only slowly)\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E6 — Theorems 4.1/4.2/4.5: sample-path lower bounds",
+         "E[messages] = Omega(min{sqrt(k n)/eps, n}); drift Omega(1/(eps mu))");
+  OccupancyVsN();
+  OccupancyVsEpsilon();
+  OccupancyVsDrift();
+  PhaseOccupancyVsK();
+  AlgorithmVsBound();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E8 — Section 1.1 and Arackaparambil et al.: fully adversarial ORDER
+// forces Omega(n) messages (the alternating ±1 stream keeps the count on
+// {0, 1}, so a single missed update is an unbounded relative error), while
+// the SAME multiset in random order costs Õ(sqrt(n)). This harness runs
+// the counter on both orders, on a sawtooth variant, and against the
+// baselines, reporting the cost per update.
+
+#include <cstdio>
+
+#include "baselines/exact_sync.h"
+#include "baselines/periodic_sync.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "streams/adversarial.h"
+#include "streams/permutation.h"
+
+namespace {
+
+using nmc::bench::Banner;
+using nmc::bench::CounterFactory;
+using nmc::bench::Repeat;
+using nmc::common::Format;
+
+void OrderedVsPermuted() {
+  std::printf("\n-- alternating multiset: adversarial order vs permuted "
+              "(k = 1, eps = 0.25) --\n");
+  nmc::common::Table table(
+      {"n", "ordered_msgs", "permuted_msgs", "ordered/n", "permuted/n",
+       "speedup"});
+  for (int64_t n = 1 << 16; n <= (1 << 20); n <<= 2) {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 31;
+    const auto ordered = Repeat(
+        1, 1, 0.25,
+        [n](int) { return nmc::streams::AlternatingStream(n); },
+        CounterFactory(1, options));
+    const auto permuted = Repeat(
+        3, 1, 0.25,
+        [n](int trial) {
+          return nmc::streams::RandomlyPermuted(
+              nmc::streams::AlternatingStream(n),
+              1100 + static_cast<uint64_t>(trial));
+        },
+        CounterFactory(1, options));
+    table.AddRow({Format(n), Format(ordered.mean_messages, 0),
+                  Format(permuted.mean_messages, 0),
+                  Format(ordered.mean_messages / static_cast<double>(n), 3),
+                  Format(permuted.mean_messages / static_cast<double>(n), 3),
+                  Format(ordered.mean_messages / permuted.mean_messages, 2)});
+  }
+  table.Print();
+  std::printf("theory: ordered cost is pinned at ~1 msg/update (matching the\n"
+              "Omega(n) bound — the counter samples at rate 1 inside |S|<=1);\n"
+              "the permuted cost is sublinear, so the speedup grows ~sqrt(n)\n");
+}
+
+void SawtoothAmplitude() {
+  std::printf("\n-- sawtooth order: cost vs swing amplitude (n = 2^18) --\n");
+  const int64_t n = 1 << 18;
+  nmc::common::Table table({"peak", "messages", "msgs/n", "violations"});
+  for (int64_t peak : {1, 4, 16, 64, 256, 1024}) {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 33;
+    const auto summary = Repeat(
+        1, 1, 0.25,
+        [n, peak](int) { return nmc::streams::SawtoothStream(n, peak); },
+        CounterFactory(1, options));
+    table.AddRow({Format(peak), Format(summary.mean_messages, 0),
+                  Format(summary.mean_messages / static_cast<double>(n), 3),
+                  Format(static_cast<int64_t>(summary.trials_with_violation))});
+  }
+  table.Print();
+  std::printf("theory: adversarial order is only expensive because of time\n"
+              "spent near zero: larger swings leave the rate-1 region and\n"
+              "the per-update cost falls accordingly\n");
+}
+
+void BaselineComparison() {
+  std::printf("\n-- protocols on the ordered alternating stream (n = 2^16, "
+              "k = 2) --\n");
+  const int64_t n = 1 << 16;
+  const int k = 2;
+  const auto stream_factory = [n](int) {
+    return nmc::streams::AlternatingStream(n);
+  };
+  nmc::common::Table table({"protocol", "messages", "violating_trials",
+                            "note"});
+  {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 35;
+    const auto r = Repeat(1, k, 0.25, stream_factory,
+                          CounterFactory(k, options));
+    table.AddRow({"nonmonotonic_counter", Format(r.mean_messages, 0),
+                  Format(static_cast<int64_t>(r.trials_with_violation)),
+                  "correct; ~2/update (straight stage)"});
+  }
+  {
+    const auto r = Repeat(1, k, 0.25, stream_factory, [k](int) {
+      return std::make_unique<nmc::baselines::ExactSyncProtocol>(k);
+    });
+    table.AddRow({"exact_sync", Format(r.mean_messages, 0),
+                  Format(static_cast<int64_t>(r.trials_with_violation)),
+                  "correct; 1/update"});
+  }
+  for (int64_t period : {2, 16}) {
+    const auto r = Repeat(1, k, 0.25, stream_factory, [k, period](int) {
+      return std::make_unique<nmc::baselines::PeriodicSyncProtocol>(k, period);
+    });
+    table.AddRow({"periodic_sync(T=" + std::to_string(period) + ")",
+                  Format(r.mean_messages, 0),
+                  Format(static_cast<int64_t>(r.trials_with_violation)),
+                  "cheap but WRONG between syncs"});
+  }
+  table.Print();
+  std::printf("theory: on worst-case order nothing beats Theta(n) while\n"
+              "staying correct — cheaper baselines violate the guarantee\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("E8 — the Omega(n) adversarial-order barrier vs random order",
+         "worst-case order costs Omega(n); the permuted multiset is Õ(sqrt(n))");
+  OrderedVsPermuted();
+  SawtoothAmplitude();
+  BaselineComparison();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// M1 — google-benchmark microbenchmarks of the hot paths: counter update,
+// HYZ update, stream generation (fGn via FFT), hashing, and sketch update.
+// These bound the simulator's throughput (updates/second), which is what
+// limits the n the experiment harnesses can sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/nonmonotonic_counter.h"
+#include "hyz/hyz_counter.h"
+#include "sim/assignment.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/hash.h"
+#include "streams/bernoulli.h"
+#include "streams/fbm.h"
+#include "streams/fft.h"
+
+namespace {
+
+void BM_CounterUpdate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 22;  // large horizon: stays in the cheap regime
+  nmc::core::CounterOptions options;
+  options.epsilon = 0.25;
+  options.horizon_n = n;
+  options.seed = 1;
+  nmc::core::NonMonotonicCounter counter(k, options);
+  nmc::sim::RoundRobinAssignment psi(k);
+  const auto stream = nmc::streams::BernoulliStream(1 << 16, 0.0, 2);
+  int64_t t = 0;
+  for (auto _ : state) {
+    const double v = stream[static_cast<size_t>(t % (1 << 16))];
+    counter.ProcessUpdate(psi.NextSite(t, v), v);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterUpdate)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_HyzUpdate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  nmc::hyz::HyzOptions options;
+  options.epsilon = 0.1;
+  options.delta = 1e-6;
+  options.seed = 3;
+  nmc::hyz::HyzProtocol counter(k, options);
+  nmc::sim::RoundRobinAssignment psi(k);
+  int64_t t = 0;
+  for (auto _ : state) {
+    counter.ProcessUpdate(psi.NextSite(t, 1.0), 1.0);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyzUpdate)->Arg(4)->Arg(16);
+
+void BM_RngU64(benchmark::State& state) {
+  nmc::common::Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextU64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_Fft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  nmc::common::Rng rng(7);
+  for (auto& x : data) x = {rng.Gaussian(), rng.Gaussian()};
+  for (auto _ : state) {
+    auto copy = data;
+    nmc::streams::Fft(&copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FgnDaviesHarte(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  uint64_t seed = 9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nmc::streams::FgnDaviesHarte(n, 0.75, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FgnDaviesHarte)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KWiseHash(benchmark::State& state) {
+  nmc::sketch::KWiseHash hash(4, 11);
+  uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(hash.Hash(++x));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KWiseHash);
+
+void BM_AmsUpdate(benchmark::State& state) {
+  nmc::sketch::AmsSketch sketch(5, 256, 13);
+  uint64_t item = 0;
+  for (auto _ : state) {
+    sketch.Update(++item % 4096, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#ifndef NMCOUNT_BENCH_BENCH_UTIL_H_
+#define NMCOUNT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+
+namespace nmc::bench {
+
+/// Aggregated outcome of repeated tracked runs (mean over trials).
+struct RunSummary {
+  double mean_messages = 0.0;
+  double stderr_messages = 0.0;
+  /// Fraction of steps violating the epsilon guarantee, averaged.
+  double violation_fraction = 0.0;
+  /// Number of trials with at least one violating step.
+  int trials_with_violation = 0;
+  double max_rel_error = 0.0;
+  int trials = 0;
+};
+
+/// Runs `trials` independent tracked runs; `make_stream` and
+/// `make_protocol` receive the trial index so each trial can reseed.
+inline RunSummary Repeat(
+    int trials, int num_sites, double epsilon,
+    const std::function<std::vector<double>(int)>& make_stream,
+    const std::function<std::unique_ptr<sim::Protocol>(int)>& make_protocol,
+    const std::string& psi_name = "round_robin") {
+  RunSummary summary;
+  summary.trials = trials;
+  common::RunningStat messages;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto stream = make_stream(trial);
+    auto protocol = make_protocol(trial);
+    auto psi = sim::MakeAssignment(psi_name, num_sites,
+                                   1000 + static_cast<uint64_t>(trial));
+    sim::TrackingOptions tracking;
+    tracking.epsilon = epsilon;
+    const auto result =
+        sim::RunTracking(stream, psi.get(), protocol.get(), tracking);
+    messages.Add(static_cast<double>(result.messages));
+    summary.violation_fraction += static_cast<double>(result.violation_steps) /
+                                  std::max<double>(1.0, static_cast<double>(result.n));
+    if (result.any_violation()) ++summary.trials_with_violation;
+    summary.max_rel_error = std::max(summary.max_rel_error, result.max_rel_error);
+  }
+  summary.mean_messages = messages.mean();
+  summary.stderr_messages = messages.stderr_mean();
+  summary.violation_fraction /= trials;
+  return summary;
+}
+
+/// Convenience: the Non-monotonic Counter with the given options (seed is
+/// offset per trial).
+inline std::function<std::unique_ptr<sim::Protocol>(int)> CounterFactory(
+    int num_sites, core::CounterOptions options) {
+  return [num_sites, options](int trial) {
+    core::CounterOptions per_trial = options;
+    per_trial.seed = options.seed + static_cast<uint64_t>(trial) * 7919;
+    return std::make_unique<core::NonMonotonicCounter>(num_sites, per_trial);
+  };
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints a fitted power-law line: "fit: y ~ x^p (r2=..)".
+inline void PrintFit(const std::string& what, const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  const auto fit = common::FitPowerLaw(xs, ys);
+  std::printf("fit: %s ~ x^%.3f  (r2 = %.3f)\n", what.c_str(), fit.slope,
+              fit.r2);
+}
+
+}  // namespace nmc::bench
+
+#endif  // NMCOUNT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Long-range-dependent traffic monitor (Section 3.4).
+//
+// Aggregate network traffic famously exhibits self-similarity and
+// long-range dependence (Leland et al. [14]); fractional Brownian motion
+// with Hurst parameter H in (1/2, 1) is the standard model. This example
+// tracks the cumulative deviation of traffic from its provisioned baseline
+// across k routers, using the eq. (2) sampling law — which only needs an
+// UPPER bound on H (delta <= 1/H) — and shows the communication shrinking
+// as the dependence strengthens.
+//
+// Build & run:  cmake --build build && ./build/examples/fbm_traffic
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/fbm.h"
+
+namespace {
+
+void MonitorAt(double hurst) {
+  const int64_t n = 1 << 16;  // measurement epochs
+  const int k = 4;            // routers
+  const double epsilon = 0.1;
+
+  // Deviation increments: exact-covariance fractional Gaussian noise.
+  const auto increments = nmc::streams::FgnDaviesHarte(n, hurst, /*seed=*/21);
+
+  nmc::core::CounterOptions options;
+  options.epsilon = epsilon;
+  options.horizon_n = n;
+  options.fbm_delta = 1.0 / hurst;  // only an upper bound on H is needed
+  options.seed = 23;
+  nmc::core::NonMonotonicCounter counter(k, options);
+  nmc::sim::RoundRobinAssignment psi(k);
+
+  nmc::sim::TrackingOptions tracking;
+  tracking.epsilon = epsilon;
+  const auto result =
+      nmc::sim::RunTracking(increments, &psi, &counter, tracking);
+
+  std::printf("H = %.2f  delta = %.2f  | deviation now %9.1f | "
+              "messages %8lld (%.3f/epoch) | violations %lld\n",
+              hurst, 1.0 / hurst, result.final_sum,
+              static_cast<long long>(result.messages),
+              static_cast<double>(result.messages) / static_cast<double>(n),
+              static_cast<long long>(result.violation_steps));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tracking cumulative traffic deviation over %d routers,\n"
+              "eps = 0.1, n = 65536 epochs, for increasing Hurst parameter:\n\n",
+              4);
+  for (double hurst : {0.5, 0.6, 0.7, 0.8, 0.9}) MonitorAt(hurst);
+  std::printf("\nStronger long-range dependence (larger H) makes the process\n"
+              "more predictable and keeps it away from zero, so the monitor\n"
+              "gets cheaper — the Õ(n^{1-H}/eps) behavior of Theorem 3.5.\n");
+  return 0;
+}

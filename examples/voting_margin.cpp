@@ -1,0 +1,89 @@
+// Voting margin monitor — the paper's motivating example (Section 1).
+//
+// Votes for two options (A = +1, B = -1) arrive at k regional ingestion
+// servers; the analyst wants a continuous view of WHICH option leads and
+// by roughly what margin. The margin is a non-monotonic stream: the naive
+// approach — two monotonic counters, report the difference — is accurate
+// for each option but its error on the DIFFERENCE is up to eps*(A+B),
+// unbounded relative to a close margin. The non-monotonic counter tracks
+// the margin itself with a true relative guarantee.
+//
+// Build & run:  cmake --build build && ./build/examples/voting_margin
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/two_monotonic.h"
+#include "core/certify.h"
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "streams/permutation.h"
+
+int main() {
+  const int64_t n = 100000;  // votes
+  const int k = 8;           // ingestion servers
+  const double epsilon = 0.1;
+
+  // A close race: 50.5% for A, 49.5% for B — final margin 1000 votes out
+  // of 100000. Votes arrive in random order (the permutation model).
+  const auto votes = nmc::streams::RandomlyPermuted(
+      nmc::streams::SignMultiset(n, 0.505), /*seed=*/3);
+
+  nmc::core::CounterOptions options;
+  options.epsilon = epsilon;
+  options.horizon_n = n;
+  options.seed = 5;
+  nmc::core::NonMonotonicCounter margin_counter(k, options);
+
+  nmc::baselines::TwoMonotonicProtocol naive(k, epsilon, 1e-6, /*seed=*/7);
+
+  nmc::sim::UniformRandomAssignment psi(k, /*seed=*/9);
+  double margin = 0.0;
+  int64_t naive_wrong_leader = 0, ours_wrong_leader = 0, checked = 0;
+  double naive_worst_rel = 0.0, ours_worst_rel = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    const double vote = votes[static_cast<size_t>(t)];
+    const int site = psi.NextSite(t, vote);
+    margin_counter.ProcessUpdate(site, vote);
+    naive.ProcessUpdate(site, vote);
+    margin += vote;
+    if (std::fabs(margin) >= 50.0) {  // leader question is meaningful
+      ++checked;
+      if ((naive.Estimate() > 0) != (margin > 0)) ++naive_wrong_leader;
+      // Our counter can go further than a raw sign: CertifiedSign only
+      // calls the race when the guarantee PROVES a margin of >= 50 — and
+      // such calls are never wrong (certify_test verifies this property).
+      const int call =
+          nmc::core::CertifiedSign(margin_counter.Estimate(), epsilon, 50.0);
+      if (call != 0 && call != (margin > 0 ? 1 : -1)) ++ours_wrong_leader;
+      if (call == 0 && (margin_counter.Estimate() > 0) != (margin > 0)) {
+        ++ours_wrong_leader;  // count raw sign errors too (there are none)
+      }
+      naive_worst_rel = std::max(
+          naive_worst_rel, std::fabs(naive.Estimate() - margin) / std::fabs(margin));
+      ours_worst_rel = std::max(
+          ours_worst_rel,
+          std::fabs(margin_counter.Estimate() - margin) / std::fabs(margin));
+    }
+  }
+
+  std::printf("final true margin              : %+.0f votes\n", margin);
+  std::printf("non-monotonic counter estimate : %+.0f  (worst rel. error %.3f)\n",
+              margin_counter.Estimate(), ours_worst_rel);
+  std::printf("naive difference estimate      : %+.0f  (worst rel. error %.3f)\n",
+              naive.Estimate(), naive_worst_rel);
+  std::printf("\nsteps with |margin| >= 50      : %lld\n",
+              static_cast<long long>(checked));
+  std::printf("wrong-leader reports, ours     : %lld\n",
+              static_cast<long long>(ours_wrong_leader));
+  std::printf("wrong-leader reports, naive    : %lld\n",
+              static_cast<long long>(naive_wrong_leader));
+  std::printf("\nmessages, ours                 : %lld\n",
+              static_cast<long long>(margin_counter.stats().total()));
+  std::printf("messages, naive                : %lld\n",
+              static_cast<long long>(naive.stats().total()));
+  std::printf("\nThe naive pair is individually accurate but blind to the\n"
+              "margin's sign and scale; the non-monotonic counter holds the\n"
+              "relative guarantee on the margin itself.\n");
+  return 0;
+}

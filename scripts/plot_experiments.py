@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Turn the bench harness output into figures.
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 scripts/plot_experiments.py bench_output.txt --out figures/
+
+The bench binaries print aligned ASCII tables under `-- section --`
+headers. This script parses every table and, for tables with a leading
+numeric sweep column (n, k, mu, eps, H, ...), emits a log-log plot of each
+numeric column against it. Requires matplotlib; degrades to CSV dumps when
+it is unavailable.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def parse_tables(lines):
+    """Yields (title, headers, rows) for every table in the output."""
+    title = "untitled"
+    i = 0
+    while i < len(lines):
+        line = lines[i].rstrip("\n")
+        section = re.match(r"^-- (.*) --$", line.strip())
+        if section:
+            title = section.group(1)
+            i += 1
+            continue
+        # A table is a header row followed by a dashed rule.
+        if i + 1 < len(lines) and re.match(r"^[-\s]+$", lines[i + 1]) and \
+           "-" in lines[i + 1]:
+            headers = line.split()
+            rows = []
+            i += 2
+            while i < len(lines) and lines[i].strip() and \
+                    not lines[i].startswith(("fit:", "theory:", "takeaway:")):
+                cells = lines[i].split()
+                if len(cells) == len(headers):
+                    rows.append(cells)
+                i += 1
+            if rows:
+                yield title, headers, rows
+            continue
+        i += 1
+
+
+def to_float(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("input", help="captured bench output")
+    parser.add_argument("--out", default="figures", help="output directory")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        lines = f.readlines()
+    os.makedirs(args.out, exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available; writing CSVs only", file=sys.stderr)
+
+    for index, (title, headers, rows) in enumerate(parse_tables(lines)):
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+        base = os.path.join(args.out, f"{index:02d}_{slug}")
+        with open(base + ".csv", "w") as f:
+            f.write(",".join(headers) + "\n")
+            for row in rows:
+                f.write(",".join(row) + "\n")
+
+        if not have_mpl:
+            continue
+        xs = [to_float(row[0]) for row in rows]
+        if any(x is None for x in xs) or len(xs) < 2:
+            continue
+        fig, ax = plt.subplots(figsize=(5, 3.5))
+        for col in range(1, len(headers)):
+            ys = [to_float(row[col]) for row in rows]
+            if any(y is None for y in ys):
+                continue
+            if all(y > 0 for y in ys) and all(x > 0 for x in xs):
+                ax.loglog(xs, ys, marker="o", label=headers[col])
+            else:
+                ax.plot(xs, ys, marker="o", label=headers[col])
+        ax.set_xlabel(headers[0])
+        ax.set_title(title, fontsize=9)
+        ax.legend(fontsize=7)
+        ax.grid(True, which="both", alpha=0.3)
+        fig.tight_layout()
+        fig.savefig(base + ".png", dpi=150)
+        plt.close(fig)
+        print(f"wrote {base}.png")
+
+
+if __name__ == "__main__":
+    main()

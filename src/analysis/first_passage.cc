@@ -1,0 +1,132 @@
+#include "analysis/first_passage.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::analysis {
+
+namespace {
+
+// One DP sweep: occupancy[i] holds the probability of being at interior
+// position i - (b-1) (i = 0..2b-2) without having exited yet.
+struct WalkDp {
+  explicit WalkDp(int64_t b, double mu)
+      : b(b),
+        up((1.0 + mu) / 2.0),
+        down((1.0 - mu) / 2.0),
+        occupancy(static_cast<size_t>(2 * b - 1), 0.0) {
+    NMC_CHECK_GE(b, 1);
+    NMC_CHECK_GE(mu, -1.0);
+    NMC_CHECK_LE(mu, 1.0);
+    occupancy[static_cast<size_t>(b - 1)] = 1.0;  // start at 0
+  }
+
+  // Advances one step; returns the probability mass that exits this step.
+  double Step() {
+    const size_t width = occupancy.size();
+    std::vector<double> next(width, 0.0);
+    double exited = 0.0;
+    for (size_t i = 0; i < width; ++i) {
+      const double mass = occupancy[i];
+      if (mass == 0.0) continue;
+      // Move up.
+      if (i + 1 < width) {
+        next[i + 1] += mass * up;
+      } else {
+        exited += mass * up;
+      }
+      // Move down.
+      if (i >= 1) {
+        next[i - 1] += mass * down;
+      } else {
+        exited += mass * down;
+      }
+    }
+    occupancy.swap(next);
+    return exited;
+  }
+
+  int64_t b;
+  double up, down;
+  std::vector<double> occupancy;
+};
+
+}  // namespace
+
+std::vector<double> ExitTimeDistribution(int64_t b, double mu,
+                                         int64_t max_steps) {
+  NMC_CHECK_GE(max_steps, 1);
+  WalkDp dp(b, mu);
+  std::vector<double> distribution(static_cast<size_t>(max_steps), 0.0);
+  for (int64_t r = 0; r < max_steps; ++r) {
+    distribution[static_cast<size_t>(r)] = dp.Step();
+  }
+  return distribution;
+}
+
+double ExitTimeMean(int64_t b, double mu, int64_t max_steps) {
+  const auto distribution = ExitTimeDistribution(b, mu, max_steps);
+  double mean = 0.0;
+  for (int64_t r = 0; r < max_steps; ++r) {
+    mean += static_cast<double>(r + 1) * distribution[static_cast<size_t>(r)];
+  }
+  return mean;
+}
+
+double SyncFailureClosedForm(int64_t b, double p) {
+  NMC_CHECK_GE(b, 1);
+  NMC_CHECK_GT(p, 0.0);
+  NMC_CHECK_LT(p, 1.0);
+  const double phi = std::acosh(1.0 / (1.0 - p));
+  // cosh(b*phi) overflows for large arguments; the failure is then 0.
+  const double arg = static_cast<double>(b) * phi;
+  if (arg > 700.0) return 0.0;
+  return 1.0 / std::cosh(arg);
+}
+
+double SyncFailureFromDp(int64_t b, double mu, double p, int64_t max_steps) {
+  NMC_CHECK_GT(p, 0.0);
+  NMC_CHECK_LE(p, 1.0);
+  WalkDp dp(b, mu);
+  double failure = 0.0;
+  double survive = 1.0;  // (1-p)^r, the clock still silent after r steps
+  for (int64_t r = 0; r < max_steps; ++r) {
+    survive *= 1.0 - p;
+    failure += dp.Step() * survive;
+    if (survive < 1e-18) break;  // the clock has certainly rung
+  }
+  return failure;
+}
+
+double SyncFailureMonteCarlo(int64_t b, double mu, double p, int64_t trials,
+                             uint64_t seed) {
+  NMC_CHECK_GE(trials, 1);
+  common::Rng rng(seed);
+  const double up = (1.0 + mu) / 2.0;
+  int64_t failures = 0;
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    int64_t position = 0;
+    while (true) {
+      if (rng.Bernoulli(p)) break;  // clock rang first: no failure
+      position += rng.Bernoulli(up) ? 1 : -1;
+      if (position >= b || position <= -b) {
+        ++failures;  // exited before the clock
+        break;
+      }
+    }
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+double Eq1FailureAtRadius(int64_t b, double alpha, double beta, int64_t n) {
+  NMC_CHECK_GE(n, 2);
+  const double log_n = std::log(static_cast<double>(n));
+  const double rate = alpha * std::pow(log_n, beta) /
+                      (static_cast<double>(b) * static_cast<double>(b));
+  if (rate >= 1.0) return 0.0;  // the site reports every update: exact
+  return SyncFailureClosedForm(b, rate);
+}
+
+}  // namespace nmc::analysis

@@ -1,0 +1,51 @@
+#ifndef NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_
+#define NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::analysis {
+
+/// Exact first-passage analysis of the ±1 random walk — the quantity the
+/// whole sampling-law design rests on. Between syncs the count performs a
+/// walk started at the synced value s; an error occurs iff the walk exits
+/// the eps-ball (distance b ~ eps*s) before the site's geometric(p)
+/// sampling clock rings. The probability of that race being lost is
+/// exactly E[(1-p)^T] for T the two-sided exit time, which these
+/// functions compute three independent ways (closed form, exact DP,
+/// Monte Carlo) so each validates the others.
+
+/// Exact distribution P(T = r) for r = 1..max_steps of the exit time T of
+/// a ±1 walk (P[+1] = (1+mu)/2) started at 0 with absorbing barriers at
+/// ±b, via dynamic programming over interior positions. O(b * max_steps).
+std::vector<double> ExitTimeDistribution(int64_t b, double mu,
+                                         int64_t max_steps);
+
+/// E[T] computed from the DP (truncated at max_steps; for the symmetric
+/// walk E[T] = b^2 exactly, a useful validation identity).
+double ExitTimeMean(int64_t b, double mu, int64_t max_steps);
+
+/// Closed form for the symmetric walk: E[s^T] = 1 / cosh(b * acosh(1/s)),
+/// evaluated at s = 1 - p. This is the exact probability that a
+/// geometric(p) clock loses the race against the exit — the per-sync
+/// failure probability of the SBC sampling law.
+double SyncFailureClosedForm(int64_t b, double p);
+
+/// The same quantity from the exact DP distribution:
+/// sum_r P(T = r) (1-p)^r (truncated; the tail is bounded by the
+/// remaining mass times (1-p)^max_steps).
+double SyncFailureFromDp(int64_t b, double mu, double p, int64_t max_steps);
+
+/// Monte Carlo estimate of the same race (simulates walk vs clock).
+double SyncFailureMonteCarlo(int64_t b, double mu, double p, int64_t trials,
+                             uint64_t seed);
+
+/// The per-sync failure implied by eq. (1)'s rate at ball radius b:
+/// p = alpha * log^beta(n) / b^2 (clamped to 1), fed through the closed
+/// form. This is the number the alpha/beta defaults are chosen against
+/// (see CounterOptions::alpha) and what bench_e13 tabulates.
+double Eq1FailureAtRadius(int64_t b, double alpha, double beta, int64_t n);
+
+}  // namespace nmc::analysis
+
+#endif  // NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_

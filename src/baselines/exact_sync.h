@@ -1,0 +1,38 @@
+#ifndef NMCOUNT_BASELINES_EXACT_SYNC_H_
+#define NMCOUNT_BASELINES_EXACT_SYNC_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/protocol.h"
+
+namespace nmc::baselines {
+
+/// The trivial always-correct protocol: every update is forwarded to the
+/// coordinator (1 message per update, Theta(n) total, zero error). This is
+/// the only correct strategy for fully adversarial non-monotonic input
+/// (Section 1.1's Omega(n) argument) and the yardstick the sublinear
+/// algorithms are measured against.
+class ExactSyncProtocol : public sim::Protocol {
+ public:
+  explicit ExactSyncProtocol(int num_sites);
+  ~ExactSyncProtocol() override;
+
+  int num_sites() const override;
+  void ProcessUpdate(int site_id, double value) override;
+  double Estimate() const override;
+  const sim::MessageStats& stats() const override;
+
+ private:
+  class Site;
+  class Coordinator;
+
+  sim::Network network_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace nmc::baselines
+
+#endif  // NMCOUNT_BASELINES_EXACT_SYNC_H_

@@ -1,0 +1,88 @@
+#include "baselines/periodic_sync.h"
+
+#include "common/check.h"
+
+namespace nmc::baselines {
+
+namespace {
+enum MessageType { kTotals = 1 };  // site -> coord: u = #updates, a = sum
+}  // namespace
+
+class PeriodicSyncProtocol::Site : public sim::SiteNode {
+ public:
+  Site(int site_id, int64_t period, sim::Network* network)
+      : site_id_(site_id), period_(period), network_(network) {}
+
+  void OnLocalUpdate(double value) override {
+    ++local_updates_;
+    local_sum_ += value;
+    if (local_updates_ % period_ == 0) {
+      sim::Message m;
+      m.type = kTotals;
+      m.u = local_updates_;
+      m.a = local_sum_;
+      network_->SendToCoordinator(site_id_, m);
+    }
+  }
+
+  void OnCoordinatorMessage(const sim::Message& /*message*/) override {
+    NMC_CHECK(false);
+  }
+
+ private:
+  int site_id_;
+  int64_t period_;
+  sim::Network* network_;
+  int64_t local_updates_ = 0;
+  double local_sum_ = 0.0;
+};
+
+class PeriodicSyncProtocol::Coordinator : public sim::CoordinatorNode {
+ public:
+  explicit Coordinator(int num_sites)
+      : known_sum_(static_cast<size_t>(num_sites), 0.0) {}
+
+  void OnSiteMessage(int site_id, const sim::Message& message) override {
+    NMC_CHECK_EQ(message.type, kTotals);
+    const size_t i = static_cast<size_t>(site_id);
+    total_ += message.a - known_sum_[i];
+    known_sum_[i] = message.a;
+  }
+
+  double total() const { return total_; }
+
+ private:
+  std::vector<double> known_sum_;
+  double total_ = 0.0;
+};
+
+PeriodicSyncProtocol::PeriodicSyncProtocol(int num_sites, int64_t period)
+    : network_(num_sites) {
+  NMC_CHECK_GE(period, 1);
+  coordinator_ = std::make_unique<Coordinator>(num_sites);
+  network_.AttachCoordinator(coordinator_.get());
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    sites_.push_back(std::make_unique<Site>(s, period, &network_));
+    network_.AttachSite(s, sites_.back().get());
+  }
+}
+
+PeriodicSyncProtocol::~PeriodicSyncProtocol() = default;
+
+int PeriodicSyncProtocol::num_sites() const { return network_.num_sites(); }
+
+void PeriodicSyncProtocol::ProcessUpdate(int site_id, double value) {
+  NMC_CHECK_GE(site_id, 0);
+  NMC_CHECK_LT(site_id, num_sites());
+  sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
+  network_.DeliverAll();
+}
+
+double PeriodicSyncProtocol::Estimate() const { return coordinator_->total(); }
+
+const sim::MessageStats& PeriodicSyncProtocol::stats() const {
+  return network_.stats();
+}
+
+}  // namespace nmc::baselines

@@ -1,0 +1,40 @@
+#ifndef NMCOUNT_BASELINES_PERIODIC_SYNC_H_
+#define NMCOUNT_BASELINES_PERIODIC_SYNC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/protocol.h"
+
+namespace nmc::baselines {
+
+/// A deterministic strawman: each site pushes its local totals to the
+/// coordinator every `period` local updates (1 message each time, n/period
+/// total). It has no error guarantee — between pushes the estimate can be
+/// arbitrarily stale relative to a small |S| — and the benches use it to
+/// show that fixed-rate reporting cannot buy relative accuracy on
+/// non-monotonic streams no matter how the period is tuned.
+class PeriodicSyncProtocol : public sim::Protocol {
+ public:
+  PeriodicSyncProtocol(int num_sites, int64_t period);
+  ~PeriodicSyncProtocol() override;
+
+  int num_sites() const override;
+  void ProcessUpdate(int site_id, double value) override;
+  double Estimate() const override;
+  const sim::MessageStats& stats() const override;
+
+ private:
+  class Site;
+  class Coordinator;
+
+  sim::Network network_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace nmc::baselines
+
+#endif  // NMCOUNT_BASELINES_PERIODIC_SYNC_H_

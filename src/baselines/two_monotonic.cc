@@ -1,0 +1,43 @@
+#include "baselines/two_monotonic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::baselines {
+
+TwoMonotonicProtocol::TwoMonotonicProtocol(int num_sites, double epsilon,
+                                           double delta, uint64_t seed) {
+  common::Rng seeder(seed);
+  hyz::HyzOptions options;
+  options.epsilon = epsilon;
+  options.delta = delta;
+  options.seed = seeder.NextU64();
+  positive_ = std::make_unique<hyz::HyzProtocol>(num_sites, options);
+  options.seed = seeder.NextU64();
+  negative_ = std::make_unique<hyz::HyzProtocol>(num_sites, options);
+}
+
+int TwoMonotonicProtocol::num_sites() const { return positive_->num_sites(); }
+
+void TwoMonotonicProtocol::ProcessUpdate(int site_id, double value) {
+  NMC_CHECK_EQ(std::fabs(value), 1.0);
+  if (value > 0) {
+    positive_->ProcessUpdate(site_id, 1.0);
+  } else {
+    negative_->ProcessUpdate(site_id, 1.0);
+  }
+}
+
+double TwoMonotonicProtocol::Estimate() const {
+  return positive_->Estimate() - negative_->Estimate();
+}
+
+const sim::MessageStats& TwoMonotonicProtocol::stats() const {
+  combined_stats_ = positive_->stats();
+  combined_stats_ += negative_->stats();
+  return combined_stats_;
+}
+
+}  // namespace nmc::baselines

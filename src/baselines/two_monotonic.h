@@ -1,0 +1,38 @@
+#ifndef NMCOUNT_BASELINES_TWO_MONOTONIC_H_
+#define NMCOUNT_BASELINES_TWO_MONOTONIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hyz/hyz_counter.h"
+#include "sim/protocol.h"
+
+namespace nmc::baselines {
+
+/// The "naive difference" approach the paper's introduction warns about:
+/// track the positive updates and the negative updates with two
+/// independent monotonic (HYZ) counters of accuracy epsilon each and
+/// report the difference. Each counter is individually within epsilon of
+/// P resp. N, but the difference carries absolute error up to
+/// epsilon*(P+N) = epsilon*t, so its RELATIVE error against S = P - N is
+/// unbounded whenever |S| << t (e.g. balanced voting). Requires ±1
+/// updates.
+class TwoMonotonicProtocol : public sim::Protocol {
+ public:
+  TwoMonotonicProtocol(int num_sites, double epsilon, double delta,
+                       uint64_t seed);
+
+  int num_sites() const override;
+  void ProcessUpdate(int site_id, double value) override;
+  double Estimate() const override;
+  const sim::MessageStats& stats() const override;
+
+ private:
+  std::unique_ptr<hyz::HyzProtocol> positive_;
+  std::unique_ptr<hyz::HyzProtocol> negative_;
+  mutable sim::MessageStats combined_stats_;
+};
+
+}  // namespace nmc::baselines
+
+#endif  // NMCOUNT_BASELINES_TWO_MONOTONIC_H_

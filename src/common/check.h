@@ -1,0 +1,40 @@
+#ifndef NMCOUNT_COMMON_CHECK_H_
+#define NMCOUNT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Always-on invariant checking. The library does not use exceptions
+/// (contract violations are programming errors, not recoverable states), so
+/// a failed check prints the failing expression with its location and
+/// aborts. Unlike assert(), these checks are active in release builds: the
+/// protocols are randomized and a silently corrupted invariant would
+/// invalidate every measured communication bound.
+
+#define NMC_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "NMC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define NMC_CHECK_OP(op, a, b)                                               \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      std::fprintf(stderr, "NMC_CHECK failed at %s:%d: %s %s %s\n",          \
+                   __FILE__, __LINE__, #a, #op, #b);                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define NMC_CHECK_EQ(a, b) NMC_CHECK_OP(==, a, b)
+#define NMC_CHECK_NE(a, b) NMC_CHECK_OP(!=, a, b)
+#define NMC_CHECK_LT(a, b) NMC_CHECK_OP(<, a, b)
+#define NMC_CHECK_LE(a, b) NMC_CHECK_OP(<=, a, b)
+#define NMC_CHECK_GT(a, b) NMC_CHECK_OP(>, a, b)
+#define NMC_CHECK_GE(a, b) NMC_CHECK_OP(>=, a, b)
+
+#endif  // NMCOUNT_COMMON_CHECK_H_

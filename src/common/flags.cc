@@ -1,0 +1,89 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace nmc::common {
+
+Status Flags::Parse(int argc, const char* const* argv, Flags* flags) {
+  if (flags == nullptr) return Status::InvalidArgument("flags is null");
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      return Status::InvalidArgument("expected --key[=value], got '" + token +
+                                     "'");
+    }
+    const std::string body = token.substr(2);
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      flags->values_[body] = "true";
+    } else if (eq == 0) {
+      return Status::InvalidArgument("missing key in '" + token + "'");
+    } else {
+      flags->values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+  return Status::OK();
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  queried_.push_back(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  queried_.push_back(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    malformed_.push_back(key);
+    return default_value;
+  }
+  return parsed;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  queried_.push_back(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    malformed_.push_back(key);
+    return default_value;
+  }
+  return parsed;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  queried_.push_back(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  malformed_.push_back(key);
+  return default_value;
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (std::find(queried_.begin(), queried_.end(), key) == queried_.end()) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace nmc::common

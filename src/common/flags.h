@@ -1,0 +1,48 @@
+#ifndef NMCOUNT_COMMON_FLAGS_H_
+#define NMCOUNT_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nmc::common {
+
+/// Minimal --key=value command-line parser for the tools and benches; no
+/// external dependencies, no registration — callers query by name with a
+/// default. Unknown keys are detectable so tools can reject typos.
+class Flags {
+ public:
+  /// Parses argv[1..): tokens of the form --key=value or --key (implicit
+  /// "true"). Returns InvalidArgument on anything else.
+  static Status Parse(int argc, const char* const* argv, Flags* flags);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  /// Returns the default when absent; aborts-free: non-numeric values
+  /// return the default and mark the flag as malformed (see Malformed()).
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Keys that failed a numeric/bool conversion in a Get* call.
+  const std::vector<std::string>& Malformed() const { return malformed_; }
+
+  /// Keys present on the command line but never queried; call after all
+  /// Get* calls to reject typos.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> queried_;
+  mutable std::vector<std::string> malformed_;
+};
+
+}  // namespace nmc::common
+
+#endif  // NMCOUNT_COMMON_FLAGS_H_

@@ -1,0 +1,61 @@
+#ifndef NMCOUNT_COMMON_STATISTICS_H_
+#define NMCOUNT_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::common {
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for the long sums produced by multi-million-step simulations.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of the values by linear
+/// interpolation between order statistics. The input is copied and sorted;
+/// it must be non-empty.
+double Quantile(std::vector<double> values, double q);
+
+/// Least-squares fit of y = a + b*x. r2 is the coefficient of
+/// determination. Requires at least two points with distinct x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fits y = c * x^p on log-log axes and returns {log(c), p, r2}. All
+/// inputs must be strictly positive. Used by benches/EXPERIMENTS.md to
+/// verify the growth exponents the theorems predict (e.g. messages ~ sqrt(n)
+/// means a fitted exponent near 0.5).
+LinearFit FitPowerLaw(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+}  // namespace nmc::common
+
+#endif  // NMCOUNT_COMMON_STATISTICS_H_

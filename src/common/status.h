@@ -1,0 +1,65 @@
+#ifndef NMCOUNT_COMMON_STATUS_H_
+#define NMCOUNT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace nmc::common {
+
+/// Error categories used across the library. The set is intentionally
+/// small: most failures in a simulation library are either caller mistakes
+/// (InvalidArgument) or impossible-by-construction states caught by
+/// NMC_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kInternal = 4,
+};
+
+/// A lightweight success-or-error result, in the style of Arrow/RocksDB.
+/// Functions whose failure is a legitimate runtime outcome (bad user
+/// parameters, numerically infeasible requests) return Status; functions
+/// whose failure would indicate a bug use NMC_CHECK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable form, e.g. "InvalidArgument: epsilon must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace nmc::common
+
+#endif  // NMCOUNT_COMMON_STATUS_H_

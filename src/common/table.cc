@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace nmc::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NMC_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  NMC_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out->append("  ");
+      out->append(widths[c] - row[c].size(), ' ');
+      out->append(row[c]);
+    }
+    out->push_back('\n');
+  };
+
+  std::string out;
+  append_row(&out, headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule[c] = std::string(widths[c], '-');
+  }
+  append_row(&out, rule);
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+namespace {
+
+void AppendCsvField(std::string* out, const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendCsvRow(std::string* out, const std::vector<std::string>& row) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out->push_back(',');
+    AppendCsvField(out, row[c]);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  AppendCsvRow(&out, headers_);
+  for (const auto& row : rows_) AppendCsvRow(&out, row);
+  return out;
+}
+
+void Table::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Format(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatSci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+std::string Format(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace nmc::common

@@ -1,0 +1,50 @@
+#ifndef NMCOUNT_COMMON_TABLE_H_
+#define NMCOUNT_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nmc::common {
+
+/// Right-aligned ASCII table used by the benchmark harness to print the
+/// rows/series the paper's theorems predict. Cells are preformatted
+/// strings; see the Format* helpers below.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, e.g.
+  ///   n        messages   max_rel_err
+  ///   -------- ---------- -----------
+  ///   1024     312        0.041
+  std::string ToString() const;
+
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+  /// Renders as RFC-4180-ish CSV (fields with commas, quotes or newlines
+  /// are quoted, quotes doubled) for downstream plotting pipelines.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. Format(3.14159, 2) == "3.14".
+std::string Format(double value, int precision);
+
+/// Scientific notation with 3 significant digits, e.g. "1.23e+04".
+std::string FormatSci(double value);
+
+std::string Format(int64_t value);
+
+}  // namespace nmc::common
+
+#endif  // NMCOUNT_COMMON_TABLE_H_

@@ -1,0 +1,31 @@
+#include "core/certify.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::core {
+
+CertifiedRange RangeFromEstimate(double estimate, double epsilon) {
+  NMC_CHECK_GT(epsilon, 0.0);
+  NMC_CHECK_LT(epsilon, 1.0);
+  CertifiedRange range;
+  if (estimate > 0.0) {
+    range.lo = estimate / (1.0 + epsilon);
+    range.hi = estimate / (1.0 - epsilon);
+  } else if (estimate < 0.0) {
+    range.lo = estimate / (1.0 - epsilon);
+    range.hi = estimate / (1.0 + epsilon);
+  }
+  return range;
+}
+
+int CertifiedSign(double estimate, double epsilon, double min_magnitude) {
+  NMC_CHECK_GE(min_magnitude, 0.0);
+  const CertifiedRange range = RangeFromEstimate(estimate, epsilon);
+  if (range.lo >= min_magnitude && range.lo > 0.0) return 1;
+  if (range.hi <= -min_magnitude && range.hi < 0.0) return -1;
+  return 0;
+}
+
+}  // namespace nmc::core

@@ -1,0 +1,32 @@
+#ifndef NMCOUNT_CORE_CERTIFY_H_
+#define NMCOUNT_CORE_CERTIFY_H_
+
+namespace nmc::core {
+
+/// Helpers that turn the counter's multiplicative guarantee
+/// estimate in [(1-eps) S, (1+eps) S] into certified statements about the
+/// true count S — the question application code actually asks (e.g. the
+/// voting example: who leads, and by at least how much?).
+
+/// The certified interval for S given an estimate with relative accuracy
+/// eps (0 < eps < 1). For estimate e > 0: S in [e/(1+eps), e/(1-eps)];
+/// symmetric for e < 0; for e == 0 the guarantee pins S to exactly 0.
+struct CertifiedRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double value) const { return lo <= value && value <= hi; }
+};
+
+CertifiedRange RangeFromEstimate(double estimate, double epsilon);
+
+/// The certified sign of S: +1 or -1 when the guarantee pins the sign AND
+/// the magnitude is certifiably at least `min_magnitude`; 0 ("too close to
+/// call") otherwise. Under the guarantee the estimate always shares S's
+/// sign (|e - S| <= eps|S| < |S|), so the magnitude test is what gates
+/// the call.
+int CertifiedSign(double estimate, double epsilon, double min_magnitude);
+
+}  // namespace nmc::core
+
+#endif  // NMCOUNT_CORE_CERTIFY_H_

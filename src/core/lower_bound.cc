@@ -1,0 +1,81 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::core {
+
+int64_t CountOccupancy(const std::vector<double>& stream, double radius) {
+  NMC_CHECK_GE(radius, 0.0);
+  int64_t occupancy = 0;
+  double sum = 0.0;
+  for (double value : stream) {
+    sum += value;
+    if (std::fabs(sum) <= radius) ++occupancy;
+  }
+  return occupancy;
+}
+
+int64_t CountPhaseOccupancy(const std::vector<double>& stream, int64_t k,
+                            double epsilon) {
+  NMC_CHECK_GE(k, 1);
+  NMC_CHECK_GT(epsilon, 0.0);
+  const int64_t n = static_cast<int64_t>(stream.size());
+  const double sqrt_k = std::sqrt(static_cast<double>(k));
+  int64_t counted = 0;
+  double sum = 0.0;
+  int64_t phase = 0;
+  for (int64_t start = 0; start + k <= n; start += k, ++phase) {
+    const double a = std::min(sqrt_k / epsilon,
+                              std::sqrt(static_cast<double>((phase + 1) * k)));
+    if (std::fabs(sum) <= a) ++counted;
+    for (int64_t i = start; i < start + k; ++i) {
+      sum += stream[static_cast<size_t>(i)];
+    }
+  }
+  return counted;
+}
+
+KInputsGameResult RunKInputsGame(int64_t k, int64_t sampled_sites,
+                                 double threshold_c, int64_t trials,
+                                 uint64_t seed) {
+  NMC_CHECK_GE(k, 1);
+  NMC_CHECK_GE(sampled_sites, 0);
+  NMC_CHECK_LE(sampled_sites, k);
+  NMC_CHECK_GT(threshold_c, 0.0);
+  NMC_CHECK_GE(trials, 1);
+
+  common::Rng rng(seed);
+  const double threshold = threshold_c * std::sqrt(static_cast<double>(k));
+  KInputsGameResult result;
+  result.trials = trials;
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    // The inputs are exchangeable, so sampling the first z sites is
+    // equivalent to sampling a uniform subset.
+    int64_t sampled_sum = 0;
+    int64_t total = 0;
+    for (int64_t i = 0; i < k; ++i) {
+      const int x = rng.Sign(0.5);
+      total += x;
+      if (i < sampled_sites) sampled_sum += x;
+    }
+    if (std::fabs(static_cast<double>(total)) < threshold) continue;
+    ++result.decided_trials;
+    // Optimal decision: the sign of the sampled sum, coin flip on a tie.
+    int declared;
+    if (sampled_sum > 0) {
+      declared = 1;
+    } else if (sampled_sum < 0) {
+      declared = -1;
+    } else {
+      declared = rng.Sign(0.5);
+    }
+    if ((total > 0) != (declared > 0)) ++result.errors;
+  }
+  return result;
+}
+
+}  // namespace nmc::core

@@ -1,0 +1,52 @@
+#ifndef NMCOUNT_CORE_LOWER_BOUND_H_
+#define NMCOUNT_CORE_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::core {
+
+/// Empirical side of the paper's lower bounds (Section 4). The proofs are
+/// sample-path arguments: any correct tracker must communicate whenever the
+/// count sits in an error-sensitive region, so the expected occupancy of
+/// that region lower-bounds the expected message count.
+
+/// Number of steps t at which |S_t| <= radius, where S_t is the prefix sum
+/// of `stream`. With radius = 1/eps this is the quantity E[|{t : S_t in
+/// E}|] from Theorems 4.1/4.2 — each such step forces Omega(1) messages.
+int64_t CountOccupancy(const std::vector<double>& stream, double radius);
+
+/// Phase-wise occupancy for the k-site bound (Theorem 4.5): the stream is
+/// chopped into phases of k updates; a phase counts if the sum at its
+/// start lies in [-a, a] with a = min(sqrt(k)/eps, sqrt(j*k)) for phase j.
+/// Each counted phase forces Omega(k) messages, so the returned count
+/// times k lower-bounds the total communication.
+int64_t CountPhaseOccupancy(const std::vector<double>& stream, int64_t k,
+                            double epsilon);
+
+/// The "tracking k inputs" one-shot game of Lemma 4.4: k sites each hold
+/// one uniform ±1 input; a coordinator that samples only z of them must
+/// decide the sign of the total whenever |total| >= c*sqrt(k). The optimal
+/// strategy declares the sign of the sampled sum. The lemma shows the
+/// error probability is Omega(1) unless z = Omega(k).
+struct KInputsGameResult {
+  int64_t trials = 0;
+  /// Trials in which |total| >= c*sqrt(k) (the decision was required).
+  int64_t decided_trials = 0;
+  /// Required decisions that came out wrong.
+  int64_t errors = 0;
+
+  double error_rate() const {
+    return decided_trials > 0
+               ? static_cast<double>(errors) / static_cast<double>(decided_trials)
+               : 0.0;
+  }
+};
+
+KInputsGameResult RunKInputsGame(int64_t k, int64_t sampled_sites,
+                                 double threshold_c, int64_t trials,
+                                 uint64_t seed);
+
+}  // namespace nmc::core
+
+#endif  // NMCOUNT_CORE_LOWER_BOUND_H_

@@ -1,0 +1,502 @@
+#include "core/nonmonotonic_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/sampling.h"
+
+namespace nmc::core {
+
+namespace {
+
+enum MessageType {
+  kSyncRequest = 1,    // site -> coord: SBC coin came up heads
+  kCollect = 2,        // coord -> all: request local totals
+  kCollectReply = 3,   // site -> coord: u = #updates, a = sum, b = sum sq
+  kState = 4,          // coord -> site(s): a = S_hat, u = t_hat, v = stage,
+                       //                   b = variance rate scale
+  kStraightReport = 5, // site -> coord: u = #updates, a = sum, b = sum sq
+  kExactReport = 6,    // site -> coord (k == 1 fast path): same payload
+  kPhase2 = 7,         // coord -> all: switch to the HYZ pair
+};
+
+constexpr int64_t kStageStraight = 0;
+constexpr int64_t kStageSbc = 1;
+
+// Rate scale from the mean square of the updates seen so far. The eq. (1)
+// first-passage calibration assumes ±1 steps; steps of variance m2 take
+// 1/m2 times longer to cover the same distance, so the rate may be scaled
+// down by m2 (kept conservative with a 2x margin, and never scaled up).
+double VarianceScale(const CounterOptions& options, double sum_sq,
+                     int64_t updates) {
+  if (!options.variance_adaptive || updates <= 0) return 1.0;
+  const double mean_sq = sum_sq / static_cast<double>(updates);
+  return std::clamp(2.0 * mean_sq, 1e-9, 1.0);
+}
+
+// The Phase-1 sampling rate a site evaluates against the shared estimate.
+// `scale` (in (0, 1], from VarianceScale) rescales the diffusive term; the
+// drift guard is time-based and therefore scale-free.
+double Phase1Rate(const CounterOptions& options, double estimate,
+                  int64_t t_estimate, double scale) {
+  // Folding the scale into epsilon keeps the min{., 1} clamps intact:
+  // scale * alpha log^b / (eps s)^2 == alpha log^b / (eps' s)^2 with
+  // eps' = eps / sqrt(scale) (delta-th root in fBm mode).
+  double rate;
+  if (options.fbm_delta > 0.0) {
+    const double eps_eff =
+        options.epsilon / std::pow(scale, 1.0 / options.fbm_delta);
+    rate = FbmRate(estimate, eps_eff, options.horizon_n, options.fbm_delta,
+                   options.fbm_alpha);
+  } else {
+    const double eps_eff = options.epsilon / std::sqrt(scale);
+    rate = RandomWalkRate(estimate, eps_eff, options.horizon_n, options.alpha,
+                          options.beta);
+  }
+  if (options.enable_drift_guard) {
+    rate = std::max(rate, DriftGuardRate(t_estimate, options.epsilon,
+                                         options.horizon_n,
+                                         options.drift_guard_c));
+  }
+  return rate;
+}
+
+}  // namespace
+
+/// Site-side state machine of Phase 1.
+class NonMonotonicCounter::Site : public sim::SiteNode {
+ public:
+  Site(int site_id, int num_sites, const CounterOptions& options,
+       sim::Network* network, common::Rng rng)
+      : site_id_(site_id),
+        num_sites_(num_sites),
+        options_(options),
+        network_(network),
+        rng_(rng) {
+    if (num_sites_ == 1) {
+      // The single site holds the entire history, including any carried
+      // state from a previous horizon epoch.
+      local_updates_ = options_.initial_updates;
+      local_sum_ = options_.initial_sum;
+      local_sum_sq_ = options_.initial_sum_sq;
+    }
+  }
+
+  void OnLocalUpdate(double value) override {
+    NMC_CHECK(!phase2_);  // Phase-2 updates are routed to the HYZ pair
+    // The discrete models assume bounded updates in [-1, 1]; fBm mode
+    // feeds Gaussian (unbounded) increments, per Section 3.4.
+    if (options_.fbm_delta == 0.0) NMC_CHECK_LE(std::fabs(value), 1.0);
+    if (options_.drift_mode == DriftMode::kUnknownUnitDrift) {
+      NMC_CHECK_EQ(std::fabs(value), 1.0);
+    }
+    ++local_updates_;
+    local_sum_ += value;
+    local_sum_sq_ += value * value;
+    ++updates_since_state_;
+
+    if (num_sites_ == 1) {
+      // Single-site form (Theorem 3.1): the site samples against its own
+      // exact count; a head costs one message and needs no reply.
+      const double scale =
+          VarianceScale(options_, local_sum_sq_, local_updates_);
+      double rate = options_.stage_policy == StagePolicy::kStraightOnly
+                        ? 1.0
+                        : Phase1Rate(options_, local_sum_, local_updates_,
+                                     scale);
+      if (rng_.Bernoulli(rate)) SendSnapshot(kExactReport);
+      return;
+    }
+
+    if (!in_sbc_stage_) {
+      SendSnapshot(kStraightReport);
+      return;
+    }
+
+    // SBC: sample against the last broadcast estimate. The global time
+    // estimate (for the drift guard) is the broadcast time plus the
+    // updates this site has seen since — an underestimate of the true t,
+    // which errs toward sampling more, never less.
+    const double rate =
+        Phase1Rate(options_, global_estimate_,
+                   global_time_ + updates_since_state_, rate_scale_);
+    if (rng_.Bernoulli(rate)) {
+      sim::Message m;
+      m.type = kSyncRequest;
+      network_->SendToCoordinator(site_id_, m);
+    }
+  }
+
+  void OnCoordinatorMessage(const sim::Message& message) override {
+    switch (message.type) {
+      case kCollect:
+        SendSnapshot(kCollectReply);
+        break;
+      case kState:
+        global_estimate_ = message.a;
+        global_time_ = message.u;
+        in_sbc_stage_ = (message.v == kStageSbc);
+        rate_scale_ = message.b;
+        updates_since_state_ = 0;
+        break;
+      case kPhase2:
+        phase2_ = true;
+        break;
+      default:
+        NMC_CHECK(false);
+    }
+  }
+
+  /// Emits one message carrying this site's exact totals (used by the
+  /// protocol's ForceSync as well as the regular flows above).
+  void SendSnapshot(int type) {
+    sim::Message m;
+    m.type = type;
+    m.u = local_updates_;
+    m.a = local_sum_;
+    m.b = local_sum_sq_;
+    network_->SendToCoordinator(site_id_, m);
+  }
+
+  /// Emits a sync request (ForceSync in the SBC stage).
+  void SendSyncRequest() {
+    sim::Message m;
+    m.type = kSyncRequest;
+    network_->SendToCoordinator(site_id_, m);
+  }
+
+ private:
+  int site_id_;
+  int num_sites_;
+  CounterOptions options_;
+  sim::Network* network_;
+  common::Rng rng_;
+
+  int64_t local_updates_ = 0;
+  double local_sum_ = 0.0;
+  double local_sum_sq_ = 0.0;
+  int64_t updates_since_state_ = 0;
+  double global_estimate_ = 0.0;
+  int64_t global_time_ = 0;
+  double rate_scale_ = 1.0;
+  bool in_sbc_stage_ = false;
+  bool phase2_ = false;
+};
+
+/// Coordinator-side state machine of Phase 1.
+class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
+ public:
+  Coordinator(int num_sites, const CounterOptions& options,
+              sim::Network* network)
+      : num_sites_(num_sites),
+        options_(options),
+        network_(network),
+        known_updates_(static_cast<size_t>(num_sites), 0),
+        known_sum_(static_cast<size_t>(num_sites), 0.0),
+        known_sum_sq_(static_cast<size_t>(num_sites), 0.0),
+        gp_(GpSearchOptions{options.gp_epsilon0, options.horizon_n,
+                            /*observation_epsilon=*/0.0,
+                            /*geometric_checkpoints=*/true}) {
+    // Carried state from a previous horizon epoch (HorizonFreeCounter).
+    // With k > 1 the sites restart their local totals at zero, so the
+    // carried part lives only in these aggregates; with k = 1 the single
+    // site carries it itself and reports absolute totals, so the per-site
+    // "known" entry starts at the carried values to keep the deltas right.
+    total_updates_ = options.initial_updates;
+    total_sum_ = options.initial_sum;
+    total_sum_sq_ = options.initial_sum_sq;
+    if (num_sites == 1) {
+      known_updates_[0] = options.initial_updates;
+      known_sum_[0] = options.initial_sum;
+      known_sum_sq_[0] = options.initial_sum_sq;
+    }
+  }
+
+  void OnSiteMessage(int site_id, const sim::Message& message) override {
+    switch (message.type) {
+      case kSyncRequest:
+        if (collecting_ || phase2_pending_) break;
+        collecting_ = true;
+        pending_replies_ = num_sites_;
+        ++sbc_syncs_;
+        {
+          sim::Message m;
+          m.type = kCollect;
+          network_->Broadcast(m);
+        }
+        break;
+      case kCollectReply:
+        NMC_CHECK(collecting_);
+        UpdateKnown(site_id, message.u, message.a, message.b);
+        NMC_CHECK_GT(pending_replies_, 0);
+        if (--pending_replies_ == 0) {
+          collecting_ = false;
+          OnExactState(/*from_collect=*/true, /*reporter=*/-1);
+        }
+        break;
+      case kStraightReport:
+        UpdateKnown(site_id, message.u, message.a, message.b);
+        ++straight_reports_;
+        OnExactState(/*from_collect=*/false, site_id);
+        break;
+      case kExactReport:
+        NMC_CHECK_EQ(num_sites_, 1);
+        UpdateKnown(site_id, message.u, message.a, message.b);
+        OnExactState(/*from_collect=*/false, /*reporter=*/-1);
+        break;
+      default:
+        NMC_CHECK(false);
+    }
+  }
+
+  double Estimate() const { return total_sum_; }
+  int64_t known_updates() const { return total_updates_; }
+  double known_sum_sq() const { return total_sum_sq_; }
+  bool phase2_pending() const { return phase2_pending_; }
+  double mu_hat() const { return gp_.mu_hat(); }
+  int64_t snapshot_updates() const { return snapshot_updates_; }
+  double snapshot_sum() const { return snapshot_sum_; }
+  int64_t sbc_syncs() const { return sbc_syncs_; }
+  int64_t straight_reports() const { return straight_reports_; }
+  int64_t stage_switches() const { return stage_switches_; }
+  bool in_sbc_stage() const { return in_sbc_stage_; }
+  bool gp_resolved() const { return gp_.resolved(); }
+
+ private:
+  void UpdateKnown(int site_id, int64_t updates, double sum, double sum_sq) {
+    const size_t i = static_cast<size_t>(site_id);
+    total_updates_ += updates - known_updates_[i];
+    total_sum_ += sum - known_sum_[i];
+    total_sum_sq_ += sum_sq - known_sum_sq_[i];
+    known_updates_[i] = updates;
+    known_sum_[i] = sum;
+    known_sum_sq_[i] = sum_sq;
+  }
+
+  /// Both ends of a collect and every straight report leave the
+  /// coordinator with the exact (t, S): all per-site totals are current.
+  void OnExactState(bool from_collect, int reporter) {
+    if (options_.drift_mode == DriftMode::kUnknownUnitDrift) {
+      gp_.Observe(total_updates_, total_sum_);
+      if (options_.enable_phase2 && gp_.resolved() && !phase2_pending_) {
+        phase2_pending_ = true;
+        snapshot_updates_ = total_updates_;
+        snapshot_sum_ = total_sum_;
+        sim::Message m;
+        m.type = kPhase2;
+        network_->Broadcast(m);
+        return;
+      }
+    }
+
+    if (num_sites_ == 1) return;  // single-site form: no replies needed
+
+    const bool want_sbc = WantSbcStage();
+    const bool changed = want_sbc != in_sbc_stage_;
+    if (changed) {
+      in_sbc_stage_ = want_sbc;
+      ++stage_switches_;
+    }
+
+    sim::Message state;
+    state.type = kState;
+    state.a = total_sum_;
+    state.u = total_updates_;
+    state.v = in_sbc_stage_ ? kStageSbc : kStageStraight;
+    state.b = VarianceScale(options_, total_sum_sq_, total_updates_);
+    if (from_collect || changed) {
+      network_->Broadcast(state);
+    } else {
+      // StraightSync: acknowledge the reporting site with the fresh
+      // global state (2 messages per update in total).
+      NMC_CHECK_GE(reporter, 0);
+      network_->SendToSite(reporter, state);
+    }
+  }
+
+  bool WantSbcStage() const {
+    switch (options_.stage_policy) {
+      case StagePolicy::kSbcOnly:
+        return true;
+      case StagePolicy::kStraightOnly:
+        return false;
+      case StagePolicy::kPaperBoundary: {
+        // The paper's Õ-level rule (eps*|S_hat|)^2 >= k: correct
+        // asymptotically but ignores the log factor, leaving a band where
+        // SBC samples at rate ~1 and pays 3k+1 per update (the E12
+        // ablation quantifies this).
+        const double d = options_.fbm_delta > 0.0 ? options_.fbm_delta : 2.0;
+        const double scaled = options_.epsilon * std::fabs(total_sum_);
+        return std::pow(scaled, d) >= static_cast<double>(num_sites_);
+      }
+      case StagePolicy::kAuto:
+        break;
+    }
+    // Cost-comparing form of the same rule: an SBC sync costs 3k+1
+    // messages and fires at the eq. (1)/(2) rate, StraightSync costs 2 per
+    // update; switch to SBC exactly when it is the cheaper pattern. Up to
+    // the log factor this is the paper's (eps*|S_hat|)^2 >= k boundary.
+    CounterOptions rate_options = options_;
+    rate_options.enable_drift_guard = false;  // guard cost is stage-free
+    const double scale =
+        VarianceScale(options_, total_sum_sq_, total_updates_);
+    const double rate =
+        Phase1Rate(rate_options, total_sum_, total_updates_, scale);
+    const double sync_cost = 3.0 * static_cast<double>(num_sites_) + 1.0;
+    return options_.stage_boundary_factor * sync_cost * rate <= 2.0;
+  }
+
+  int num_sites_;
+  CounterOptions options_;
+  sim::Network* network_;
+
+  std::vector<int64_t> known_updates_;
+  std::vector<double> known_sum_;
+  std::vector<double> known_sum_sq_;
+  int64_t total_updates_ = 0;
+  double total_sum_ = 0.0;
+  double total_sum_sq_ = 0.0;
+
+  bool in_sbc_stage_ = false;
+  bool collecting_ = false;
+  int pending_replies_ = 0;
+
+  GpSearch gp_;
+  bool phase2_pending_ = false;
+  int64_t snapshot_updates_ = 0;
+  double snapshot_sum_ = 0.0;
+
+  int64_t sbc_syncs_ = 0;
+  int64_t straight_reports_ = 0;
+  int64_t stage_switches_ = 0;
+};
+
+NonMonotonicCounter::NonMonotonicCounter(int num_sites,
+                                         const CounterOptions& options)
+    : options_(options), network_(num_sites) {
+  NMC_CHECK_GT(options.epsilon, 0.0);
+  NMC_CHECK_GE(options.horizon_n, 1);
+  NMC_CHECK_GE(options.initial_updates, 0);
+  common::Rng seeder(options.seed);
+  coordinator_ = std::make_unique<Coordinator>(num_sites, options, &network_);
+  network_.AttachCoordinator(coordinator_.get());
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    sites_.push_back(std::make_unique<Site>(s, num_sites, options, &network_,
+                                            seeder.Fork()));
+    network_.AttachSite(s, sites_.back().get());
+  }
+}
+
+NonMonotonicCounter::~NonMonotonicCounter() = default;
+
+int NonMonotonicCounter::num_sites() const { return network_.num_sites(); }
+
+void NonMonotonicCounter::ProcessUpdate(int site_id, double value) {
+  NMC_CHECK_GE(site_id, 0);
+  NMC_CHECK_LT(site_id, num_sites());
+  if (positive_counter_ != nullptr) {
+    NMC_CHECK_EQ(std::fabs(value), 1.0);
+    if (value > 0) {
+      positive_counter_->ProcessUpdate(site_id, 1.0);
+    } else {
+      negative_counter_->ProcessUpdate(site_id, 1.0);
+    }
+    return;
+  }
+  sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
+  network_.DeliverAll();
+  if (coordinator_->phase2_pending() && positive_counter_ == nullptr) {
+    ActivatePhase2();
+  }
+}
+
+void NonMonotonicCounter::ForceSync() {
+  NMC_CHECK(positive_counter_ == nullptr);  // Phase 1 only
+  if (num_sites() == 1) {
+    sites_[0]->SendSnapshot(kExactReport);
+  } else if (coordinator_->in_sbc_stage()) {
+    sites_[0]->SendSyncRequest();
+  } else {
+    return;  // StraightSync: the coordinator is already exact
+  }
+  network_.DeliverAll();
+}
+
+int64_t NonMonotonicCounter::SyncedUpdates() const {
+  return coordinator_->known_updates();
+}
+
+double NonMonotonicCounter::SyncedSumSquares() const {
+  return coordinator_->known_sum_sq();
+}
+
+void NonMonotonicCounter::ActivatePhase2() {
+  const int64_t t = coordinator_->snapshot_updates();
+  const double s = coordinator_->snapshot_sum();
+  // For ±1 updates, #positives = (t + S)/2 and #negatives = (t - S)/2.
+  const double positives = (static_cast<double>(t) + s) / 2.0;
+  const double negatives = (static_cast<double>(t) - s) / 2.0;
+  const int64_t p0 = std::llround(positives);
+  const int64_t n0 = std::llround(negatives);
+  NMC_CHECK_LE(std::fabs(positives - static_cast<double>(p0)), 1e-6);
+  NMC_CHECK_LE(std::fabs(negatives - static_cast<double>(n0)), 1e-6);
+  phase2_switch_time_ = t;
+
+  const double mu = coordinator_->mu_hat();
+  hyz::HyzOptions hyz_options;
+  hyz_options.epsilon = std::clamp(
+      options_.phase2_eps_fraction * options_.epsilon * std::fabs(mu), 1e-5,
+      0.9);
+  const double n = static_cast<double>(options_.horizon_n);
+  hyz_options.delta = std::min(0.5, options_.phase2_delta_scale / (n * n));
+  if (options_.phase2_auto_hyz_mode) {
+    // Per-round cost: deterministic ~2k, sampled ~sqrt(kL) + L.
+    const double k = static_cast<double>(num_sites());
+    const double log_term = std::log(2.0 / hyz_options.delta);
+    if (2.0 * k < std::sqrt(k * log_term) + log_term) {
+      hyz_options.mode = hyz::HyzMode::kDeterministic;
+    }
+  }
+  common::Rng seeder(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  hyz_options.seed = seeder.NextU64();
+  hyz_options.initial_total = p0;
+  positive_counter_ =
+      std::make_unique<hyz::HyzProtocol>(num_sites(), hyz_options);
+  hyz_options.seed = seeder.NextU64();
+  hyz_options.initial_total = n0;
+  negative_counter_ =
+      std::make_unique<hyz::HyzProtocol>(num_sites(), hyz_options);
+}
+
+double NonMonotonicCounter::Estimate() const {
+  if (positive_counter_ != nullptr) {
+    return positive_counter_->Estimate() - negative_counter_->Estimate();
+  }
+  return coordinator_->Estimate();
+}
+
+const sim::MessageStats& NonMonotonicCounter::stats() const {
+  combined_stats_ = network_.stats();
+  if (positive_counter_ != nullptr) {
+    combined_stats_ += positive_counter_->stats();
+    combined_stats_ += negative_counter_->stats();
+  }
+  return combined_stats_;
+}
+
+CounterDiagnostics NonMonotonicCounter::diagnostics() const {
+  CounterDiagnostics d;
+  d.phase2_active = positive_counter_ != nullptr;
+  d.mu_hat = coordinator_->gp_resolved() ? coordinator_->mu_hat() : 0.0;
+  d.phase2_switch_time = phase2_switch_time_;
+  d.sbc_syncs = coordinator_->sbc_syncs();
+  d.straight_reports = coordinator_->straight_reports();
+  d.stage_switches = coordinator_->stage_switches();
+  d.in_sbc_stage = coordinator_->in_sbc_stage();
+  return d;
+}
+
+}  // namespace nmc::core

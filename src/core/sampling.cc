@@ -1,0 +1,54 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::core {
+
+namespace {
+
+double LogHorizon(int64_t horizon_n) {
+  NMC_CHECK_GE(horizon_n, 1);
+  return std::log(std::max<double>(static_cast<double>(horizon_n), 2.0));
+}
+
+}  // namespace
+
+double RandomWalkRate(double estimate, double epsilon, int64_t horizon_n,
+                      double alpha, double beta) {
+  NMC_CHECK_GT(epsilon, 0.0);
+  NMC_CHECK_GT(alpha, 0.0);
+  NMC_CHECK_GE(beta, 0.0);
+  const double scaled = epsilon * std::fabs(estimate);
+  if (scaled == 0.0) return 1.0;
+  const double rate =
+      alpha * std::pow(LogHorizon(horizon_n), beta) / (scaled * scaled);
+  return std::min(rate, 1.0);
+}
+
+double FbmRate(double estimate, double epsilon, int64_t horizon_n,
+               double delta, double alpha_delta) {
+  NMC_CHECK_GT(epsilon, 0.0);
+  NMC_CHECK_GT(delta, 1.0);
+  NMC_CHECK_LE(delta, 2.0);
+  NMC_CHECK_GT(alpha_delta, 0.0);
+  const double scaled = epsilon * std::fabs(estimate);
+  if (scaled == 0.0) return 1.0;
+  const double rate = alpha_delta *
+                      std::pow(LogHorizon(horizon_n), 1.0 + delta / 2.0) /
+                      std::pow(scaled, delta);
+  return std::min(rate, 1.0);
+}
+
+double DriftGuardRate(int64_t t, double epsilon, int64_t horizon_n, double c) {
+  NMC_CHECK_GT(epsilon, 0.0);
+  NMC_CHECK_GT(c, 0.0);
+  if (t <= 0) return 1.0;
+  const double rate =
+      c * LogHorizon(horizon_n) / (epsilon * static_cast<double>(t));
+  return std::min(rate, 1.0);
+}
+
+}  // namespace nmc::core

@@ -1,0 +1,34 @@
+#ifndef NMCOUNT_CORE_SAMPLING_H_
+#define NMCOUNT_CORE_SAMPLING_H_
+
+#include <cstdint>
+
+namespace nmc::core {
+
+/// The sampling-rate laws of the Non-monotonic Counter. All rates are
+/// probabilities in (0, 1]; they are pure functions of broadcast state, so
+/// every site evaluates the same rate from the same global estimate (this
+/// is what lets the coordinator reason about the sites' behavior without
+/// extra messages).
+
+/// Eq. (1): random-walk law  min{ alpha * log^beta(n) / (eps*|s|)^2 , 1 }.
+/// The paper proves correctness with alpha > 9/2 and beta = 2; those
+/// constants come from Hoeffding + union bounds and are very conservative
+/// in practice, so alpha and beta are configurable (see
+/// CounterOptions::alpha/beta and the E12 ablation).
+double RandomWalkRate(double estimate, double epsilon, int64_t horizon_n,
+                      double alpha, double beta);
+
+/// Eq. (2): fBm law  min{ alpha_delta * log^{1+delta/2}(n) / (eps*|s|)^delta, 1 }
+/// for 1 < delta <= 2 with H <= 1/delta. delta = 2 recovers eq. (1).
+double FbmRate(double estimate, double epsilon, int64_t horizon_n,
+               double delta, double alpha_delta);
+
+/// The conservative drift guard of Section 3.2:  min{ c * log(n) / (eps*t), 1 }.
+/// Applied (as a max with the walk rate) while the drift is still unknown;
+/// its total cost is only O(log^2(n)/eps) (the paper's "type 1 waste").
+double DriftGuardRate(int64_t t, double epsilon, int64_t horizon_n, double c);
+
+}  // namespace nmc::core
+
+#endif  // NMCOUNT_CORE_SAMPLING_H_

@@ -1,0 +1,245 @@
+#include "hyz/hyz_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::hyz {
+
+namespace {
+
+enum MessageType {
+  kReport = 1,        // site -> coord: u = in-round local count
+  kCollect = 2,       // coord -> sites (broadcast): request exact counts
+  kCollectReply = 3,  // site -> coord: u = exact in-round count (then reset)
+  kNewRound = 4,      // coord -> sites (broadcast): a = sampling probability
+};
+
+}  // namespace
+
+/// Site-side state: in-round local increment count and the current
+/// sampling probability.
+class HyzProtocol::Site : public sim::SiteNode {
+ public:
+  Site(int site_id, HyzMode mode, sim::Network* network, common::Rng rng)
+      : site_id_(site_id), mode_(mode), network_(network), rng_(rng) {}
+
+  void OnLocalUpdate(double value) override {
+    NMC_CHECK_EQ(value, 1.0);
+    ++round_count_;
+    const bool report =
+        mode_ == HyzMode::kSampled
+            ? rng_.Bernoulli(rate_)
+            : round_count_ - last_reported_ >= threshold_;
+    if (report) {
+      sim::Message m;
+      m.type = kReport;
+      m.u = round_count_;
+      last_reported_ = round_count_;
+      network_->SendToCoordinator(site_id_, m);
+    }
+  }
+
+  void OnCoordinatorMessage(const sim::Message& message) override {
+    switch (message.type) {
+      case kCollect: {
+        sim::Message reply;
+        reply.type = kCollectReply;
+        reply.u = round_count_;
+        round_count_ = 0;
+        last_reported_ = 0;
+        network_->SendToCoordinator(site_id_, reply);
+        break;
+      }
+      case kNewRound:
+        // Payload is the sampling probability (kSampled) or the reporting
+        // threshold (kDeterministic).
+        if (mode_ == HyzMode::kSampled) {
+          rate_ = message.a;
+        } else {
+          threshold_ = message.u;
+        }
+        break;
+      default:
+        NMC_CHECK(false);
+    }
+  }
+
+ private:
+  int site_id_;
+  HyzMode mode_;
+  sim::Network* network_;
+  common::Rng rng_;
+  double rate_ = 1.0;
+  int64_t threshold_ = 1;
+  int64_t round_count_ = 0;
+  int64_t last_reported_ = 0;
+};
+
+/// Coordinator-side state: exact base count from the last collect plus the
+/// unbiased per-site contributions of the current round.
+class HyzProtocol::Coordinator : public sim::CoordinatorNode {
+ public:
+  Coordinator(int num_sites, const HyzOptions& options, sim::Network* network)
+      : options_(options),
+        network_(network),
+        base_(static_cast<double>(options.initial_total)),
+        reported_(static_cast<size_t>(num_sites), false),
+        last_report_(static_cast<size_t>(num_sites), 0) {
+    NMC_CHECK_GT(options.epsilon, 0.0);
+    NMC_CHECK_GT(options.delta, 0.0);
+    NMC_CHECK_LT(options.delta, 1.0);
+    NMC_CHECK_GT(options.rate_constant, 0.0);
+    NMC_CHECK_GE(options.initial_total, 0);
+  }
+
+  /// Computes the round's sampling probability (or reporting threshold)
+  /// and announces it; called once at protocol start and at the end of
+  /// every collect.
+  void StartRound() {
+    sim::Message m;
+    m.type = kNewRound;
+    if (options_.mode == HyzMode::kSampled) {
+      rate_ = RateForBase(base_);
+      m.a = rate_;
+    } else {
+      threshold_ = ThresholdForBase(base_);
+      m.u = threshold_;
+    }
+    network_->Broadcast(m);
+  }
+
+  void OnSiteMessage(int site_id, const sim::Message& message) override {
+    const size_t i = static_cast<size_t>(site_id);
+    switch (message.type) {
+      case kReport: {
+        if (collecting_) break;  // stale report racing a collect
+        contribution_sum_ -= Contribution(i);
+        reported_[i] = true;
+        last_report_[i] = message.u;
+        contribution_sum_ += Contribution(i);
+        MaybeStartCollect();
+        break;
+      }
+      case kCollectReply: {
+        NMC_CHECK(collecting_);
+        NMC_CHECK_GT(pending_replies_, 0);
+        collected_sum_ += message.u;
+        if (--pending_replies_ == 0) FinishCollect();
+        break;
+      }
+      default:
+        NMC_CHECK(false);
+    }
+  }
+
+  double Estimate() const { return base_ + contribution_sum_; }
+  double rate() const { return rate_; }
+  int64_t rounds() const { return rounds_; }
+
+ private:
+  double RateForBase(double base) const {
+    // The residual at each site is geometric (subexponential), so the sum
+    // of k residuals concentrates within eps*base only when
+    // p * eps * base >= c*(sqrt(k L) + L), L = log(2/delta): the sqrt(kL)
+    // term is the Gaussian part of the Bernstein bound and the additive L
+    // covers the single-site heavy tail (dominant for k = O(L)).
+    const double log_term = std::log(2.0 / options_.delta);
+    const double denom = options_.epsilon * std::max(base, 1.0);
+    const double rate =
+        options_.rate_constant *
+        (std::sqrt(static_cast<double>(reported_.size()) * log_term) +
+         log_term) /
+        denom;
+    return std::min(rate, 1.0);
+  }
+
+  // Deterministic threshold leaving total residual < eps*base/2.
+  int64_t ThresholdForBase(double base) const {
+    const double k = static_cast<double>(reported_.size());
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(options_.epsilon * std::max(base, 1.0) /
+                                (2.0 * k)));
+  }
+
+  double Contribution(size_t i) const {
+    if (!reported_[i]) return 0.0;
+    double value = static_cast<double>(last_report_[i]);
+    // The unreported tail behind a sampled report is geometric with mean
+    // (1-p)/p; adding it makes the estimator exactly unbiased. The
+    // deterministic residual is one-sided (< threshold) and left as-is.
+    if (options_.mode == HyzMode::kSampled) value += 1.0 / rate_ - 1.0;
+    return value;
+  }
+
+  void MaybeStartCollect() {
+    if (collecting_) return;
+    if (Estimate() < 2.0 * std::max(base_, 1.0)) return;
+    collecting_ = true;
+    pending_replies_ = static_cast<int>(reported_.size());
+    collected_sum_ = 0;
+    sim::Message m;
+    m.type = kCollect;
+    network_->Broadcast(m);
+  }
+
+  void FinishCollect() {
+    base_ += static_cast<double>(collected_sum_);
+    std::fill(reported_.begin(), reported_.end(), false);
+    std::fill(last_report_.begin(), last_report_.end(), 0);
+    contribution_sum_ = 0.0;
+    collecting_ = false;
+    ++rounds_;
+    StartRound();
+  }
+
+  HyzOptions options_;
+  sim::Network* network_;
+  double base_;
+  double rate_ = 1.0;
+  int64_t threshold_ = 1;
+  std::vector<bool> reported_;
+  std::vector<int64_t> last_report_;
+  double contribution_sum_ = 0.0;
+  bool collecting_ = false;
+  int pending_replies_ = 0;
+  int64_t collected_sum_ = 0;
+  int64_t rounds_ = 0;
+};
+
+HyzProtocol::HyzProtocol(int num_sites, const HyzOptions& options)
+    : network_(num_sites) {
+  common::Rng seeder(options.seed);
+  coordinator_ = std::make_unique<Coordinator>(num_sites, options, &network_);
+  network_.AttachCoordinator(coordinator_.get());
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    sites_.push_back(
+        std::make_unique<Site>(s, options.mode, &network_, seeder.Fork()));
+    network_.AttachSite(s, sites_.back().get());
+  }
+  coordinator_->StartRound();
+  network_.DeliverAll();
+}
+
+HyzProtocol::~HyzProtocol() = default;
+
+int HyzProtocol::num_sites() const { return network_.num_sites(); }
+
+void HyzProtocol::ProcessUpdate(int site_id, double value) {
+  NMC_CHECK_GE(site_id, 0);
+  NMC_CHECK_LT(site_id, num_sites());
+  sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
+  network_.DeliverAll();
+}
+
+double HyzProtocol::Estimate() const { return coordinator_->Estimate(); }
+
+const sim::MessageStats& HyzProtocol::stats() const { return network_.stats(); }
+
+double HyzProtocol::current_rate() const { return coordinator_->rate(); }
+
+int64_t HyzProtocol::rounds() const { return coordinator_->rounds(); }
+
+}  // namespace nmc::hyz

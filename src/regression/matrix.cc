@@ -1,0 +1,156 @@
+#include "regression/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::regression {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {
+  NMC_CHECK_GE(rows, 0);
+  NMC_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::Identity(int dim) {
+  Matrix m(dim, dim);
+  for (int i = 0; i < dim; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::At(int r, int c) {
+  NMC_CHECK_GE(r, 0);
+  NMC_CHECK_LT(r, rows_);
+  NMC_CHECK_GE(c, 0);
+  NMC_CHECK_LT(c, cols_);
+  return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+               static_cast<size_t>(c)];
+}
+
+double Matrix::At(int r, int c) const {
+  return const_cast<Matrix*>(this)->At(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  NMC_CHECK_EQ(rows_, other.rows_);
+  NMC_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  NMC_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      const double a = At(i, j);
+      if (a == 0.0) continue;
+      for (int c = 0; c < other.cols_; ++c) {
+        out.At(i, c) += a * other.At(j, c);
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::AddOuterProduct(const Vector& x, double scale) {
+  NMC_CHECK_EQ(rows_, cols_);
+  NMC_CHECK_EQ(static_cast<size_t>(rows_), x.size());
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      At(i, j) += scale * x[static_cast<size_t>(i)] * x[static_cast<size_t>(j)];
+    }
+  }
+}
+
+Vector Matrix::MatVec(const Vector& v) const {
+  NMC_CHECK_EQ(static_cast<size_t>(cols_), v.size());
+  Vector out(static_cast<size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < cols_; ++j) acc += At(i, j) * v[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] = acc;
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  NMC_CHECK_EQ(a.rows_, b.rows_);
+  NMC_CHECK_EQ(a.cols_, b.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return max_diff;
+}
+
+bool CholeskyFactor(const Matrix& a, Matrix* lower) {
+  NMC_CHECK(lower != nullptr);
+  NMC_CHECK_EQ(a.rows(), a.cols());
+  const int d = a.rows();
+  *lower = Matrix(d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double acc = a.At(i, j);
+      for (int k = 0; k < j; ++k) acc -= lower->At(i, k) * lower->At(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return false;
+        lower->At(i, i) = std::sqrt(acc);
+      } else {
+        lower->At(i, j) = acc / lower->At(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+Vector CholeskySolve(const Matrix& lower, const Vector& b) {
+  const int d = lower.rows();
+  NMC_CHECK_EQ(lower.cols(), d);
+  NMC_CHECK_EQ(b.size(), static_cast<size_t>(d));
+  // Forward substitution: L y = b.
+  Vector y(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < d; ++i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) acc -= lower.At(i, k) * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = acc / lower.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(static_cast<size_t>(d), 0.0);
+  for (int i = d - 1; i >= 0; --i) {
+    double acc = y[static_cast<size_t>(i)];
+    for (int k = i + 1; k < d; ++k) {
+      acc -= lower.At(k, i) * x[static_cast<size_t>(k)];
+    }
+    x[static_cast<size_t>(i)] = acc / lower.At(i, i);
+  }
+  return x;
+}
+
+bool SolveSpd(const Matrix& a, const Vector& b, Vector* x) {
+  NMC_CHECK(x != nullptr);
+  Matrix lower;
+  if (!CholeskyFactor(a, &lower)) return false;
+  *x = CholeskySolve(lower, b);
+  return true;
+}
+
+double Norm(const Vector& v) {
+  double acc = 0.0;
+  for (double value : v) acc += value * value;
+  return std::sqrt(acc);
+}
+
+double NormDiff(const Vector& a, const Vector& b) {
+  NMC_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace nmc::regression

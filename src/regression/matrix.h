@@ -1,0 +1,65 @@
+#ifndef NMCOUNT_REGRESSION_MATRIX_H_
+#define NMCOUNT_REGRESSION_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::regression {
+
+using Vector = std::vector<double>;
+
+/// Small dense row-major matrix — just enough linear algebra for the
+/// Bayesian posterior updates of Section 5.2 (d is a handful, so no
+/// blocking or pivoting heroics are warranted).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  static Matrix Identity(int dim);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& At(int r, int c);
+  double At(int r, int c) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix operator*(const Matrix& other) const;
+
+  /// A += scale * x x^T (x must have size rows == cols).
+  void AddOuterProduct(const Vector& x, double scale);
+
+  /// A * v.
+  Vector MatVec(const Vector& v) const;
+
+  /// Max |a_ij - b_ij|.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix. Returns false (leaving `lower` unspecified) if a non-positive
+/// pivot shows A is not PD — for the tracked precision matrix this can
+/// happen only if the counters' errors were large enough to destroy
+/// definiteness, which the caller reports rather than aborts on.
+bool CholeskyFactor(const Matrix& a, Matrix* lower);
+
+/// Solves L L^T x = b given the Cholesky factor L.
+Vector CholeskySolve(const Matrix& lower, const Vector& b);
+
+/// Solves A x = b for symmetric positive-definite A; returns false if A is
+/// not PD.
+bool SolveSpd(const Matrix& a, const Vector& b, Vector* x);
+
+/// Euclidean norm and norm of difference, for error reporting.
+double Norm(const Vector& v);
+double NormDiff(const Vector& a, const Vector& b);
+
+}  // namespace nmc::regression
+
+#endif  // NMCOUNT_REGRESSION_MATRIX_H_

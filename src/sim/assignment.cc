@@ -1,0 +1,97 @@
+#include "sim/assignment.h"
+
+#include "common/check.h"
+
+namespace nmc::sim {
+
+RoundRobinAssignment::RoundRobinAssignment(int num_sites)
+    : num_sites_(num_sites) {
+  NMC_CHECK_GE(num_sites, 1);
+}
+
+int RoundRobinAssignment::NextSite(int64_t t, double /*value*/) {
+  return static_cast<int>(t % num_sites_);
+}
+
+UniformRandomAssignment::UniformRandomAssignment(int num_sites, uint64_t seed)
+    : num_sites_(num_sites), rng_(seed) {
+  NMC_CHECK_GE(num_sites, 1);
+}
+
+int UniformRandomAssignment::NextSite(int64_t /*t*/, double /*value*/) {
+  return static_cast<int>(rng_.UniformInt(0, num_sites_ - 1));
+}
+
+SingleSiteAssignment::SingleSiteAssignment(int num_sites, int target_site)
+    : target_site_(target_site) {
+  NMC_CHECK_GE(target_site, 0);
+  NMC_CHECK_LT(target_site, num_sites);
+}
+
+int SingleSiteAssignment::NextSite(int64_t /*t*/, double /*value*/) {
+  return target_site_;
+}
+
+BlockCyclicAssignment::BlockCyclicAssignment(int num_sites, int64_t block_size)
+    : num_sites_(num_sites), block_size_(block_size) {
+  NMC_CHECK_GE(num_sites, 1);
+  NMC_CHECK_GE(block_size, 1);
+}
+
+int BlockCyclicAssignment::NextSite(int64_t t, double /*value*/) {
+  return static_cast<int>((t / block_size_) % num_sites_);
+}
+
+SignSplitAssignment::SignSplitAssignment(int num_sites)
+    : num_sites_(num_sites) {
+  NMC_CHECK_GE(num_sites, 1);
+}
+
+int SignSplitAssignment::NextSite(int64_t /*t*/, double value) {
+  if (num_sites_ == 1) return 0;
+  const int half = num_sites_ / 2;
+  if (value >= 0) {
+    return static_cast<int>(positive_count_++ % half);
+  }
+  return half + static_cast<int>(negative_count_++ % (num_sites_ - half));
+}
+
+ZeroCrossingAssignment::ZeroCrossingAssignment(int num_sites)
+    : num_sites_(num_sites) {
+  NMC_CHECK_GE(num_sites, 1);
+}
+
+int ZeroCrossingAssignment::NextSite(int64_t /*t*/, double value) {
+  const double previous = prefix_sum_;
+  prefix_sum_ += value;
+  const bool crossed = (previous > 0.0 && prefix_sum_ <= 0.0) ||
+                       (previous < 0.0 && prefix_sum_ >= 0.0);
+  if (crossed) current_site_ = (current_site_ + 1) % num_sites_;
+  return current_site_;
+}
+
+std::unique_ptr<AssignmentPolicy> MakeAssignment(const std::string& name,
+                                                 int num_sites,
+                                                 uint64_t seed) {
+  if (name == "round_robin") {
+    return std::make_unique<RoundRobinAssignment>(num_sites);
+  }
+  if (name == "random") {
+    return std::make_unique<UniformRandomAssignment>(num_sites, seed);
+  }
+  if (name == "single") {
+    return std::make_unique<SingleSiteAssignment>(num_sites, 0);
+  }
+  if (name == "block") {
+    return std::make_unique<BlockCyclicAssignment>(num_sites, 64);
+  }
+  if (name == "sign_split") {
+    return std::make_unique<SignSplitAssignment>(num_sites);
+  }
+  if (name == "zero_crossing") {
+    return std::make_unique<ZeroCrossingAssignment>(num_sites);
+  }
+  return nullptr;
+}
+
+}  // namespace nmc::sim

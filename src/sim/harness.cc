@@ -1,0 +1,55 @@
+#include "sim/harness.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::sim {
+
+TrackingResult RunTracking(const std::vector<double>& stream,
+                           AssignmentPolicy* psi, Protocol* protocol,
+                           const TrackingOptions& options) {
+  NMC_CHECK(psi != nullptr);
+  NMC_CHECK(protocol != nullptr);
+  NMC_CHECK_GT(options.epsilon, 0.0);
+
+  TrackingResult result;
+  result.n = static_cast<int64_t>(stream.size());
+
+  const int64_t curve_stride =
+      options.curve_points > 0
+          ? std::max<int64_t>(1, result.n / options.curve_points)
+          : 0;
+
+  double sum = 0.0;
+  for (int64_t t = 0; t < result.n; ++t) {
+    const double value = stream[static_cast<size_t>(t)];
+    const int site = psi->NextSite(t, value);
+    NMC_CHECK_GE(site, 0);
+    NMC_CHECK_LT(site, protocol->num_sites());
+    protocol->ProcessUpdate(site, value);
+    sum += value;
+
+    const double estimate = protocol->Estimate();
+    const double abs_error = std::fabs(estimate - sum);
+    const double abs_sum = std::fabs(sum);
+    if (abs_error > options.epsilon * abs_sum + options.absolute_slack) {
+      result.violation_steps += 1;
+    }
+    if (abs_sum >= options.rel_error_floor) {
+      result.max_rel_error = std::max(result.max_rel_error, abs_error / abs_sum);
+    }
+    if (curve_stride > 0 && ((t + 1) % curve_stride == 0 || t + 1 == result.n)) {
+      result.curve.push_back(CurvePoint{t + 1, protocol->stats().total(), sum,
+                                        estimate});
+    }
+  }
+
+  result.messages = protocol->stats().total();
+  result.broadcasts = protocol->stats().broadcasts;
+  result.final_sum = sum;
+  result.final_estimate = protocol->Estimate();
+  return result;
+}
+
+}  // namespace nmc::sim

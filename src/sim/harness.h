@@ -1,0 +1,66 @@
+#ifndef NMCOUNT_SIM_HARNESS_H_
+#define NMCOUNT_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/assignment.h"
+#include "sim/protocol.h"
+
+namespace nmc::sim {
+
+/// Configuration of the tracking checker.
+struct TrackingOptions {
+  /// Relative accuracy the protocol promises; a step violates the guarantee
+  /// when |estimate - S| > epsilon * |S| (+ small float slack), or when
+  /// S == 0 but the estimate is not.
+  double epsilon = 0.1;
+
+  /// Steps with |S| below this floor are excluded from max_rel_error (the
+  /// relative error is ill-conditioned around zero) but still checked for
+  /// violations via the absolute criterion above.
+  double rel_error_floor = 1.0;
+
+  /// Absolute slack added to the violation test to absorb floating-point
+  /// accumulation noise on fractional streams.
+  double absolute_slack = 1e-9;
+
+  /// If > 0, record (t, cumulative messages, S, estimate) at this many
+  /// roughly evenly spaced steps — the raw series behind "figures".
+  int curve_points = 0;
+};
+
+/// One sampled point of the tracking trajectory.
+struct CurvePoint {
+  int64_t t = 0;
+  int64_t messages = 0;
+  double sum = 0.0;
+  double estimate = 0.0;
+};
+
+/// Outcome of one tracked run.
+struct TrackingResult {
+  int64_t n = 0;
+  int64_t messages = 0;
+  int64_t broadcasts = 0;
+  /// Steps at which the epsilon guarantee did not hold.
+  int64_t violation_steps = 0;
+  /// Max of |estimate - S| / |S| over steps with |S| >= rel_error_floor.
+  double max_rel_error = 0.0;
+  double final_sum = 0.0;
+  double final_estimate = 0.0;
+  std::vector<CurvePoint> curve;
+
+  bool any_violation() const { return violation_steps > 0; }
+};
+
+/// Drives `stream` through `protocol`, assigning the t-th update to site
+/// psi->NextSite(t, value), and checks the coordinator's estimate against
+/// the exact running sum after every update.
+TrackingResult RunTracking(const std::vector<double>& stream,
+                           AssignmentPolicy* psi, Protocol* protocol,
+                           const TrackingOptions& options);
+
+}  // namespace nmc::sim
+
+#endif  // NMCOUNT_SIM_HARNESS_H_

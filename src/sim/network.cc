@@ -1,0 +1,70 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+
+namespace nmc::sim {
+
+Network::Network(int num_sites) : num_sites_(num_sites) {
+  NMC_CHECK_GE(num_sites, 1);
+  sites_.assign(static_cast<size_t>(num_sites), nullptr);
+}
+
+void Network::AttachCoordinator(CoordinatorNode* coordinator) {
+  NMC_CHECK(coordinator != nullptr);
+  coordinator_ = coordinator;
+}
+
+void Network::AttachSite(int site_id, SiteNode* site) {
+  NMC_CHECK_GE(site_id, 0);
+  NMC_CHECK_LT(site_id, num_sites_);
+  NMC_CHECK(site != nullptr);
+  sites_[static_cast<size_t>(site_id)] = site;
+}
+
+void Network::SendToCoordinator(int from_site, const Message& message) {
+  NMC_CHECK_GE(from_site, 0);
+  NMC_CHECK_LT(from_site, num_sites_);
+  stats_.site_to_coordinator += 1;
+  type_breakdown_[message.type].to_coordinator += 1;
+  if (observer_) observer_(SentMessage{true, from_site, message});
+  queue_.push_back(Envelope{/*to_coordinator=*/true, from_site, message});
+}
+
+void Network::SendToSite(int site_id, const Message& message) {
+  NMC_CHECK_GE(site_id, 0);
+  NMC_CHECK_LT(site_id, num_sites_);
+  stats_.coordinator_to_site += 1;
+  type_breakdown_[message.type].to_sites += 1;
+  if (observer_) observer_(SentMessage{false, site_id, message});
+  queue_.push_back(Envelope{/*to_coordinator=*/false, site_id, message});
+}
+
+void Network::Broadcast(const Message& message) {
+  stats_.coordinator_to_site += num_sites_;
+  stats_.broadcasts += 1;
+  type_breakdown_[message.type].to_sites += num_sites_;
+  for (int s = 0; s < num_sites_; ++s) {
+    if (observer_) observer_(SentMessage{false, s, message});
+    queue_.push_back(Envelope{/*to_coordinator=*/false, s, message});
+  }
+}
+
+void Network::DeliverAll() {
+  if (delivering_) return;  // handlers must not re-enter the pump
+  delivering_ = true;
+  while (!queue_.empty()) {
+    const Envelope env = queue_.front();
+    queue_.pop_front();
+    if (env.to_coordinator) {
+      NMC_CHECK(coordinator_ != nullptr);
+      coordinator_->OnSiteMessage(env.site_id, env.message);
+    } else {
+      SiteNode* site = sites_[static_cast<size_t>(env.site_id)];
+      NMC_CHECK(site != nullptr);
+      site->OnCoordinatorMessage(env.message);
+    }
+  }
+  delivering_ = false;
+}
+
+}  // namespace nmc::sim

@@ -1,0 +1,104 @@
+#ifndef NMCOUNT_SIM_NETWORK_H_
+#define NMCOUNT_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace nmc::sim {
+
+/// The star network connecting k sites to one coordinator. It is the only
+/// channel protocols may use, and it charges every transmission to
+/// MessageStats: one unit per unicast, k units per broadcast.
+///
+/// Delivery is synchronous-in-order: sends enqueue, and DeliverAll() pumps
+/// the queue to quiescence. This models the paper's setting, where message
+/// exchange triggered by one update completes before the adversary injects
+/// the next update (communication is only initiated by a site receiving an
+/// update, and arrival times are under adversary control).
+///
+/// The Network does not own the nodes; protocols own their nodes and attach
+/// them before use.
+class Network {
+ public:
+  explicit Network(int num_sites);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_sites() const { return num_sites_; }
+
+  void AttachCoordinator(CoordinatorNode* coordinator);
+  void AttachSite(int site_id, SiteNode* site);
+
+  /// Site -> coordinator unicast (1 message).
+  void SendToCoordinator(int from_site, const Message& message);
+
+  /// Coordinator -> site unicast (1 message).
+  void SendToSite(int site_id, const Message& message);
+
+  /// Coordinator -> all sites (k messages).
+  void Broadcast(const Message& message);
+
+  /// Delivers queued messages (and any messages their handlers send) until
+  /// the network is quiescent. Called by the harness after each update.
+  void DeliverAll();
+
+  const MessageStats& stats() const { return stats_; }
+
+  /// Total messages transmitted so far.
+  int64_t total_messages() const { return stats_.total(); }
+
+  /// Per-direction message counts keyed by the protocol's message type
+  /// discriminator — a debugging/analysis view (e.g. how much of a
+  /// counter's cost is collect traffic vs state broadcasts).
+  struct TypeBreakdown {
+    int64_t to_coordinator = 0;
+    int64_t to_sites = 0;
+  };
+  const std::map<int, TypeBreakdown>& type_breakdown() const {
+    return type_breakdown_;
+  }
+
+  /// One transmitted message, as seen by the observer below.
+  struct SentMessage {
+    bool to_coordinator = false;
+    /// Source site for site->coordinator; destination site otherwise
+    /// (a broadcast reports one entry per recipient).
+    int site_id = 0;
+    Message message;
+  };
+
+  /// Installs a tap that sees every transmission at send time (before
+  /// delivery), in order. For tracing, golden-transcript tests, and
+  /// debugging; pass nullptr to remove. Observation does not affect
+  /// accounting or delivery.
+  void SetObserver(std::function<void(const SentMessage&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct Envelope {
+    bool to_coordinator = false;
+    int site_id = 0;  // destination site, or source site when to_coordinator
+    Message message;
+  };
+
+  int num_sites_;
+  CoordinatorNode* coordinator_ = nullptr;
+  std::vector<SiteNode*> sites_;
+  std::deque<Envelope> queue_;
+  MessageStats stats_;
+  std::map<int, TypeBreakdown> type_breakdown_;
+  std::function<void(const SentMessage&)> observer_;
+  bool delivering_ = false;
+};
+
+}  // namespace nmc::sim
+
+#endif  // NMCOUNT_SIM_NETWORK_H_

@@ -1,0 +1,37 @@
+#ifndef NMCOUNT_SIM_NODE_H_
+#define NMCOUNT_SIM_NODE_H_
+
+#include "sim/message.h"
+
+namespace nmc::sim {
+
+/// A site in the star topology. Sites never talk to each other directly
+/// (the model forbids it); their only I/O is updates arriving locally and
+/// messages to/from the coordinator, so a correct implementation cannot
+/// accidentally read global state.
+class SiteNode {
+ public:
+  virtual ~SiteNode() = default;
+
+  /// A stream update of the given value arrived at this site. Any
+  /// communication it triggers must go through Network.
+  virtual void OnLocalUpdate(double value) = 0;
+
+  /// A message (unicast or broadcast) arrived from the coordinator.
+  virtual void OnCoordinatorMessage(const Message& message) = 0;
+};
+
+/// The coordinator. It must be able to produce its current estimate at any
+/// moment — the continuous-tracking guarantee is checked after every single
+/// update by the harness.
+class CoordinatorNode {
+ public:
+  virtual ~CoordinatorNode() = default;
+
+  /// A message arrived from site `site_id`.
+  virtual void OnSiteMessage(int site_id, const Message& message) = 0;
+};
+
+}  // namespace nmc::sim
+
+#endif  // NMCOUNT_SIM_NODE_H_

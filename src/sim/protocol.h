@@ -1,0 +1,33 @@
+#ifndef NMCOUNT_SIM_PROTOCOL_H_
+#define NMCOUNT_SIM_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "sim/message.h"
+
+namespace nmc::sim {
+
+/// A continuous distributed tracking protocol: the unit the harness drives
+/// and the benches compare. Implementations own their Network and node
+/// objects internally; all communication they perform is charged to
+/// stats().
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual int num_sites() const = 0;
+
+  /// Feeds one stream update to the given site and runs all communication
+  /// it triggers to quiescence.
+  virtual void ProcessUpdate(int site_id, double value) = 0;
+
+  /// The coordinator's current estimate of the tracked sum. Must be valid
+  /// after every ProcessUpdate — the tracking guarantee is continuous.
+  virtual double Estimate() const = 0;
+
+  virtual const MessageStats& stats() const = 0;
+};
+
+}  // namespace nmc::sim
+
+#endif  // NMCOUNT_SIM_PROTOCOL_H_

@@ -1,0 +1,76 @@
+#include "sketch/ams_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::sketch {
+
+AmsSketch::AmsSketch(int rows, int cols, uint64_t seed)
+    : rows_(rows), cols_(cols) {
+  NMC_CHECK_GE(rows, 1);
+  NMC_CHECK_GE(cols, 1);
+  common::Rng seeder(seed);
+  bucket_hashes_.reserve(static_cast<size_t>(rows));
+  sign_hashes_.reserve(static_cast<size_t>(rows));
+  for (int j = 0; j < rows; ++j) {
+    bucket_hashes_.emplace_back(4, seeder.NextU64());
+    sign_hashes_.emplace_back(4, seeder.NextU64());
+  }
+  cells_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+}
+
+void AmsSketch::Update(uint64_t item, int sign) {
+  NMC_CHECK(sign == 1 || sign == -1);
+  for (int j = 0; j < rows_; ++j) {
+    const int64_t c = BucketOf(j, item);
+    cells_[static_cast<size_t>(j) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c)] +=
+        static_cast<double>(sign * SignOf(j, item));
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_estimates(static_cast<size_t>(rows_), 0.0);
+  for (int j = 0; j < rows_; ++j) {
+    double sum_sq = 0.0;
+    for (int c = 0; c < cols_; ++c) {
+      const double v = Cell(j, c);
+      sum_sq += v * v;
+    }
+    row_estimates[static_cast<size_t>(j)] = sum_sq;
+  }
+  return Median(std::move(row_estimates));
+}
+
+int64_t AmsSketch::BucketOf(int row, uint64_t item) const {
+  NMC_CHECK_GE(row, 0);
+  NMC_CHECK_LT(row, rows_);
+  return bucket_hashes_[static_cast<size_t>(row)].Bucket(item, cols_);
+}
+
+int AmsSketch::SignOf(int row, uint64_t item) const {
+  NMC_CHECK_GE(row, 0);
+  NMC_CHECK_LT(row, rows_);
+  return sign_hashes_[static_cast<size_t>(row)].Sign(item);
+}
+
+double AmsSketch::Cell(int row, int col) const {
+  NMC_CHECK_GE(row, 0);
+  NMC_CHECK_LT(row, rows_);
+  NMC_CHECK_GE(col, 0);
+  NMC_CHECK_LT(col, cols_);
+  return cells_[static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+                static_cast<size_t>(col)];
+}
+
+double Median(std::vector<double> values) {
+  NMC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+}  // namespace nmc::sketch

@@ -1,0 +1,54 @@
+#ifndef NMCOUNT_SKETCH_AMS_SKETCH_H_
+#define NMCOUNT_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/hash.h"
+
+namespace nmc::sketch {
+
+/// The fast AMS sketch of Section 5.1 (a.k.a. CountSketch-based F2
+/// estimator): I x J counters S_{j,c}; the t-th update (alpha, z) adds
+/// z * g_j(alpha) to S_{j, h_j(alpha)} in each row j, with g_j, h_j drawn
+/// from 4-wise independent families. Each row's sum of squared counters
+/// is an unbiased F2 estimate with variance 2 F2^2 / J; the median over
+/// I = O(log 1/delta) rows boosts the confidence. Fully supports
+/// deletions (z = -1): the estimator is oblivious to the sign pattern.
+class AmsSketch {
+ public:
+  /// rows >= 1 (confidence), cols >= 1 (J ~ 1/eps^2 for eps accuracy).
+  AmsSketch(int rows, int cols, uint64_t seed);
+
+  /// Applies one turnstile update.
+  void Update(uint64_t item, int sign);
+
+  /// Median-of-row-sums F2 estimate.
+  double EstimateF2() const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Row j's bucket / sign hash for `item` (exposed so the distributed
+  /// tracker can route updates to per-cell counters using the exact same
+  /// hash functions).
+  int64_t BucketOf(int row, uint64_t item) const;
+  int SignOf(int row, uint64_t item) const;
+
+  /// Raw cell value (row-major), for tests.
+  double Cell(int row, int col) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<KWiseHash> bucket_hashes_;
+  std::vector<KWiseHash> sign_hashes_;
+  std::vector<double> cells_;  // row-major
+};
+
+/// Median of a non-empty vector (average of middle two for even sizes).
+double Median(std::vector<double> values);
+
+}  // namespace nmc::sketch
+
+#endif  // NMCOUNT_SKETCH_AMS_SKETCH_H_

@@ -1,0 +1,61 @@
+#include "sketch/hash.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::sketch {
+
+namespace {
+
+constexpr uint64_t kMersennePrime = (1ULL << 61) - 1;
+
+// x mod 2^61-1 for x < 2^122, using the Mersenne structure.
+uint64_t ModPrime(unsigned __int128 x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersennePrime);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersennePrime) r -= kMersennePrime;
+  return r;
+}
+
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  return ModPrime(static_cast<unsigned __int128>(a) * b);
+}
+
+}  // namespace
+
+KWiseHash::KWiseHash(int independence, uint64_t seed) {
+  NMC_CHECK_GE(independence, 2);
+  common::Rng rng(seed);
+  coefficients_.resize(static_cast<size_t>(independence));
+  for (uint64_t& c : coefficients_) {
+    c = static_cast<uint64_t>(rng.NextU64()) % kMersennePrime;
+  }
+  // The leading coefficient must be nonzero for full independence.
+  while (coefficients_.back() == 0) {
+    coefficients_.back() = rng.NextU64() % kMersennePrime;
+  }
+}
+
+uint64_t KWiseHash::Hash(uint64_t x) const {
+  const uint64_t xm = x % kMersennePrime;
+  // Horner evaluation: c_{d-1} x^{d-1} + ... + c_0.
+  uint64_t acc = 0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    acc = MulMod(acc, xm);
+    acc += coefficients_[i];
+    if (acc >= kMersennePrime) acc -= kMersennePrime;
+  }
+  return acc;
+}
+
+int64_t KWiseHash::Bucket(uint64_t x, int64_t range) const {
+  NMC_CHECK_GE(range, 1);
+  return static_cast<int64_t>(Hash(x) % static_cast<uint64_t>(range));
+}
+
+int KWiseHash::Sign(uint64_t x) const {
+  return (Hash(x) & 1ULL) != 0 ? 1 : -1;
+}
+
+}  // namespace nmc::sketch

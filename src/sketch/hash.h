@@ -1,0 +1,35 @@
+#ifndef NMCOUNT_SKETCH_HASH_H_
+#define NMCOUNT_SKETCH_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::sketch {
+
+/// k-wise independent hash family via degree-(k-1) polynomials over the
+/// Mersenne prime field GF(2^61 - 1). The fast AMS sketch needs 4-wise
+/// independence for both its bucket and sign hashes (that is exactly what
+/// the F2 variance analysis consumes), which a random cubic provides.
+class KWiseHash {
+ public:
+  /// `independence` >= 2 coefficients drawn uniformly from the field.
+  KWiseHash(int independence, uint64_t seed);
+
+  /// Polynomial evaluation; the result is uniform in [0, 2^61 - 1).
+  uint64_t Hash(uint64_t x) const;
+
+  /// Hash reduced to [0, range).
+  int64_t Bucket(uint64_t x, int64_t range) const;
+
+  /// ±1-valued hash (low bit of Hash).
+  int Sign(uint64_t x) const;
+
+  int independence() const { return static_cast<int>(coefficients_.size()); }
+
+ private:
+  std::vector<uint64_t> coefficients_;
+};
+
+}  // namespace nmc::sketch
+
+#endif  // NMCOUNT_SKETCH_HASH_H_

@@ -1,0 +1,26 @@
+#ifndef NMCOUNT_STREAMS_ADVERSARIAL_H_
+#define NMCOUNT_STREAMS_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::streams {
+
+/// Fully adversarial (ordered) streams: the inputs behind the Omega(n)
+/// lower bound of Arackaparambil et al. discussed in Section 1.1. No
+/// sublinear protocol can track these in order; the benches contrast them
+/// with random permutations of the same multiset.
+
+/// +1, -1, +1, -1, ...: the canonical worst case — the true count
+/// alternates 1, 0, 1, 0 and every missed update makes the relative error
+/// unbounded.
+std::vector<double> AlternatingStream(int64_t n);
+
+/// Climbs to `peak` (+1 steps), then repeatedly crosses zero with ±1 swings
+/// of width 2*peak. Between crossings the counter looks well-behaved, so
+/// protocols that only adapt to |S| are repeatedly lured into undersampling.
+std::vector<double> SawtoothStream(int64_t n, int64_t peak);
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_ADVERSARIAL_H_

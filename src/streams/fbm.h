@@ -1,0 +1,35 @@
+#ifndef NMCOUNT_STREAMS_FBM_H_
+#define NMCOUNT_STREAMS_FBM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::streams {
+
+/// Fractional Gaussian noise (fGn): the stationary increment process of
+/// fractional Brownian motion with Hurst parameter H in (0, 1) and unit
+/// scale (sigma^2 = 1, as the paper assumes w.l.o.g.). Feeding fGn
+/// increments to a counter makes the tracked sum S_t an fBm path sampled at
+/// integer times — the Section 3.4 input model for long-range dependent
+/// phenomena such as network traffic.
+
+/// Exact autocovariance of unit-scale fGn at lag h:
+/// gamma(h) = (|h+1|^{2H} - 2|h|^{2H} + |h-1|^{2H}) / 2.
+double FgnAutocovariance(double hurst, int64_t lag);
+
+/// Exact-covariance fGn sample of length n via Davies-Harte circulant
+/// embedding (O(n log n), from-scratch FFT). The embedding is
+/// non-negative-definite for all H in (0, 1), so the sample distribution is
+/// exact up to floating point.
+std::vector<double> FgnDaviesHarte(int64_t n, double hurst, uint64_t seed);
+
+/// O(n^2) Hosking (Durbin-Levinson) reference generator; used by tests to
+/// cross-validate Davies-Harte on small n.
+std::vector<double> FgnHosking(int64_t n, double hurst, uint64_t seed);
+
+/// Cumulative sums of the given increments: an fBm path at t = 1..n.
+std::vector<double> CumulativeSum(const std::vector<double>& increments);
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_FBM_H_

@@ -1,0 +1,77 @@
+#include "streams/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace nmc::streams {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Core transform; sign = -1 for forward, +1 for inverse (unnormalized).
+void Transform(std::vector<std::complex<double>>* data, double sign) {
+  std::vector<std::complex<double>>& a = *data;
+  const size_t n = a.size();
+  NMC_CHECK(IsPowerOfTwo(n));
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>* data) { Transform(data, -1.0); }
+
+void InverseFft(std::vector<std::complex<double>>* data) {
+  Transform(data, 1.0);
+  const double inv_n = 1.0 / static_cast<double>(data->size());
+  for (auto& x : *data) x *= inv_n;
+}
+
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& data) {
+  const size_t n = data.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) *
+                           static_cast<double>(k) / static_cast<double>(n);
+      acc += data[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  NMC_CHECK_GE(n, 1u);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace nmc::streams

@@ -1,0 +1,26 @@
+#ifndef NMCOUNT_STREAMS_FFT_H_
+#define NMCOUNT_STREAMS_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace nmc::streams {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data->size() must be a
+/// power of two. Computes the unnormalized forward transform
+/// X_k = sum_j x_j exp(-2*pi*i*j*k/N); Inverse applies the conjugate
+/// transform and divides by N, so Inverse(Forward(x)) == x.
+void Fft(std::vector<std::complex<double>>* data);
+void InverseFft(std::vector<std::complex<double>>* data);
+
+/// O(n^2) reference DFT used to validate Fft() in tests.
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& data);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_FFT_H_

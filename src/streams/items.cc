@@ -1,0 +1,87 @@
+#include "streams/items.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "streams/zipf.h"
+
+namespace nmc::streams {
+
+std::vector<ItemUpdate> ZipfInsertStream(int64_t n, int64_t universe,
+                                         double zipf_exponent, uint64_t seed) {
+  NMC_CHECK_GE(n, 0);
+  common::Rng rng(seed);
+  ZipfSampler zipf(universe, zipf_exponent);
+  std::vector<ItemUpdate> updates(static_cast<size_t>(n));
+  for (auto& u : updates) {
+    u.item = zipf.Sample(&rng);
+    u.sign = 1;
+  }
+  return updates;
+}
+
+std::vector<ItemUpdate> ZipfTurnstileStream(int64_t n, int64_t universe,
+                                            double zipf_exponent,
+                                            double delete_fraction,
+                                            uint64_t seed) {
+  NMC_CHECK_GE(n, 0);
+  NMC_CHECK_GE(delete_fraction, 0.0);
+  NMC_CHECK_LT(delete_fraction, 1.0);
+  common::Rng rng(seed);
+  ZipfSampler zipf(universe, zipf_exponent);
+  std::vector<ItemUpdate> updates;
+  updates.reserve(static_cast<size_t>(n));
+  std::vector<int64_t> live;  // multiset of inserted-but-not-deleted items
+  for (int64_t t = 0; t < n; ++t) {
+    if (!live.empty() && rng.Bernoulli(delete_fraction)) {
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      updates.push_back(ItemUpdate{live[idx], -1});
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      const int64_t item = zipf.Sample(&rng);
+      updates.push_back(ItemUpdate{item, 1});
+      live.push_back(item);
+    }
+  }
+  return updates;
+}
+
+std::vector<ItemUpdate> PermutedItemStream(std::vector<ItemUpdate> updates,
+                                           uint64_t seed) {
+  common::Rng rng(seed);
+  rng.Shuffle(&updates);
+  return updates;
+}
+
+int64_t ExactF2(const std::vector<ItemUpdate>& updates, int64_t universe) {
+  std::vector<int64_t> counts(static_cast<size_t>(universe), 0);
+  for (const auto& u : updates) {
+    NMC_CHECK_GE(u.item, 0);
+    NMC_CHECK_LT(u.item, universe);
+    counts[static_cast<size_t>(u.item)] += u.sign;
+  }
+  int64_t f2 = 0;
+  for (int64_t c : counts) f2 += c * c;
+  return f2;
+}
+
+std::vector<int64_t> ExactF2Prefix(const std::vector<ItemUpdate>& updates,
+                                   int64_t universe) {
+  std::vector<int64_t> counts(static_cast<size_t>(universe), 0);
+  std::vector<int64_t> prefix(updates.size());
+  int64_t f2 = 0;
+  for (size_t t = 0; t < updates.size(); ++t) {
+    const auto& u = updates[t];
+    NMC_CHECK_GE(u.item, 0);
+    NMC_CHECK_LT(u.item, universe);
+    int64_t& c = counts[static_cast<size_t>(u.item)];
+    // (c + s)^2 - c^2 = 2*c*s + 1 for s in {-1, +1}.
+    f2 += 2 * c * u.sign + 1;
+    c += u.sign;
+    prefix[t] = f2;
+  }
+  return prefix;
+}
+
+}  // namespace nmc::streams

@@ -1,0 +1,45 @@
+#ifndef NMCOUNT_STREAMS_ITEMS_H_
+#define NMCOUNT_STREAMS_ITEMS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nmc::streams {
+
+/// One turnstile update for the F2 application (Section 5.1): item id
+/// alpha_t from the universe [m] and z_t in {-1, +1} (insert/delete).
+struct ItemUpdate {
+  int64_t item = 0;
+  int sign = 1;
+};
+
+/// Insert-only Zipf stream: n insertions of Zipf(s)-distributed items.
+std::vector<ItemUpdate> ZipfInsertStream(int64_t n, int64_t universe,
+                                         double zipf_exponent, uint64_t seed);
+
+/// Turnstile stream with deletions: each update is an insertion with
+/// probability (1 - delete_fraction); otherwise it deletes one previously
+/// inserted (and not yet deleted) occurrence, chosen uniformly. The
+/// per-item counts m_i(t) are therefore non-monotonic but never negative.
+std::vector<ItemUpdate> ZipfTurnstileStream(int64_t n, int64_t universe,
+                                            double zipf_exponent,
+                                            double delete_fraction,
+                                            uint64_t seed);
+
+/// Randomly permutes an item stream (the random-permutation model applied
+/// to turnstile updates, as required by Corollary 5.1).
+std::vector<ItemUpdate> PermutedItemStream(std::vector<ItemUpdate> updates,
+                                           uint64_t seed);
+
+/// Exact F2 of the stream prefix counts after all updates:
+/// sum_i m_i(n)^2. Used as ground truth in tests and benches.
+int64_t ExactF2(const std::vector<ItemUpdate>& updates, int64_t universe);
+
+/// Exact per-prefix F2 values (F2 after each update), computed
+/// incrementally in O(n).
+std::vector<int64_t> ExactF2Prefix(const std::vector<ItemUpdate>& updates,
+                                   int64_t universe);
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_ITEMS_H_

@@ -1,0 +1,42 @@
+#ifndef NMCOUNT_STREAMS_PERMUTATION_H_
+#define NMCOUNT_STREAMS_PERMUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nmc::streams {
+
+/// The random-permutation input model of Theorem 3.4: an adversary fixes
+/// an arbitrary bounded multiset of values; nature then presents it in a
+/// uniformly random order. The functions below are canonical adversary
+/// choices; compose them with RandomlyPermuted().
+
+/// Uniform random permutation of `values` (the original is not modified).
+std::vector<double> RandomlyPermuted(std::vector<double> values,
+                                     uint64_t seed);
+
+/// floor(n * fraction_positive) values of +1 and the rest -1. With
+/// fraction 0.5 the final sum is ~0, the hardest case for relative error.
+std::vector<double> SignMultiset(int64_t n, double fraction_positive);
+
+/// Deterministic bounded reals v_t = sin(0.37 t) * cos(0.011 t^2): an
+/// arbitrary-looking adversarial multiset exercising fractional updates.
+std::vector<double> OscillatingMultiset(int64_t n);
+
+/// A few "heavy" ±1 values among many tiny ±delta values; the tiny values
+/// dominate the count of updates while the heavy ones dominate the sum.
+std::vector<double> SkewedMultiset(int64_t n, int64_t num_heavy, double delta);
+
+/// All +1 followed by all -1 before permutation (the permutation destroys
+/// the block structure; included to show the multiset alone determines the
+/// behavior under the permutation model).
+std::vector<double> BlockMultiset(int64_t n);
+
+/// Named adversary multisets used by the benches: "balanced", "biased",
+/// "oscillating", "skewed", "blocks". Aborts on an unknown name.
+std::vector<double> MakeAdversaryMultiset(const std::string& name, int64_t n);
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_PERMUTATION_H_

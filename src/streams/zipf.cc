@@ -1,0 +1,37 @@
+#include "streams/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmc::streams {
+
+ZipfSampler::ZipfSampler(int64_t universe, double exponent) {
+  NMC_CHECK_GE(universe, 1);
+  NMC_CHECK_GE(exponent, 0.0);
+  cdf_.resize(static_cast<size_t>(universe));
+  double total = 0.0;
+  for (int64_t i = 0; i < universe; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int64_t ZipfSampler::Sample(common::Rng* rng) const {
+  NMC_CHECK(rng != nullptr);
+  const double u = rng->UniformDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(int64_t item) const {
+  NMC_CHECK_GE(item, 0);
+  NMC_CHECK_LT(item, universe());
+  const size_t i = static_cast<size_t>(item);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace nmc::streams

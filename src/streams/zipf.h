@@ -1,0 +1,34 @@
+#ifndef NMCOUNT_STREAMS_ZIPF_H_
+#define NMCOUNT_STREAMS_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nmc::streams {
+
+/// Zipf-distributed sampler over the universe {0, ..., m-1}:
+/// P[i] proportional to (i + 1)^{-s}. s = 0 is uniform. Skewed item
+/// frequencies are the standard workload for frequency-moment sketches
+/// (F2's value is dominated by heavy items under skew).
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF in O(m). Requires m >= 1 and s >= 0.
+  ZipfSampler(int64_t universe, double exponent);
+
+  /// Draws one item in O(log m).
+  int64_t Sample(common::Rng* rng) const;
+
+  int64_t universe() const { return static_cast<int64_t>(cdf_.size()); }
+
+  /// Exact probability of item i.
+  double Probability(int64_t item) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nmc::streams
+
+#endif  // NMCOUNT_STREAMS_ZIPF_H_

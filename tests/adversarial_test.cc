@@ -1,0 +1,49 @@
+#include "streams/adversarial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmc::streams {
+namespace {
+
+TEST(AlternatingStreamTest, PrefixSumOscillatesBetweenZeroAndOne) {
+  const auto stream = AlternatingStream(100);
+  double sum = 0.0;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    sum += stream[t];
+    EXPECT_EQ(sum, t % 2 == 0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(AlternatingStreamTest, StartsPositive) {
+  const auto stream = AlternatingStream(4);
+  EXPECT_EQ(stream[0], 1.0);
+  EXPECT_EQ(stream[1], -1.0);
+}
+
+TEST(SawtoothStreamTest, StaysWithinPeak) {
+  const auto stream = SawtoothStream(1000, 20);
+  double sum = 0.0;
+  for (double v : stream) {
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    sum += v;
+    EXPECT_LE(std::fabs(sum), 20.0);
+  }
+}
+
+TEST(SawtoothStreamTest, CrossesZeroRepeatedly) {
+  const auto stream = SawtoothStream(1000, 10);
+  double sum = 0.0;
+  int crossings = 0;
+  double prev = 0.0;
+  for (double v : stream) {
+    sum += v;
+    if ((prev > 0 && sum <= 0) || (prev < 0 && sum >= 0)) ++crossings;
+    prev = sum;
+  }
+  EXPECT_GT(crossings, 10);
+}
+
+}  // namespace
+}  // namespace nmc::streams

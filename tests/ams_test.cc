@@ -1,0 +1,110 @@
+#include "sketch/ams_sketch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "streams/items.h"
+
+namespace nmc::sketch {
+namespace {
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(AmsSketchTest, SingleItemF2IsCountSquared) {
+  AmsSketch sketch(5, 32, 1);
+  for (int i = 0; i < 10; ++i) sketch.Update(42, 1);
+  // One item of count 10: F2 = 100 exactly (no collisions possible).
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 100.0);
+}
+
+TEST(AmsSketchTest, DeletionsCancelExactly) {
+  AmsSketch sketch(3, 16, 2);
+  for (uint64_t item = 0; item < 20; ++item) sketch.Update(item, 1);
+  for (uint64_t item = 0; item < 20; ++item) sketch.Update(item, -1);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 16; ++c) EXPECT_DOUBLE_EQ(sketch.Cell(r, c), 0.0);
+  }
+}
+
+TEST(AmsSketchTest, EstimatesF2OnTurnstileStream) {
+  const int64_t universe = 128;
+  const auto updates = streams::ZipfTurnstileStream(20000, universe, 1.1,
+                                                    0.25, 3);
+  const int64_t exact = streams::ExactF2(updates, universe);
+  AmsSketch sketch(7, 256, 4);
+  for (const auto& u : updates) {
+    sketch.Update(static_cast<uint64_t>(u.item), u.sign);
+  }
+  EXPECT_NEAR(sketch.EstimateF2(), static_cast<double>(exact),
+              0.25 * static_cast<double>(exact));
+}
+
+TEST(AmsSketchTest, RowEstimateIsUnbiased) {
+  // Average the single-row estimate over independent sketches; it should
+  // match exact F2 within the standard error.
+  const int64_t universe = 64;
+  const auto updates = streams::ZipfInsertStream(3000, universe, 1.0, 5);
+  const int64_t exact = streams::ExactF2(updates, universe);
+  common::RunningStat stat;
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    AmsSketch sketch(1, 64, 100 + seed);
+    for (const auto& u : updates) {
+      sketch.Update(static_cast<uint64_t>(u.item), u.sign);
+    }
+    stat.Add(sketch.EstimateF2());
+  }
+  EXPECT_NEAR(stat.mean(), static_cast<double>(exact),
+              4.0 * stat.stderr_mean());
+}
+
+TEST(AmsSketchTest, MoreColumnsTightenTheEstimate) {
+  const int64_t universe = 256;
+  const auto updates = streams::ZipfInsertStream(10000, universe, 1.0, 7);
+  const double exact = static_cast<double>(streams::ExactF2(updates, universe));
+  auto spread = [&](int cols) {
+    common::RunningStat stat;
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+      AmsSketch sketch(1, cols, 1000 + seed);
+      for (const auto& u : updates) {
+        sketch.Update(static_cast<uint64_t>(u.item), u.sign);
+      }
+      stat.Add(std::fabs(sketch.EstimateF2() - exact) / exact);
+    }
+    return stat.mean();
+  };
+  EXPECT_LT(spread(512), spread(8));
+}
+
+TEST(AmsSketchTest, UpdateTouchesOneCellPerRow) {
+  AmsSketch sketch(4, 8, 9);
+  sketch.Update(7, 1);
+  for (int r = 0; r < 4; ++r) {
+    int nonzero = 0;
+    for (int c = 0; c < 8; ++c) {
+      if (sketch.Cell(r, c) != 0.0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 1) << "row " << r;
+  }
+}
+
+TEST(AmsSketchTest, HashAccessorsConsistentWithUpdates) {
+  AmsSketch sketch(2, 16, 11);
+  sketch.Update(99, 1);
+  for (int r = 0; r < 2; ++r) {
+    const int64_t c = sketch.BucketOf(r, 99);
+    EXPECT_DOUBLE_EQ(sketch.Cell(r, static_cast<int>(c)),
+                     static_cast<double>(sketch.SignOf(r, 99)));
+  }
+}
+
+}  // namespace
+}  // namespace nmc::sketch

@@ -1,0 +1,105 @@
+#include "sim/assignment.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::sim {
+namespace {
+
+TEST(RoundRobinTest, Cycles) {
+  RoundRobinAssignment psi(3);
+  EXPECT_EQ(psi.NextSite(0, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(1, 1.0), 1);
+  EXPECT_EQ(psi.NextSite(2, 1.0), 2);
+  EXPECT_EQ(psi.NextSite(3, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(301, -1.0), 1);
+}
+
+TEST(SingleSiteTest, AlwaysTarget) {
+  SingleSiteAssignment psi(4, 2);
+  for (int64_t t = 0; t < 20; ++t) EXPECT_EQ(psi.NextSite(t, 1.0), 2);
+}
+
+TEST(UniformRandomTest, InRangeAndRoughlyBalanced) {
+  UniformRandomAssignment psi(4, 123);
+  std::vector<int64_t> counts(4, 0);
+  const int n = 40000;
+  for (int64_t t = 0; t < n; ++t) {
+    const int s = psi.NextSite(t, 1.0);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++counts[static_cast<size_t>(s)];
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.01);
+  }
+}
+
+TEST(BlockCyclicTest, BlocksThenCycles) {
+  BlockCyclicAssignment psi(2, 3);
+  std::vector<int> expected{0, 0, 0, 1, 1, 1, 0, 0, 0};
+  for (size_t t = 0; t < expected.size(); ++t) {
+    EXPECT_EQ(psi.NextSite(static_cast<int64_t>(t), 1.0), expected[t]);
+  }
+}
+
+TEST(SignSplitTest, RoutesByValueSign) {
+  SignSplitAssignment psi(4);
+  // Positives cycle over {0, 1}; negatives over {2, 3}.
+  EXPECT_EQ(psi.NextSite(0, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(1, -1.0), 2);
+  EXPECT_EQ(psi.NextSite(2, 1.0), 1);
+  EXPECT_EQ(psi.NextSite(3, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(4, -1.0), 3);
+  EXPECT_EQ(psi.NextSite(5, -1.0), 2);
+}
+
+TEST(SignSplitTest, SingleSiteDegenerates) {
+  SignSplitAssignment psi(1);
+  EXPECT_EQ(psi.NextSite(0, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(1, -1.0), 0);
+}
+
+TEST(SignSplitTest, OddSiteCountSplits) {
+  SignSplitAssignment psi(3);  // half = 1: positives -> {0}, negatives -> {1, 2}
+  EXPECT_EQ(psi.NextSite(0, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(1, 1.0), 0);
+  EXPECT_EQ(psi.NextSite(2, -1.0), 1);
+  EXPECT_EQ(psi.NextSite(3, -1.0), 2);
+  EXPECT_EQ(psi.NextSite(4, -1.0), 1);
+}
+
+TEST(ZeroCrossingTest, HopsExactlyAtCrossings) {
+  ZeroCrossingAssignment psi(3);
+  // Prefix sums: 1, 0*, 1, 2, 1, 0*, -1, -2, -1, 0* — hops at the *.
+  const std::vector<double> values{1, -1, 1, 1, -1, -1, -1, -1, 1, 1};
+  const std::vector<int> expected{0, 1, 1, 1, 1, 2, 2, 2, 2, 0};
+  for (size_t t = 0; t < values.size(); ++t) {
+    EXPECT_EQ(psi.NextSite(static_cast<int64_t>(t), values[t]), expected[t])
+        << "t=" << t;
+  }
+}
+
+TEST(ZeroCrossingTest, NoCrossingNoHop) {
+  ZeroCrossingAssignment psi(4);
+  for (int t = 0; t < 50; ++t) EXPECT_EQ(psi.NextSite(t, 1.0), 0);
+}
+
+TEST(MakeAssignmentTest, KnownNames) {
+  for (const char* name : {"round_robin", "random", "single", "block",
+                           "sign_split", "zero_crossing"}) {
+    auto psi = MakeAssignment(name, 4, 7);
+    ASSERT_NE(psi, nullptr) << name;
+    const int s = psi->NextSite(0, 1.0);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+  }
+}
+
+TEST(MakeAssignmentTest, UnknownNameIsNull) {
+  EXPECT_EQ(MakeAssignment("nope", 4, 7), nullptr);
+}
+
+}  // namespace
+}  // namespace nmc::sim

@@ -1,0 +1,110 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_sync.h"
+#include "baselines/periodic_sync.h"
+#include "baselines/two_monotonic.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/bernoulli.h"
+#include "streams/permutation.h"
+
+namespace nmc::baselines {
+namespace {
+
+TEST(ExactSyncTest, ZeroErrorAtLinearCost) {
+  const int64_t n = 5000;
+  const auto stream = streams::BernoulliStream(n, 0.0, 1);
+  ExactSyncProtocol protocol(4);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.01;
+  const auto result = sim::RunTracking(stream, &psi, &protocol, tracking);
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_EQ(result.max_rel_error, 0.0);
+  EXPECT_EQ(result.messages, n);
+}
+
+TEST(ExactSyncTest, HandlesFractionalValues) {
+  ExactSyncProtocol protocol(2);
+  protocol.ProcessUpdate(0, 0.25);
+  protocol.ProcessUpdate(1, -0.75);
+  EXPECT_DOUBLE_EQ(protocol.Estimate(), -0.5);
+}
+
+TEST(PeriodicSyncTest, MessageCountIsNOverPeriod) {
+  const int64_t n = 10000;
+  const int64_t period = 10;
+  const auto stream = streams::BernoulliStream(n, 0.0, 3);
+  PeriodicSyncProtocol protocol(1, period);
+  sim::RoundRobinAssignment psi(1);
+  sim::TrackingOptions tracking;
+  const auto result = sim::RunTracking(stream, &psi, &protocol, tracking);
+  EXPECT_EQ(result.messages, n / period);
+}
+
+TEST(PeriodicSyncTest, ViolatesRelativeAccuracyNearZeroCrossings) {
+  // A drifting-up-then-down stream crosses zero while the estimate is
+  // stale: a fixed period cannot give relative accuracy.
+  std::vector<double> stream;
+  for (int i = 0; i < 500; ++i) stream.push_back(1.0);
+  for (int i = 0; i < 499; ++i) stream.push_back(-1.0);
+  // S ends at 1; at the end the estimate is stale by up to period updates.
+  PeriodicSyncProtocol protocol(1, 100);
+  sim::RoundRobinAssignment psi(1);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &protocol, tracking);
+  EXPECT_GT(result.violation_steps, 0);
+}
+
+TEST(PeriodicSyncTest, ExactAtSyncBoundariesSingleSite) {
+  PeriodicSyncProtocol protocol(1, 5);
+  double sum = 0.0;
+  for (int t = 0; t < 25; ++t) {
+    const double v = (t % 3 == 0) ? 1.0 : -0.5;
+    protocol.ProcessUpdate(0, v);
+    sum += v;
+    if ((t + 1) % 5 == 0) {
+      EXPECT_DOUBLE_EQ(protocol.Estimate(), sum) << "t=" << t;
+    }
+  }
+}
+
+TEST(TwoMonotonicTest, TracksEachSideButFailsTheDifference) {
+  // Balanced ±1 permuted stream: P and N are each ~n/2, S wanders near 0.
+  // Individually accurate counters leave an absolute error up to
+  // eps*(P+N), so the difference has unbounded relative error.
+  const int64_t n = 1 << 14;
+  const auto stream =
+      streams::RandomlyPermuted(streams::SignMultiset(n, 0.5), 7);
+  TwoMonotonicProtocol protocol(4, 0.1, 1e-6, 11);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &protocol, tracking);
+  EXPECT_GT(result.violation_steps, 0);
+}
+
+TEST(TwoMonotonicTest, FineOnStronglyBiasedStream) {
+  // With mu close to 1, eps*(P+N) ~ eps*S: the naive difference happens to
+  // be acceptable — the failure is specific to small |S|.
+  const int64_t n = 1 << 14;
+  const auto stream = streams::BernoulliStream(n, 0.95, 13);
+  TwoMonotonicProtocol protocol(4, 0.02, 1e-6, 17);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &protocol, tracking);
+  EXPECT_EQ(result.violation_steps, 0);
+}
+
+TEST(TwoMonotonicDeathTest, RejectsFractionalValues) {
+  TwoMonotonicProtocol protocol(2, 0.1, 1e-6, 19);
+  EXPECT_DEATH(protocol.ProcessUpdate(0, 0.5), "NMC_CHECK");
+}
+
+}  // namespace
+}  // namespace nmc::baselines

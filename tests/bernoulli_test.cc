@@ -1,0 +1,73 @@
+#include "streams/bernoulli.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmc::streams {
+namespace {
+
+TEST(BernoulliStreamTest, ValuesArePlusMinusOne) {
+  const auto stream = BernoulliStream(1000, 0.3, 1);
+  ASSERT_EQ(stream.size(), 1000u);
+  for (double v : stream) EXPECT_TRUE(v == 1.0 || v == -1.0);
+}
+
+TEST(BernoulliStreamTest, EmpiricalDriftMatches) {
+  for (double mu : {-0.8, -0.2, 0.0, 0.2, 0.8}) {
+    const auto stream = BernoulliStream(100000, mu, 7);
+    double sum = 0.0;
+    for (double v : stream) sum += v;
+    EXPECT_NEAR(sum / static_cast<double>(stream.size()), mu, 0.02)
+        << "mu=" << mu;
+  }
+}
+
+TEST(BernoulliStreamTest, ExtremeDriftsAreConstant) {
+  for (double v : BernoulliStream(100, 1.0, 3)) EXPECT_EQ(v, 1.0);
+  for (double v : BernoulliStream(100, -1.0, 3)) EXPECT_EQ(v, -1.0);
+}
+
+TEST(BernoulliStreamTest, DeterministicInSeed) {
+  EXPECT_EQ(BernoulliStream(500, 0.1, 42), BernoulliStream(500, 0.1, 42));
+  EXPECT_NE(BernoulliStream(500, 0.1, 42), BernoulliStream(500, 0.1, 43));
+}
+
+TEST(BernoulliStreamTest, EmptyStream) {
+  EXPECT_TRUE(BernoulliStream(0, 0.0, 1).empty());
+}
+
+TEST(FractionalIidStreamTest, BoundedByOne) {
+  const auto stream = FractionalIidStream(10000, 0.5, 1.0, 11);
+  for (double v : stream) {
+    EXPECT_LE(std::fabs(v), 1.0);
+  }
+}
+
+TEST(FractionalIidStreamTest, MeanMatchesDrift) {
+  const auto stream = FractionalIidStream(200000, 0.3, 0.5, 13);
+  double sum = 0.0;
+  for (double v : stream) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(stream.size()), 0.3, 0.01);
+}
+
+TEST(FractionalIidStreamTest, AmplitudeClampedNearDriftBound) {
+  // mu = 0.9 leaves amplitude at most 0.1 even if 0.8 was requested.
+  const auto stream = FractionalIidStream(10000, 0.9, 0.8, 17);
+  for (double v : stream) {
+    EXPECT_GE(v, 0.8 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(FractionalIidStreamTest, ValuesAreActuallyFractional) {
+  const auto stream = FractionalIidStream(100, 0.0, 0.5, 19);
+  int non_integral = 0;
+  for (double v : stream) {
+    if (v != std::floor(v)) ++non_integral;
+  }
+  EXPECT_GT(non_integral, 90);
+}
+
+}  // namespace
+}  // namespace nmc::streams

@@ -1,0 +1,93 @@
+#include "core/certify.h"
+
+#include <gtest/gtest.h>
+
+#include "streams/bernoulli.h"
+#include "test_util.h"
+
+namespace nmc::core {
+namespace {
+
+TEST(RangeFromEstimateTest, PositiveEstimate) {
+  const auto range = RangeFromEstimate(110.0, 0.1);
+  EXPECT_DOUBLE_EQ(range.lo, 100.0);
+  EXPECT_NEAR(range.hi, 122.22, 0.01);
+  EXPECT_TRUE(range.Contains(100.0));
+  EXPECT_TRUE(range.Contains(120.0));
+  EXPECT_FALSE(range.Contains(99.0));
+}
+
+TEST(RangeFromEstimateTest, NegativeEstimateIsMirror) {
+  const auto pos = RangeFromEstimate(110.0, 0.1);
+  const auto neg = RangeFromEstimate(-110.0, 0.1);
+  EXPECT_DOUBLE_EQ(neg.lo, -pos.hi);
+  EXPECT_DOUBLE_EQ(neg.hi, -pos.lo);
+}
+
+TEST(RangeFromEstimateTest, ZeroEstimatePinsZero) {
+  const auto range = RangeFromEstimate(0.0, 0.1);
+  EXPECT_DOUBLE_EQ(range.lo, 0.0);
+  EXPECT_DOUBLE_EQ(range.hi, 0.0);
+  EXPECT_TRUE(range.Contains(0.0));
+}
+
+TEST(RangeFromEstimateTest, RangeIsSoundForAnyTruthInGuarantee) {
+  // For any S and any estimate e within [(1-eps)S, (1+eps)S], S must lie
+  // in RangeFromEstimate(e).
+  const double eps = 0.2;
+  for (double truth : {-500.0, -1.0, 1.0, 3.0, 1000.0}) {
+    for (double factor : {1.0 - eps, 1.0 - eps / 2, 1.0, 1.0 + eps}) {
+      const double estimate = truth * factor;
+      EXPECT_TRUE(RangeFromEstimate(estimate, eps).Contains(truth))
+          << "truth=" << truth << " factor=" << factor;
+    }
+  }
+}
+
+TEST(CertifiedSignTest, ClearLeads) {
+  EXPECT_EQ(CertifiedSign(200.0, 0.1, 50.0), 1);
+  EXPECT_EQ(CertifiedSign(-200.0, 0.1, 50.0), -1);
+}
+
+TEST(CertifiedSignTest, TooCloseToCall) {
+  // Estimate 52 certifies S >= 52/1.1 = 47.3 < 50: no call.
+  EXPECT_EQ(CertifiedSign(52.0, 0.1, 50.0), 0);
+  EXPECT_EQ(CertifiedSign(-52.0, 0.1, 50.0), 0);
+  EXPECT_EQ(CertifiedSign(0.0, 0.1, 50.0), 0);
+}
+
+TEST(CertifiedSignTest, ZeroMagnitudeStillRequiresNonzero) {
+  EXPECT_EQ(CertifiedSign(1.0, 0.1, 0.0), 1);
+  EXPECT_EQ(CertifiedSign(-1.0, 0.1, 0.0), -1);
+  EXPECT_EQ(CertifiedSign(0.0, 0.1, 0.0), 0);
+}
+
+// End to end: certified statements derived from a live counter must never
+// be wrong about the true sum.
+TEST(CertifyIntegrationTest, NeverLiesAboutARealRun) {
+  const int64_t n = 1 << 14;
+  const double eps = 0.1;
+  const auto stream = streams::BernoulliStream(n, 0.2, 3);
+  CounterOptions options = nmc::testing::DefaultOptions(n, eps, 4);
+  NonMonotonicCounter counter(4, options);
+  sim::RoundRobinAssignment psi(4);
+  double truth = 0.0;
+  int64_t calls = 0;
+  for (int64_t t = 0; t < n; ++t) {
+    const double v = stream[static_cast<size_t>(t)];
+    counter.ProcessUpdate(psi.NextSite(t, v), v);
+    truth += v;
+    const double estimate = counter.Estimate();
+    ASSERT_TRUE(RangeFromEstimate(estimate, eps).Contains(truth)) << t;
+    const int sign = CertifiedSign(estimate, eps, 25.0);
+    if (sign != 0) {
+      ++calls;
+      ASSERT_EQ(sign, truth > 0 ? 1 : -1) << t;
+      ASSERT_GE(std::abs(truth), 25.0) << t;
+    }
+  }
+  EXPECT_GT(calls, n / 2);  // the drifting run is mostly callable
+}
+
+}  // namespace
+}  // namespace nmc::core

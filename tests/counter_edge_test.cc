@@ -1,0 +1,171 @@
+// Edge-case coverage for the Non-monotonic Counter: degenerate streams,
+// extreme parameters, and diagnostics consistency.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/bernoulli.h"
+#include "test_util.h"
+
+namespace nmc::core {
+namespace {
+
+using nmc::testing::DefaultOptions;
+using nmc::testing::RunCounter;
+
+TEST(CounterEdgeTest, SingleUpdateStream) {
+  core::NonMonotonicCounter counter(3, DefaultOptions(1, 0.1, 1));
+  counter.ProcessUpdate(2, -1.0);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), -1.0);
+  EXPECT_GT(counter.stats().total(), 0);
+}
+
+TEST(CounterEdgeTest, AllZeroValuesStayExact) {
+  // S_t == 0 throughout: the guarantee demands an exact 0 estimate, and
+  // the protocol must not blow up (rate clamps to 1 near zero).
+  const std::vector<double> stream(1000, 0.0);
+  core::NonMonotonicCounter counter(4, DefaultOptions(1000, 0.1, 2));
+  sim::RoundRobinAssignment psi(4);
+  for (int64_t t = 0; t < 1000; ++t) {
+    counter.ProcessUpdate(psi.NextSite(t, 0.0), 0.0);
+    ASSERT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  }
+}
+
+TEST(CounterEdgeTest, VeryLooseEpsilonStillTracks) {
+  const int64_t n = 1 << 14;
+  const auto stream = streams::BernoulliStream(n, 0.0, 3);
+  const auto result = RunCounter(stream, 2, DefaultOptions(n, 0.9, 4));
+  EXPECT_EQ(result.violation_steps, 0);
+}
+
+TEST(CounterEdgeTest, VeryTightEpsilonDegradesToNearExact) {
+  // eps so small the rate never leaves 1: cost == the straight floor but
+  // the tracking is still correct.
+  const int64_t n = 4096;
+  const auto stream = streams::BernoulliStream(n, 0.0, 5);
+  const auto result = RunCounter(stream, 2, DefaultOptions(n, 0.001, 6));
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_EQ(result.messages, 2 * n);
+}
+
+TEST(CounterEdgeTest, HorizonOneIsLegal) {
+  core::CounterOptions options = DefaultOptions(1, 0.1, 7);
+  core::NonMonotonicCounter counter(1, options);
+  counter.ProcessUpdate(0, 1.0);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 1.0);
+}
+
+TEST(CounterEdgeTest, ManySitesFewUpdates) {
+  // k >> n: every site sees at most one update; the straight stage keeps
+  // the coordinator exact.
+  core::NonMonotonicCounter counter(64, DefaultOptions(16, 0.1, 8));
+  double sum = 0.0;
+  for (int t = 0; t < 16; ++t) {
+    const double v = (t % 3 == 0) ? -1.0 : 1.0;
+    counter.ProcessUpdate(t * 4 % 64, v);
+    sum += v;
+    ASSERT_DOUBLE_EQ(counter.Estimate(), sum);
+  }
+}
+
+TEST(CounterEdgeTest, DiagnosticsAreConsistent) {
+  const int64_t n = 1 << 14;
+  const auto stream = streams::BernoulliStream(n, 0.6, 9);
+  core::CounterOptions options = DefaultOptions(n, 0.1, 10);
+  options.drift_mode = DriftMode::kUnknownUnitDrift;
+  core::NonMonotonicCounter counter(4, options);
+  sim::RoundRobinAssignment psi(4);
+  for (int64_t t = 0; t < n; ++t) {
+    const double v = stream[static_cast<size_t>(t)];
+    counter.ProcessUpdate(psi.NextSite(t, v), v);
+  }
+  const auto diag = counter.diagnostics();
+  EXPECT_TRUE(diag.phase2_active);
+  EXPECT_GT(diag.phase2_switch_time, 0);
+  EXPECT_LE(diag.phase2_switch_time, n);
+  EXPECT_GT(diag.straight_reports, 0);  // the walk starts near zero
+  EXPECT_GE(diag.stage_switches, 1);
+  EXPECT_NE(diag.mu_hat, 0.0);
+}
+
+TEST(CounterEdgeTest, DifferentSeedsDifferentCoinsSameGuarantee) {
+  // A drifting stream keeps the counter in the SBC stage, where the coins
+  // actually fire (a driftless walk at this n never leaves StraightSync,
+  // whose cost is deterministic).
+  const int64_t n = 1 << 14;
+  const auto stream = streams::BernoulliStream(n, 0.4, 11);
+  const auto a = RunCounter(stream, 2, DefaultOptions(n, 0.2, 100));
+  const auto b = RunCounter(stream, 2, DefaultOptions(n, 0.2, 200));
+  EXPECT_EQ(a.violation_steps, 0);
+  EXPECT_EQ(b.violation_steps, 0);
+  // Different coins: byte-identical cost would indicate the seed is dead.
+  EXPECT_NE(a.messages, b.messages);
+}
+
+TEST(CounterEdgeTest, StageThrashNearBoundaryStaysCorrect) {
+  // Hold |S| close to the SBC/StraightSync boundary so the stage flips
+  // repeatedly; correctness must not depend on stage stability.
+  const int64_t n = 1 << 14;
+  const double epsilon = 0.25;
+  core::CounterOptions options = DefaultOptions(n, epsilon, 12);
+  core::NonMonotonicCounter counter(2, options);
+  sim::RoundRobinAssignment psi(2);
+  // Climb to ~the boundary, then oscillate ±1 around it.
+  double sum = 0.0;
+  double max_rel_err = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    double v;
+    if (sum < 120.0) {
+      v = 1.0;
+    } else {
+      v = (t % 2 == 0) ? 1.0 : -1.0;
+    }
+    counter.ProcessUpdate(psi.NextSite(t, v), v);
+    sum += v;
+    if (std::fabs(sum) >= 1.0) {
+      max_rel_err = std::max(
+          max_rel_err, std::fabs(counter.Estimate() - sum) / std::fabs(sum));
+    }
+  }
+  EXPECT_LE(max_rel_err, epsilon);
+}
+
+TEST(CounterEdgeTest, HarnessCurveRecordsCounterTrajectory) {
+  const int64_t n = 1 << 13;
+  const auto stream = streams::BernoulliStream(n, 0.3, 13);
+  core::NonMonotonicCounter counter(2, DefaultOptions(n, 0.1, 14));
+  sim::RoundRobinAssignment psi(2);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  tracking.curve_points = 32;
+  const auto result = sim::RunTracking(stream, &psi, &counter, tracking);
+  ASSERT_EQ(result.curve.size(), 32u);
+  for (const auto& point : result.curve) {
+    EXPECT_NEAR(point.estimate, point.sum,
+                0.1 * std::fabs(point.sum) + 1e-9);
+  }
+}
+
+TEST(CounterEdgeDeathTest, InvalidParametersAbort) {
+  core::CounterOptions bad_eps = DefaultOptions(100, 0.1, 15);
+  bad_eps.epsilon = 0.0;
+  EXPECT_DEATH(core::NonMonotonicCounter(2, bad_eps), "NMC_CHECK");
+  core::CounterOptions bad_horizon = DefaultOptions(100, 0.1, 16);
+  bad_horizon.horizon_n = 0;
+  EXPECT_DEATH(core::NonMonotonicCounter(2, bad_horizon), "NMC_CHECK");
+}
+
+TEST(CounterEdgeDeathTest, OutOfRangeSiteAborts) {
+  core::NonMonotonicCounter counter(2, DefaultOptions(100, 0.1, 17));
+  EXPECT_DEATH(counter.ProcessUpdate(2, 1.0), "NMC_CHECK");
+  EXPECT_DEATH(counter.ProcessUpdate(-1, 1.0), "NMC_CHECK");
+}
+
+}  // namespace
+}  // namespace nmc::core

@@ -1,0 +1,144 @@
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/bernoulli.h"
+#include "streams/permutation.h"
+#include "test_util.h"
+
+namespace nmc::core {
+namespace {
+
+using nmc::testing::DefaultOptions;
+
+std::vector<double> MakeStream(const std::string& model, int64_t n,
+                               uint64_t seed) {
+  if (model == "iid_zero") return streams::BernoulliStream(n, 0.0, seed);
+  if (model == "iid_drift") return streams::BernoulliStream(n, 0.3, seed);
+  if (model == "perm_balanced") {
+    return streams::RandomlyPermuted(streams::SignMultiset(n, 0.5), seed);
+  }
+  if (model == "perm_oscillating") {
+    return streams::RandomlyPermuted(streams::OscillatingMultiset(n), seed);
+  }
+  ADD_FAILURE() << "unknown model " << model;
+  return {};
+}
+
+// (model, k, epsilon, seed).
+using TrackingParam = std::tuple<std::string, int, double, uint64_t>;
+
+class TrackingInvariantTest : public ::testing::TestWithParam<TrackingParam> {
+};
+
+// The central property of the paper: the tracking guarantee holds at every
+// step, for every input model, site count, accuracy, and seed — while the
+// communication stays within the trivial per-update bound.
+TEST_P(TrackingInvariantTest, HoldsEverywhere) {
+  const auto& [model, k, epsilon, seed] = GetParam();
+  const int64_t n = 4096;
+  const auto stream = MakeStream(model, n, seed);
+  CounterOptions options = DefaultOptions(n, epsilon, seed + 1000);
+  NonMonotonicCounter counter(k, options);
+  sim::RoundRobinAssignment psi(k);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = epsilon;
+  const auto result = sim::RunTracking(stream, &psi, &counter, tracking);
+
+  EXPECT_EQ(result.violation_steps, 0)
+      << "model=" << model << " k=" << k << " eps=" << epsilon
+      << " seed=" << seed;
+  EXPECT_LE(result.max_rel_error, epsilon + 1e-9);
+  // Never more expensive than a full SBC sync plus a straight exchange per
+  // update.
+  EXPECT_LE(result.messages, (3 * static_cast<int64_t>(k) + 3) * n);
+  EXPECT_NEAR(result.final_estimate, result.final_sum,
+              epsilon * std::fabs(result.final_sum) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrackingInvariantTest,
+    ::testing::Combine(
+        ::testing::Values("iid_zero", "iid_drift", "perm_balanced",
+                          "perm_oscillating"),
+        ::testing::Values(1, 3, 8),
+        ::testing::Values(0.05, 0.1, 0.2),
+        ::testing::Values<uint64_t>(1, 2)),
+    [](const ::testing::TestParamInfo<TrackingParam>& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
+             "_s" + std::to_string(std::get<3>(info.param));
+    });
+
+// (policy, k).
+using PolicyParam = std::tuple<std::string, int>;
+
+class AssignmentInvariantTest : public ::testing::TestWithParam<PolicyParam> {
+};
+
+// The adversary's partition psi must not affect correctness (the paper's
+// model lets psi be adaptive; the guarantee is over the protocol's coins).
+TEST_P(AssignmentInvariantTest, TrackingHoldsUnderAllPolicies) {
+  const auto& [policy, k] = GetParam();
+  const int64_t n = 4096;
+  const auto stream = streams::RandomlyPermuted(streams::SignMultiset(n, 0.6),
+                                                /*seed=*/77);
+  CounterOptions options = DefaultOptions(n, 0.1, 88);
+  NonMonotonicCounter counter(k, options);
+  auto psi = sim::MakeAssignment(policy, k, 99);
+  ASSERT_NE(psi, nullptr);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, psi.get(), &counter, tracking);
+  EXPECT_EQ(result.violation_steps, 0) << policy << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AssignmentInvariantTest,
+    ::testing::Combine(::testing::Values("round_robin", "random", "single",
+                                         "block", "sign_split"),
+                       ::testing::Values(2, 5)),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Drift-mode property sweep: Phase 2 must engage for every constant drift
+// and the estimate must stay correct through and after the switch.
+class DriftSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftSweepTest, PhaseTwoEngagesAndTracks) {
+  const double mu = GetParam();
+  const int64_t n = 1 << 15;
+  const auto stream = streams::BernoulliStream(n, mu, 7);
+  CounterOptions options = DefaultOptions(n, 0.1, 8);
+  options.drift_mode = DriftMode::kUnknownUnitDrift;
+  NonMonotonicCounter counter(4, options);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &counter, tracking);
+  EXPECT_EQ(result.violation_steps, 0) << "mu=" << mu;
+  const auto diag = counter.diagnostics();
+  EXPECT_TRUE(diag.phase2_active) << "mu=" << mu;
+  EXPECT_NEAR(diag.mu_hat, mu, 0.3 * std::fabs(mu) + 0.02) << "mu=" << mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(Drifts, DriftSweepTest,
+                         ::testing::Values(-1.0, -0.7, -0.4, 0.4, 0.7, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           const int code =
+                               static_cast<int>(std::lround(info.param * 10));
+                           return std::string(code < 0 ? "neg" : "pos") +
+                                  std::to_string(std::abs(code));
+                         });
+
+}  // namespace
+}  // namespace nmc::core

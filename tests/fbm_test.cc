@@ -1,0 +1,151 @@
+#include "streams/fbm.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+
+namespace nmc::streams {
+namespace {
+
+TEST(FgnAutocovarianceTest, UnitVarianceAtLagZero) {
+  for (double h : {0.2, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(FgnAutocovariance(h, 0), 1.0, 1e-12) << "H=" << h;
+  }
+}
+
+TEST(FgnAutocovarianceTest, BrownianIncrementsUncorrelated) {
+  for (int64_t lag : {1, 2, 5, 100}) {
+    EXPECT_NEAR(FgnAutocovariance(0.5, lag), 0.0, 1e-12);
+  }
+}
+
+TEST(FgnAutocovarianceTest, PositiveForLargeHurst) {
+  for (int64_t lag : {1, 2, 10}) {
+    EXPECT_GT(FgnAutocovariance(0.8, lag), 0.0);
+  }
+}
+
+TEST(FgnAutocovarianceTest, NegativeForSmallHurst) {
+  EXPECT_LT(FgnAutocovariance(0.3, 1), 0.0);
+}
+
+TEST(FgnAutocovarianceTest, SymmetricInLag) {
+  EXPECT_DOUBLE_EQ(FgnAutocovariance(0.7, 3), FgnAutocovariance(0.7, -3));
+}
+
+// Sample autocovariance of Davies-Harte output should match theory. For
+// large H a single realization's sample autocovariance converges slowly
+// (fluctuations ~ n^{2H-2}), so we average over independent realizations.
+TEST(FgnDaviesHarteTest, SampleAutocovarianceMatchesTheory) {
+  const int64_t n = 1 << 14;
+  const int trials = 24;
+  for (double hurst : {0.5, 0.7, 0.85}) {
+    for (int64_t lag : {0, 1, 2, 8}) {
+      double mean_cov = 0.0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto fgn =
+            FgnDaviesHarte(n, hurst, 12345 + static_cast<uint64_t>(trial));
+        double acc = 0.0;
+        for (int64_t t = 0; t + lag < n; ++t) {
+          acc +=
+              fgn[static_cast<size_t>(t)] * fgn[static_cast<size_t>(t + lag)];
+        }
+        mean_cov += acc / static_cast<double>(n - lag);
+      }
+      mean_cov /= trials;
+      EXPECT_NEAR(mean_cov, FgnAutocovariance(hurst, lag), 0.08)
+          << "H=" << hurst << " lag=" << lag;
+    }
+  }
+}
+
+TEST(FgnDaviesHarteTest, MarginalIsStandardNormal) {
+  const auto fgn = FgnDaviesHarte(1 << 14, 0.75, 777);
+  common::RunningStat stat;
+  for (double x : fgn) stat.Add(x);
+  EXPECT_NEAR(stat.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stat.variance(), 1.0, 0.15);
+}
+
+// The defining self-similarity property: Var[S_t] = t^{2H}.
+TEST(FgnDaviesHarteTest, PartialSumVarianceScalesAsT2H) {
+  const int64_t n = 1 << 12;
+  const int trials = 48;
+  for (double hurst : {0.5, 0.8}) {
+    std::vector<double> ts{64.0, 256.0, 1024.0, 4096.0};
+    std::vector<double> vars;
+    for (double tq : ts) {
+      const int64_t t = static_cast<int64_t>(tq);
+      common::RunningStat stat;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto fgn =
+            FgnDaviesHarte(n, hurst, 1000 + static_cast<uint64_t>(trial));
+        double sum = 0.0;
+        for (int64_t i = 0; i < t; ++i) sum += fgn[static_cast<size_t>(i)];
+        stat.Add(sum * sum);
+      }
+      vars.push_back(stat.mean());
+    }
+    const auto fit = common::FitPowerLaw(ts, vars);
+    EXPECT_NEAR(fit.slope, 2.0 * hurst, 0.25) << "H=" << hurst;
+  }
+}
+
+TEST(FgnDaviesHarteTest, DeterministicInSeed) {
+  EXPECT_EQ(FgnDaviesHarte(256, 0.7, 5), FgnDaviesHarte(256, 0.7, 5));
+  EXPECT_NE(FgnDaviesHarte(256, 0.7, 5), FgnDaviesHarte(256, 0.7, 6));
+}
+
+TEST(FgnHoskingTest, SampleAutocovarianceMatchesTheory) {
+  const int64_t n = 4096;
+  const double hurst = 0.75;
+  const auto fgn = FgnHosking(n, hurst, 31);
+  for (int64_t lag : {0, 1, 4}) {
+    double acc = 0.0;
+    for (int64_t t = 0; t + lag < n; ++t) {
+      acc += fgn[static_cast<size_t>(t)] * fgn[static_cast<size_t>(t + lag)];
+    }
+    const double sample_cov = acc / static_cast<double>(n - lag);
+    EXPECT_NEAR(sample_cov, FgnAutocovariance(hurst, lag), 0.12) << lag;
+  }
+}
+
+// Cross-validation: the two generators should produce statistically
+// indistinguishable partial-sum variances.
+TEST(FgnGeneratorsTest, HoskingAndDaviesHarteAgree) {
+  const int64_t n = 512;
+  const double hurst = 0.7;
+  const int trials = 64;
+  common::RunningStat dh_stat, hos_stat;
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = 9000 + static_cast<uint64_t>(trial);
+    double dh_sum = 0.0;
+    for (double x : FgnDaviesHarte(n, hurst, seed)) dh_sum += x;
+    double hos_sum = 0.0;
+    for (double x : FgnHosking(n, hurst, seed + 50000)) hos_sum += x;
+    dh_stat.Add(dh_sum * dh_sum);
+    hos_stat.Add(hos_sum * hos_sum);
+  }
+  const double theory = std::pow(static_cast<double>(n), 2.0 * hurst);
+  EXPECT_NEAR(dh_stat.mean() / theory, 1.0, 0.45);
+  EXPECT_NEAR(hos_stat.mean() / theory, 1.0, 0.45);
+}
+
+TEST(CumulativeSumTest, PrefixSums) {
+  const std::vector<double> increments{1.0, -2.0, 3.0};
+  const auto path = CumulativeSum(increments);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_DOUBLE_EQ(path[0], 1.0);
+  EXPECT_DOUBLE_EQ(path[1], -1.0);
+  EXPECT_DOUBLE_EQ(path[2], 2.0);
+}
+
+TEST(CumulativeSumTest, EmptyInput) {
+  EXPECT_TRUE(CumulativeSum({}).empty());
+}
+
+}  // namespace
+}  // namespace nmc::streams

@@ -1,0 +1,87 @@
+#include "streams/fft.h"
+
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nmc::streams {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> RandomVector(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.Gaussian(), rng.Gaussian());
+  return v;
+}
+
+double MaxError(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double err = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+TEST(FftTest, MatchesNaiveDftAcrossSizes) {
+  for (size_t n : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    auto data = RandomVector(n, 100 + n);
+    const auto expected = NaiveDft(data);
+    Fft(&data);
+    EXPECT_LT(MaxError(data, expected), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(FftTest, InverseRoundTrip) {
+  for (size_t n : {2u, 8u, 128u, 1024u}) {
+    const auto original = RandomVector(n, 200 + n);
+    auto data = original;
+    Fft(&data);
+    InverseFft(&data);
+    EXPECT_LT(MaxError(data, original), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(FftTest, DeltaTransformsToOnes) {
+  std::vector<Complex> data(8, Complex(0.0, 0.0));
+  data[0] = Complex(1.0, 0.0);
+  Fft(&data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantTransformsToScaledDelta) {
+  std::vector<Complex> data(16, Complex(1.0, 0.0));
+  Fft(&data);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-10);
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  auto data = RandomVector(512, 7);
+  double time_energy = 0.0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  Fft(&data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 512.0, time_energy, 1e-6 * time_energy);
+}
+
+TEST(NextPowerOfTwoTest, Values) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace nmc::streams

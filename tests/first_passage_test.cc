@@ -1,0 +1,120 @@
+#include "analysis/first_passage.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace nmc::analysis {
+namespace {
+
+TEST(ExitTimeTest, DistributionSumsToOne) {
+  // For b = 5 the exit time is a.s. finite; 4000 steps capture all but a
+  // negligible tail.
+  const auto dist = ExitTimeDistribution(5, 0.0, 4000);
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExitTimeTest, ParityStructure) {
+  // From 0, reaching ±b requires r ≡ b (mod 2): odd b exits only at odd r.
+  const auto dist = ExitTimeDistribution(3, 0.0, 100);
+  for (int64_t r = 1; r <= 100; ++r) {
+    if ((r % 2) != 1) {
+      EXPECT_EQ(dist[static_cast<size_t>(r - 1)], 0.0) << "r=" << r;
+    }
+  }
+  EXPECT_GT(dist[2], 0.0);  // earliest exit at r = 3
+  EXPECT_EQ(dist[0], 0.0);  // can't exit ±3 in 1 step
+}
+
+TEST(ExitTimeTest, MeanIsBSquaredForSymmetricWalk) {
+  // Optional stopping: E[T] = b^2 exactly for the two-sided symmetric
+  // exit.
+  for (int64_t b : {2, 5, 10}) {
+    EXPECT_NEAR(ExitTimeMean(b, 0.0, 40 * b * b), static_cast<double>(b * b),
+                0.01 * static_cast<double>(b * b))
+        << "b=" << b;
+  }
+}
+
+TEST(ExitTimeTest, DriftShortensTheExit) {
+  // With drift mu the walk exits in ~b/mu steps << b^2.
+  const double symmetric = ExitTimeMean(20, 0.0, 40000);
+  const double drifted = ExitTimeMean(20, 0.5, 40000);
+  EXPECT_NEAR(symmetric, 400.0, 5.0);
+  EXPECT_LT(drifted, 60.0);   // ~ b/mu = 40
+  EXPECT_GT(drifted, 30.0);
+}
+
+TEST(SyncFailureTest, ClosedFormMatchesExactDp) {
+  for (int64_t b : {5, 20, 60}) {
+    for (double p : {0.001, 0.01, 0.1}) {
+      const double closed = SyncFailureClosedForm(b, p);
+      const double dp = SyncFailureFromDp(b, 0.0, p, 400000);
+      EXPECT_NEAR(dp, closed, 1e-6 + 0.01 * closed)
+          << "b=" << b << " p=" << p;
+    }
+  }
+}
+
+TEST(SyncFailureTest, MonteCarloMatchesClosedForm) {
+  for (int64_t b : {10, 30}) {
+    const double p = 4.0 / static_cast<double>(b * b);  // failure ~ 6%
+    const double closed = SyncFailureClosedForm(b, p);
+    const double mc = SyncFailureMonteCarlo(b, 0.0, p, 200000, 7);
+    EXPECT_NEAR(mc, closed, 4.0 * std::sqrt(closed / 200000.0) + 0.002)
+        << "b=" << b;
+  }
+}
+
+TEST(SyncFailureTest, ExponentialInSqrtPbSquared) {
+  // failure = 1/cosh(b*acosh(1/(1-p))) ~ 2 exp(-b sqrt(2p)): quadrupling
+  // A = p*b^2 doubles the exponent.
+  const int64_t b = 50;
+  const double a1 = 4.0, a2 = 16.0;
+  const double f1 = SyncFailureClosedForm(b, a1 / (b * b));
+  const double f2 = SyncFailureClosedForm(b, a2 / (b * b));
+  const double exponent_ratio = std::log(f2 / 2.0) / std::log(f1 / 2.0);
+  EXPECT_NEAR(exponent_ratio, 2.0, 0.1);
+}
+
+TEST(SyncFailureTest, DriftMakesFailureWorseAtFixedRate) {
+  // A drifting walk escapes sooner, so the same sampling rate fails more
+  // often — the quantitative reason the drift guard exists.
+  const int64_t b = 30;
+  const double p = 4.0 / (30.0 * 30.0);
+  const double symmetric = SyncFailureFromDp(b, 0.0, p, 200000);
+  const double drifted = SyncFailureFromDp(b, 0.4, p, 200000);
+  EXPECT_GT(drifted, 5.0 * symmetric);
+}
+
+TEST(Eq1FailureTest, DefaultsGiveRoughlyNMinusSqrt2Alpha) {
+  // At the paper-faithful beta = 2, failure ~ 2 n^{-sqrt(2 alpha)}: for
+  // alpha = 2 that is ~2/n^2.
+  for (int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+    // Radius where the rate is well below 1 (the interesting regime).
+    const double log_n = std::log(static_cast<double>(n));
+    const int64_t b = static_cast<int64_t>(4.0 * log_n);
+    const double failure = Eq1FailureAtRadius(b, 2.0, 2.0, n);
+    const double predicted =
+        2.0 * std::pow(static_cast<double>(n), -2.0);  // 2 n^{-sqrt(4)}
+    EXPECT_GT(failure, predicted / 30.0) << "n=" << n;
+    EXPECT_LT(failure, predicted * 30.0) << "n=" << n;
+  }
+}
+
+TEST(Eq1FailureTest, RateClampedToOneIsExact) {
+  // Small radius: the law samples every update, so failure is 0.
+  EXPECT_EQ(Eq1FailureAtRadius(3, 2.0, 2.0, 1 << 16), 0.0);
+}
+
+TEST(Eq1FailureTest, SmallerBetaFailsMore) {
+  const int64_t n = 1 << 16;
+  const int64_t b = 60;
+  EXPECT_GT(Eq1FailureAtRadius(b, 2.0, 1.0, n),
+            10.0 * Eq1FailureAtRadius(b, 2.0, 2.0, n));
+}
+
+}  // namespace
+}  // namespace nmc::analysis

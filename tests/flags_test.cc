@@ -1,0 +1,92 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+Flags ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  Flags flags;
+  const Status status =
+      Flags::Parse(static_cast<int>(argv.size()), argv.data(), &flags);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return flags;
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const Flags flags = ParseOk({"--n=1024", "--eps=0.25", "--model=iid"});
+  EXPECT_EQ(flags.GetInt("n", 0), 1024);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.25);
+  EXPECT_EQ(flags.GetString("model", ""), "iid");
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags flags = ParseOk({"--csv"});
+  EXPECT_TRUE(flags.Has("csv"));
+  EXPECT_TRUE(flags.GetBool("csv", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = ParseOk({});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.5), 0.5);
+  EXPECT_EQ(flags.GetString("model", "iid"), "iid");
+  EXPECT_FALSE(flags.GetBool("csv", false));
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+TEST(FlagsTest, BoolAcceptsNumericForms) {
+  const Flags flags = ParseOk({"--a=1", "--b=0", "--c=true", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  const Flags flags = ParseOk({"--x=-42", "--y=-0.5"});
+  EXPECT_EQ(flags.GetInt("x", 0), -42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("y", 0.0), -0.5);
+}
+
+TEST(FlagsTest, MalformedNumericRecorded) {
+  const Flags flags = ParseOk({"--n=abc", "--eps=1.2.3", "--b=maybe"});
+  EXPECT_EQ(flags.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.1), 0.1);
+  EXPECT_FALSE(flags.GetBool("b", false));
+  EXPECT_EQ(flags.Malformed().size(), 3u);
+}
+
+TEST(FlagsTest, RejectsNonFlagTokens) {
+  const char* argv[] = {"prog", "positional"};
+  Flags flags;
+  EXPECT_FALSE(Flags::Parse(2, argv, &flags).ok());
+}
+
+TEST(FlagsTest, RejectsEmptyKey) {
+  const char* argv[] = {"prog", "--=5"};
+  Flags flags;
+  EXPECT_FALSE(Flags::Parse(2, argv, &flags).ok());
+}
+
+TEST(FlagsTest, UnusedKeysDetectTypos) {
+  const Flags flags = ParseOk({"--n=10", "--typo=3"});
+  (void)flags.GetInt("n", 0);
+  const auto unused = flags.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags flags = ParseOk({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, ValueMayContainEquals) {
+  const Flags flags = ParseOk({"--expr=a=b"});
+  EXPECT_EQ(flags.GetString("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace nmc::common

@@ -1,0 +1,137 @@
+#include "sim/harness.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/protocol.h"
+
+namespace nmc::sim {
+namespace {
+
+// A protocol whose estimate is exact times a configurable bias; sends a
+// fake message every `message_every` updates so the harness has stats to
+// record.
+class FakeProtocol : public Protocol {
+ public:
+  FakeProtocol(int num_sites, double bias, int64_t message_every)
+      : num_sites_(num_sites), bias_(bias), message_every_(message_every) {}
+
+  int num_sites() const override { return num_sites_; }
+
+  void ProcessUpdate(int /*site_id*/, double value) override {
+    sum_ += value;
+    ++updates_;
+    if (updates_ % message_every_ == 0) stats_.site_to_coordinator += 1;
+  }
+
+  double Estimate() const override { return sum_ * bias_; }
+
+  const MessageStats& stats() const override { return stats_; }
+
+ private:
+  int num_sites_;
+  double bias_;
+  int64_t message_every_;
+  double sum_ = 0.0;
+  int64_t updates_ = 0;
+  MessageStats stats_;
+};
+
+std::vector<double> UpDownStream() {
+  // Climbs to 50 then back to 0, twice.
+  std::vector<double> stream;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int i = 0; i < 50; ++i) stream.push_back(1.0);
+    for (int i = 0; i < 50; ++i) stream.push_back(-1.0);
+  }
+  return stream;
+}
+
+TEST(HarnessTest, ExactProtocolHasNoViolations) {
+  const auto stream = UpDownStream();
+  FakeProtocol protocol(2, 1.0, 10);
+  RoundRobinAssignment psi(2);
+  TrackingOptions options;
+  options.epsilon = 0.1;
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  EXPECT_EQ(result.n, 200);
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_FALSE(result.any_violation());
+  EXPECT_EQ(result.max_rel_error, 0.0);
+  EXPECT_EQ(result.messages, 20);
+  EXPECT_DOUBLE_EQ(result.final_sum, 0.0);
+  EXPECT_DOUBLE_EQ(result.final_estimate, 0.0);
+}
+
+TEST(HarnessTest, BiasWithinEpsilonIsAccepted) {
+  const auto stream = UpDownStream();
+  FakeProtocol protocol(1, 1.05, 1000);
+  RoundRobinAssignment psi(1);
+  TrackingOptions options;
+  options.epsilon = 0.1;
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_NEAR(result.max_rel_error, 0.05, 1e-9);
+}
+
+TEST(HarnessTest, BiasBeyondEpsilonViolatesAtEveryNonzeroStep) {
+  const auto stream = UpDownStream();
+  FakeProtocol protocol(1, 1.5, 1000);
+  RoundRobinAssignment psi(1);
+  TrackingOptions options;
+  options.epsilon = 0.1;
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  // All steps except those with S == 0 (bias * 0 == 0) violate.
+  int64_t zero_steps = 0;
+  double sum = 0.0;
+  for (double v : stream) {
+    sum += v;
+    if (sum == 0.0) ++zero_steps;
+  }
+  EXPECT_EQ(result.violation_steps, result.n - zero_steps);
+  EXPECT_NEAR(result.max_rel_error, 0.5, 1e-9);
+}
+
+TEST(HarnessTest, RelErrorFloorExcludesSmallSums) {
+  const auto stream = UpDownStream();
+  FakeProtocol protocol(1, 1.2, 1000);
+  RoundRobinAssignment psi(1);
+  TrackingOptions options;
+  options.epsilon = 0.5;  // bias never violates
+  options.rel_error_floor = 1e9;  // excludes everything
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_EQ(result.max_rel_error, 0.0);
+}
+
+TEST(HarnessTest, CurveSamplingProducesRequestedDensity) {
+  const auto stream = UpDownStream();  // n = 200
+  FakeProtocol protocol(1, 1.0, 10);
+  RoundRobinAssignment psi(1);
+  TrackingOptions options;
+  options.epsilon = 0.1;
+  options.curve_points = 20;
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  ASSERT_EQ(result.curve.size(), 20u);
+  EXPECT_EQ(result.curve.front().t, 10);
+  EXPECT_EQ(result.curve.back().t, 200);
+  // Messages are non-decreasing along the curve.
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].messages, result.curve[i - 1].messages);
+    EXPECT_GT(result.curve[i].t, result.curve[i - 1].t);
+  }
+}
+
+TEST(HarnessTest, CurveDisabledByDefault) {
+  const auto stream = UpDownStream();
+  FakeProtocol protocol(1, 1.0, 10);
+  RoundRobinAssignment psi(1);
+  TrackingOptions options;
+  const TrackingResult result = RunTracking(stream, &psi, &protocol, options);
+  EXPECT_TRUE(result.curve.empty());
+}
+
+}  // namespace
+}  // namespace nmc::sim

@@ -1,0 +1,98 @@
+#include "sketch/hash.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::sketch {
+namespace {
+
+TEST(KWiseHashTest, DeterministicInSeed) {
+  KWiseHash a(4, 7);
+  KWiseHash b(4, 7);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.Hash(x), b.Hash(x));
+}
+
+TEST(KWiseHashTest, DifferentSeedsDiffer) {
+  KWiseHash a(4, 1);
+  KWiseHash b(4, 2);
+  int differing = 0;
+  for (uint64_t x = 0; x < 100; ++x) {
+    if (a.Hash(x) != b.Hash(x)) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(KWiseHashTest, HashBelowPrime) {
+  KWiseHash h(4, 3);
+  const uint64_t prime = (1ULL << 61) - 1;
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Hash(x * 1234567), prime);
+}
+
+TEST(KWiseHashTest, BucketInRange) {
+  KWiseHash h(4, 5);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const int64_t b = h.Bucket(x, 17);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 17);
+  }
+}
+
+TEST(KWiseHashTest, BucketsApproximatelyUniform) {
+  KWiseHash h(4, 11);
+  const int64_t range = 16;
+  std::vector<int64_t> counts(static_cast<size_t>(range), 0);
+  const int n = 64000;
+  for (uint64_t x = 0; x < static_cast<uint64_t>(n); ++x) {
+    ++counts[static_cast<size_t>(h.Bucket(x, range))];
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 16.0, 0.01);
+  }
+}
+
+TEST(KWiseHashTest, SignsBalanced) {
+  KWiseHash h(4, 13);
+  int64_t sum = 0;
+  const int n = 100000;
+  for (uint64_t x = 0; x < static_cast<uint64_t>(n); ++x) {
+    const int s = h.Sign(x);
+    ASSERT_TRUE(s == 1 || s == -1);
+    sum += s;
+  }
+  EXPECT_LT(std::fabs(static_cast<double>(sum)) / n, 0.02);
+}
+
+TEST(KWiseHashTest, PairwiseSignProductsBalanced) {
+  // 4-wise independence implies E[g(x) g(y)] = 0 for x != y; averaged over
+  // many hash draws, sign products should vanish.
+  double acc = 0.0;
+  const int draws = 2000;
+  for (int d = 0; d < draws; ++d) {
+    KWiseHash h(4, 100 + static_cast<uint64_t>(d));
+    acc += static_cast<double>(h.Sign(12345) * h.Sign(67890));
+  }
+  EXPECT_LT(std::fabs(acc) / draws, 0.06);
+}
+
+TEST(KWiseHashTest, FourWiseSignProductsBalanced) {
+  // E[g(a) g(b) g(c) g(d)] = 0 for distinct items under 4-wise
+  // independence — the exact moment the F2 variance bound needs.
+  double acc = 0.0;
+  const int draws = 2000;
+  for (int d = 0; d < draws; ++d) {
+    KWiseHash h(4, 5000 + static_cast<uint64_t>(d));
+    acc += static_cast<double>(h.Sign(1) * h.Sign(2) * h.Sign(3) * h.Sign(4));
+  }
+  EXPECT_LT(std::fabs(acc) / draws, 0.06);
+}
+
+TEST(KWiseHashTest, IndependenceReported) {
+  EXPECT_EQ(KWiseHash(2, 1).independence(), 2);
+  EXPECT_EQ(KWiseHash(4, 1).independence(), 4);
+}
+
+}  // namespace
+}  // namespace nmc::sketch

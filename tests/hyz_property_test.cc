@@ -1,0 +1,96 @@
+// Parameterized property sweeps for the HYZ monotonic counter: the
+// tracking invariant must hold over the full (mode, k, eps, seed) grid,
+// and cost must order sensibly in eps.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hyz/hyz_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+
+namespace nmc::hyz {
+namespace {
+
+std::vector<double> Ones(int64_t n) {
+  return std::vector<double>(static_cast<size_t>(n), 1.0);
+}
+
+// (mode, k, eps, seed).
+using HyzParam = std::tuple<int, int, double, uint64_t>;
+
+class HyzInvariantTest : public ::testing::TestWithParam<HyzParam> {};
+
+TEST_P(HyzInvariantTest, TrackingHoldsEverywhere) {
+  const auto& [mode_int, k, epsilon, seed] = GetParam();
+  const int64_t n = 16384;
+  HyzOptions options;
+  options.mode = mode_int == 0 ? HyzMode::kSampled : HyzMode::kDeterministic;
+  options.epsilon = epsilon;
+  options.delta = 1e-6;
+  options.seed = seed;
+  HyzProtocol counter(k, options);
+  sim::RoundRobinAssignment psi(k);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = epsilon;
+  const auto result = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+  EXPECT_EQ(result.violation_steps, 0)
+      << "mode=" << mode_int << " k=" << k << " eps=" << epsilon
+      << " seed=" << seed;
+  EXPECT_DOUBLE_EQ(result.final_sum, static_cast<double>(n));
+  // Sanity: never more than one message per update plus round overheads.
+  EXPECT_LE(result.messages, 2 * n + 100 * (3 * k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HyzInvariantTest,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(1, 3, 8, 32),
+                       ::testing::Values(0.02, 0.1, 0.3),
+                       ::testing::Values<uint64_t>(1, 2)),
+    [](const ::testing::TestParamInfo<HyzParam>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "sampled" : "det") +
+             "_k" + std::to_string(std::get<1>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
+             "_s" + std::to_string(std::get<3>(info.param));
+    });
+
+TEST(HyzOrderingTest, CostMonotoneInEpsilonBothModes) {
+  const int64_t n = 40000;
+  for (HyzMode mode : {HyzMode::kSampled, HyzMode::kDeterministic}) {
+    int64_t previous = 1LL << 60;
+    for (double epsilon : {0.02, 0.08, 0.32}) {
+      HyzOptions options;
+      options.mode = mode;
+      options.epsilon = epsilon;
+      options.seed = 7;
+      HyzProtocol counter(4, options);
+      sim::RoundRobinAssignment psi(4);
+      sim::TrackingOptions tracking;
+      const auto result = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+      EXPECT_LE(result.messages, previous)
+          << "mode=" << static_cast<int>(mode) << " eps=" << epsilon;
+      previous = result.messages;
+    }
+  }
+}
+
+TEST(HyzOrderingTest, LooseningDeltaReducesSampledCost) {
+  const int64_t n = 40000;
+  auto cost_at = [&](double delta) {
+    HyzOptions options;
+    options.epsilon = 0.1;
+    options.delta = delta;
+    options.seed = 9;
+    HyzProtocol counter(4, options);
+    sim::RoundRobinAssignment psi(4);
+    sim::TrackingOptions tracking;
+    return sim::RunTracking(Ones(n), &psi, &counter, tracking).messages;
+  };
+  EXPECT_LT(cost_at(1e-2), cost_at(1e-12));
+}
+
+}  // namespace
+}  // namespace nmc::hyz

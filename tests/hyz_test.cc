@@ -1,0 +1,169 @@
+#include "hyz/hyz_counter.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+
+namespace nmc::hyz {
+namespace {
+
+HyzOptions Options(double epsilon, uint64_t seed) {
+  HyzOptions options;
+  options.epsilon = epsilon;
+  options.delta = 1e-6;
+  options.seed = seed;
+  return options;
+}
+
+std::vector<double> Ones(int64_t n) {
+  return std::vector<double>(static_cast<size_t>(n), 1.0);
+}
+
+TEST(HyzTest, TracksSmallCountsExactly) {
+  // Early rounds have sampling probability 1, so tiny counts are exact.
+  HyzProtocol counter(2, Options(0.1, 1));
+  sim::RoundRobinAssignment psi(2);
+  for (int t = 0; t < 8; ++t) {
+    counter.ProcessUpdate(psi.NextSite(t, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(counter.Estimate(), static_cast<double>(t + 1));
+  }
+}
+
+TEST(HyzTest, ContinuousTrackingWithinEpsilon) {
+  const int64_t n = 20000;
+  for (int k : {1, 4, 16}) {
+    HyzProtocol counter(k, Options(0.1, 7));
+    sim::RoundRobinAssignment psi(k);
+    sim::TrackingOptions tracking;
+    tracking.epsilon = 0.1;
+    const auto result = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+    EXPECT_EQ(result.violation_steps, 0) << "k=" << k;
+    EXPECT_DOUBLE_EQ(result.final_sum, static_cast<double>(n));
+  }
+}
+
+TEST(HyzTest, CommunicationSublinear) {
+  const int64_t n = 50000;
+  HyzProtocol counter(8, Options(0.1, 3));
+  sim::RoundRobinAssignment psi(8);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+  EXPECT_LT(result.messages, n / 4);
+  EXPECT_GT(result.messages, 0);
+}
+
+TEST(HyzTest, RoundsGrowLogarithmically) {
+  const int64_t n = 1 << 14;
+  HyzProtocol counter(4, Options(0.2, 5));
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.2;
+  (void)sim::RunTracking(Ones(n), &psi, &counter, tracking);
+  // The estimate doubles each round: ~log2(n) rounds, with slack for the
+  // randomized trigger.
+  EXPECT_GE(counter.rounds(), 8);
+  EXPECT_LE(counter.rounds(), 24);
+}
+
+TEST(HyzTest, RateDecreasesAsCountGrows) {
+  HyzProtocol counter(4, Options(0.1, 9));
+  sim::RoundRobinAssignment psi(4);
+  const double initial_rate = counter.current_rate();
+  EXPECT_DOUBLE_EQ(initial_rate, 1.0);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  (void)sim::RunTracking(Ones(20000), &psi, &counter, tracking);
+  EXPECT_LT(counter.current_rate(), 0.2);
+}
+
+TEST(HyzTest, InitialTotalOffsetsEstimate) {
+  HyzOptions options = Options(0.1, 11);
+  options.initial_total = 5000;
+  HyzProtocol counter(2, options);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 5000.0);
+  counter.ProcessUpdate(0, 1.0);
+  counter.ProcessUpdate(1, 1.0);
+  // With a large base the rate may be < 1, so the estimate stays within
+  // epsilon of 5002 rather than exactly equal.
+  EXPECT_NEAR(counter.Estimate(), 5002.0, 0.1 * 5002.0);
+}
+
+TEST(HyzTest, InitialTotalTrackingStaysAccurate) {
+  HyzOptions options = Options(0.05, 13);
+  options.initial_total = 10000;
+  const int64_t n = 30000;
+  HyzProtocol counter(4, options);
+  sim::RoundRobinAssignment psi(4);
+  double true_count = 10000.0;
+  for (int64_t t = 0; t < n; ++t) {
+    counter.ProcessUpdate(psi.NextSite(t, 1.0), 1.0);
+    true_count += 1.0;
+    const double err = std::fabs(counter.Estimate() - true_count);
+    ASSERT_LE(err, 0.05 * true_count + 1e-9) << "t=" << t;
+  }
+}
+
+// Unbiasedness of the per-round estimator: averaged over many independent
+// runs, the estimate at a fixed time should match the true count.
+TEST(HyzTest, EstimatorIsApproximatelyUnbiased) {
+  const int64_t n = 4000;
+  common::RunningStat stat;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    HyzProtocol counter(4, Options(0.2, 1000 + seed));
+    sim::RoundRobinAssignment psi(4);
+    for (int64_t t = 0; t < n; ++t) {
+      counter.ProcessUpdate(psi.NextSite(t, 1.0), 1.0);
+    }
+    stat.Add(counter.Estimate());
+  }
+  // Bias should be well inside the standard error band.
+  EXPECT_NEAR(stat.mean(), static_cast<double>(n), 3.0 * stat.stderr_mean() + 1.0);
+}
+
+TEST(HyzTest, SmallerEpsilonCostsMore) {
+  const int64_t n = 30000;
+  int64_t messages_loose = 0;
+  int64_t messages_tight = 0;
+  {
+    HyzProtocol counter(4, Options(0.2, 21));
+    sim::RoundRobinAssignment psi(4);
+    sim::TrackingOptions tracking;
+    const auto r = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+    messages_loose = r.messages;
+  }
+  {
+    HyzProtocol counter(4, Options(0.02, 21));
+    sim::RoundRobinAssignment psi(4);
+    sim::TrackingOptions tracking;
+    const auto r = sim::RunTracking(Ones(n), &psi, &counter, tracking);
+    messages_tight = r.messages;
+  }
+  EXPECT_GT(messages_tight, messages_loose);
+}
+
+TEST(HyzTest, AssignmentPolicyDoesNotBreakCorrectness) {
+  const int64_t n = 20000;
+  for (const char* name : {"round_robin", "random", "single", "block"}) {
+    auto psi = sim::MakeAssignment(name, 8, 99);
+    HyzProtocol counter(8, Options(0.1, 33));
+    sim::TrackingOptions tracking;
+    tracking.epsilon = 0.1;
+    const auto result = sim::RunTracking(Ones(n), psi.get(), &counter, tracking);
+    EXPECT_EQ(result.violation_steps, 0) << name;
+  }
+}
+
+TEST(HyzDeathTest, RejectsNonUnitUpdates) {
+  HyzProtocol counter(2, Options(0.1, 1));
+  EXPECT_DEATH(counter.ProcessUpdate(0, -1.0), "NMC_CHECK");
+  EXPECT_DEATH(counter.ProcessUpdate(0, 0.5), "NMC_CHECK");
+}
+
+}  // namespace
+}  // namespace nmc::hyz

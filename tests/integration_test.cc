@@ -1,0 +1,164 @@
+// End-to-end comparisons across protocols and input models: the
+// cross-module behaviors the benches rely on.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_sync.h"
+#include "core/lower_bound.h"
+#include "core/nonmonotonic_counter.h"
+#include "hyz/hyz_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/adversarial.h"
+#include "streams/bernoulli.h"
+#include "streams/fbm.h"
+#include "streams/permutation.h"
+#include "test_util.h"
+
+namespace nmc {
+namespace {
+
+using nmc::testing::DefaultOptions;
+using nmc::testing::RunCounter;
+
+TEST(IntegrationTest, CounterBeatsExactSyncOnDriftingInput) {
+  // On a drifting stream the counter leaves the error-sensitive region
+  // early and Phase 2 makes the tail nearly free; ExactSync stays Theta(n).
+  const int64_t n = 1 << 16;
+  const auto stream = streams::BernoulliStream(n, 0.5, 1);
+
+  core::CounterOptions options = DefaultOptions(n, 0.25, 2);
+  options.drift_mode = core::DriftMode::kUnknownUnitDrift;
+  const auto counter_result = RunCounter(stream, 4, options);
+  baselines::ExactSyncProtocol exact(4);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.25;
+  const auto exact_result = sim::RunTracking(stream, &psi, &exact, tracking);
+
+  EXPECT_EQ(counter_result.violation_steps, 0);
+  EXPECT_EQ(exact_result.messages, n);
+  EXPECT_LT(counter_result.messages, exact_result.messages / 2);
+}
+
+TEST(IntegrationTest, SameMultisetOrderedVsPermuted) {
+  // The alternating worst case forces ~1 message per update for ANY
+  // correct protocol (the count oscillates 0,1,0,1 and every miss is an
+  // unbounded relative error); the SAME multiset randomly permuted is a
+  // driftless random walk and is tracked sublinearly.
+  const int64_t n = 1 << 20;
+  const auto ordered = streams::AlternatingStream(n);
+  const auto permuted = streams::RandomlyPermuted(ordered, 7);
+
+  const auto r_ordered = RunCounter(ordered, 1, DefaultOptions(n, 0.25, 8));
+  const auto r_permuted = RunCounter(permuted, 1, DefaultOptions(n, 0.25, 8));
+
+  EXPECT_EQ(r_ordered.violation_steps, 0);
+  EXPECT_EQ(r_permuted.violation_steps, 0);
+  EXPECT_EQ(r_ordered.messages, n);  // |S| <= 1: sampling rate pinned to 1
+  EXPECT_LT(r_permuted.messages, r_ordered.messages / 2);
+}
+
+TEST(IntegrationTest, MessageCostGrowsSublinearlyInN) {
+  // Doubling n should multiply messages by clearly less than 2 once the
+  // sqrt(n) regime is reached.
+  const double epsilon = 0.25;
+  auto cost_at = [&](int64_t n) {
+    double total = 0.0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto stream =
+          streams::BernoulliStream(n, 0.0, 100 + static_cast<uint64_t>(trial));
+      const auto result =
+          RunCounter(stream, 1, DefaultOptions(n, epsilon,
+                                               200 + static_cast<uint64_t>(trial)));
+      EXPECT_EQ(result.violation_steps, 0);
+      total += static_cast<double>(result.messages);
+    }
+    return total / trials;
+  };
+  const double cost_small = cost_at(1 << 16);
+  const double cost_large = cost_at(1 << 18);
+  EXPECT_LT(cost_large / cost_small, 3.0);
+  EXPECT_GT(cost_large / cost_small, 1.2);
+}
+
+TEST(IntegrationTest, CounterCostExceedsOccupancyLowerBound) {
+  // Theorem 4.1's sample-path bound: any correct tracker sends Omega(1)
+  // messages per visit to E = {|s| <= 1/eps}; our counter's cost must
+  // dominate the measured occupancy (it syncs with rate ~1 there) and stay
+  // within a polylog factor of it on driftless input.
+  const int64_t n = 1 << 16;
+  const double epsilon = 0.25;
+  const auto stream = streams::BernoulliStream(n, 0.0, 31);
+  const int64_t occupancy = core::CountOccupancy(stream, 1.0 / epsilon);
+  const auto result = RunCounter(stream, 1, DefaultOptions(n, epsilon, 32));
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_GE(result.messages, occupancy / 4);
+}
+
+TEST(IntegrationTest, HigherHurstCostsLessInFbmMode) {
+  // Cor 3.6: cost ~ n^{1-H}; H = 0.9 should be markedly cheaper than
+  // H = 0.5 at the same n.
+  const int64_t n = 1 << 15;
+  auto run_fbm = [&](double hurst) {
+    double total = 0.0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto stream =
+          streams::FgnDaviesHarte(n, hurst, 500 + static_cast<uint64_t>(trial));
+      core::CounterOptions options = DefaultOptions(n, 0.1, 600);
+      options.fbm_delta = 1.0 / hurst;
+      const auto result = RunCounter(stream, 1, options);
+      EXPECT_EQ(result.violation_steps, 0) << "H=" << hurst;
+      total += static_cast<double>(result.messages);
+    }
+    return total / trials;
+  };
+  EXPECT_LT(run_fbm(0.9), 0.75 * run_fbm(0.5));
+}
+
+TEST(IntegrationTest, CounterMatchesHyzOnMonotonicInput) {
+  // mu = 1 special case: our counter (drift mode) should be within a small
+  // factor of the native HYZ counter's cost.
+  const int64_t n = 1 << 15;
+  const std::vector<double> stream(static_cast<size_t>(n), 1.0);
+  core::CounterOptions options = DefaultOptions(n, 0.1, 41);
+  options.drift_mode = core::DriftMode::kUnknownUnitDrift;
+  const auto counter_result = RunCounter(stream, 4, options);
+
+  hyz::HyzOptions hyz_options;
+  hyz_options.epsilon = 0.1;
+  hyz_options.delta = 1e-6;
+  hyz_options.seed = 42;
+  hyz::HyzProtocol hyz_counter(4, hyz_options);
+  sim::RoundRobinAssignment psi(4);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto hyz_result = sim::RunTracking(stream, &psi, &hyz_counter, tracking);
+
+  EXPECT_EQ(counter_result.violation_steps, 0);
+  EXPECT_EQ(hyz_result.violation_steps, 0);
+  EXPECT_LT(counter_result.messages, 60 * hyz_result.messages);
+}
+
+TEST(IntegrationTest, SignSplitAdversaryDoesNotInflateViolations) {
+  // A value-adaptive psi (positives and negatives at disjoint sites) is
+  // exactly the adversary the model allows; correctness must hold.
+  const int64_t n = 1 << 14;
+  const auto stream =
+      streams::RandomlyPermuted(streams::SignMultiset(n, 0.5), 51);
+  core::NonMonotonicCounter counter(6, DefaultOptions(n, 0.1, 52));
+  sim::SignSplitAssignment psi(6);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &counter, tracking);
+  EXPECT_EQ(result.violation_steps, 0);
+}
+
+}  // namespace
+}  // namespace nmc

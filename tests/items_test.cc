@@ -1,0 +1,93 @@
+#include "streams/items.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::streams {
+namespace {
+
+TEST(ZipfInsertStreamTest, AllInsertsInUniverse) {
+  const auto updates = ZipfInsertStream(1000, 32, 1.0, 3);
+  ASSERT_EQ(updates.size(), 1000u);
+  for (const auto& u : updates) {
+    EXPECT_EQ(u.sign, 1);
+    EXPECT_GE(u.item, 0);
+    EXPECT_LT(u.item, 32);
+  }
+}
+
+TEST(ZipfTurnstileStreamTest, CountsNeverNegative) {
+  const int64_t universe = 16;
+  const auto updates = ZipfTurnstileStream(5000, universe, 1.0, 0.4, 7);
+  std::vector<int64_t> counts(static_cast<size_t>(universe), 0);
+  for (const auto& u : updates) {
+    counts[static_cast<size_t>(u.item)] += u.sign;
+    EXPECT_GE(counts[static_cast<size_t>(u.item)], 0);
+  }
+}
+
+TEST(ZipfTurnstileStreamTest, DeleteFractionRoughlyHonored) {
+  const auto updates = ZipfTurnstileStream(20000, 64, 1.0, 0.3, 9);
+  int64_t deletions = 0;
+  for (const auto& u : updates) {
+    if (u.sign == -1) ++deletions;
+  }
+  EXPECT_NEAR(static_cast<double>(deletions) / 20000.0, 0.3, 0.02);
+}
+
+TEST(ZipfTurnstileStreamTest, ZeroDeleteFractionIsInsertOnly) {
+  const auto updates = ZipfTurnstileStream(1000, 8, 0.5, 0.0, 11);
+  for (const auto& u : updates) EXPECT_EQ(u.sign, 1);
+}
+
+TEST(PermutedItemStreamTest, PreservesMultiset) {
+  auto updates = ZipfTurnstileStream(500, 8, 1.0, 0.2, 13);
+  auto permuted = PermutedItemStream(updates, 17);
+  auto key = [](const ItemUpdate& u) { return u.item * 10 + u.sign; };
+  std::vector<int64_t> a, b;
+  for (const auto& u : updates) a.push_back(key(u));
+  for (const auto& u : permuted) b.push_back(key(u));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExactF2Test, HandComputedExample) {
+  // Counts: item 0 -> 2, item 1 -> -1, item 2 -> 1. F2 = 4 + 1 + 1 = 6.
+  const std::vector<ItemUpdate> updates{
+      {0, 1}, {0, 1}, {1, -1}, {2, 1},
+  };
+  EXPECT_EQ(ExactF2(updates, 3), 6);
+}
+
+TEST(ExactF2Test, InsertThenDeleteAllIsZero) {
+  std::vector<ItemUpdate> updates;
+  for (int64_t i = 0; i < 10; ++i) updates.push_back({i % 3, 1});
+  for (int64_t i = 0; i < 10; ++i) updates.push_back({i % 3, -1});
+  EXPECT_EQ(ExactF2(updates, 3), 0);
+}
+
+TEST(ExactF2PrefixTest, MatchesBatchRecomputation) {
+  const auto updates = ZipfTurnstileStream(300, 8, 1.0, 0.25, 19);
+  const auto prefix = ExactF2Prefix(updates, 8);
+  ASSERT_EQ(prefix.size(), updates.size());
+  for (size_t t : {0u, 5u, 100u, 299u}) {
+    const std::vector<ItemUpdate> head(updates.begin(),
+                                       updates.begin() + static_cast<long>(t) + 1);
+    EXPECT_EQ(prefix[t], ExactF2(head, 8)) << "t=" << t;
+  }
+}
+
+TEST(ExactF2PrefixTest, MonotoneUnderInsertOnlyDistinctItems) {
+  std::vector<ItemUpdate> updates;
+  for (int64_t i = 0; i < 10; ++i) updates.push_back({i, 1});
+  const auto prefix = ExactF2Prefix(updates, 10);
+  for (size_t t = 0; t < prefix.size(); ++t) {
+    EXPECT_EQ(prefix[t], static_cast<int64_t>(t) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace nmc::streams

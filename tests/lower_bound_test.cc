@@ -1,0 +1,106 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "streams/adversarial.h"
+#include "streams/bernoulli.h"
+
+namespace nmc::core {
+namespace {
+
+TEST(CountOccupancyTest, AlternatingStreamAlwaysInsideUnitBall) {
+  const auto stream = streams::AlternatingStream(100);
+  EXPECT_EQ(CountOccupancy(stream, 1.0), 100);
+}
+
+TEST(CountOccupancyTest, MonotoneStreamLeavesQuickly) {
+  std::vector<double> stream(1000, 1.0);
+  EXPECT_EQ(CountOccupancy(stream, 10.0), 10);
+}
+
+TEST(CountOccupancyTest, ZeroRadiusCountsExactZeros) {
+  // Prefix sums: 1, 0, 1, 0 -> two exact zeros.
+  const auto stream = streams::AlternatingStream(4);
+  EXPECT_EQ(CountOccupancy(stream, 0.0), 2);
+}
+
+TEST(CountOccupancyTest, RandomWalkOccupancyScalesAsSqrtN) {
+  // E[#visits to |S| <= r] ~ 2 r sqrt(2n/pi) / ... — we only check the
+  // sqrt(n) growth: quadrupling n should roughly double the occupancy.
+  const double radius = 10.0;
+  auto occupancy_at = [&](int64_t n) {
+    double total = 0.0;
+    const int trials = 24;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto stream =
+          streams::BernoulliStream(n, 0.0, 500 + static_cast<uint64_t>(trial));
+      total += static_cast<double>(CountOccupancy(stream, radius));
+    }
+    return total / trials;
+  };
+  const double occ_small = occupancy_at(1 << 12);
+  const double occ_large = occupancy_at(1 << 14);
+  const double ratio = occ_large / occ_small;
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.9);
+}
+
+TEST(CountPhaseOccupancyTest, ZeroSumStreamCountsEveryPhase) {
+  // All-zero drift with tiny values keeps the sum at ~0: every phase start
+  // is inside the window.
+  std::vector<double> stream(1000, 0.0);
+  EXPECT_EQ(CountPhaseOccupancy(stream, 10, 0.1), 100);
+}
+
+TEST(CountPhaseOccupancyTest, DriftingStreamEscapes) {
+  std::vector<double> stream(10000, 1.0);
+  const int64_t counted = CountPhaseOccupancy(stream, 10, 0.1);
+  // sqrt(k)/eps = 31.6: after ~4 phases the sum exceeds the window.
+  EXPECT_LT(counted, 8);
+  EXPECT_GE(counted, 1);
+}
+
+TEST(KInputsGameTest, FullSamplingNeverErrs) {
+  const auto result = RunKInputsGame(64, 64, 1.0, 2000, 1);
+  EXPECT_GT(result.decided_trials, 0);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(KInputsGameTest, NoSamplingIsACoinFlip) {
+  const auto result = RunKInputsGame(64, 0, 1.0, 20000, 2);
+  EXPECT_GT(result.decided_trials, 1000);
+  EXPECT_NEAR(result.error_rate(), 0.5, 0.05);
+}
+
+TEST(KInputsGameTest, ErrorDecreasesWithSampledFraction) {
+  const int64_t k = 256;
+  double prev_rate = 1.0;
+  for (int64_t z : {0, 16, 64, 256}) {
+    const auto result = RunKInputsGame(k, z, 1.0, 20000, 3);
+    const double rate = result.error_rate();
+    EXPECT_LE(rate, prev_rate + 0.03) << "z=" << z;
+    prev_rate = rate;
+  }
+  EXPECT_LT(prev_rate, 0.01);
+}
+
+TEST(KInputsGameTest, SublinearSampleHasConstantError) {
+  // Lemma 4.4: z = o(k) leaves Omega(1) error. With z = sqrt(k) the error
+  // rate stays bounded away from 0.
+  const auto result = RunKInputsGame(1024, 32, 1.0, 20000, 4);
+  EXPECT_GT(result.error_rate(), 0.05);
+}
+
+TEST(KInputsGameTest, DecisionFractionMatchesGaussianTail) {
+  // |sum| >= sqrt(k) happens with probability ~ 2*(1 - Phi(1)) ~ 0.317.
+  const auto result = RunKInputsGame(1024, 0, 1.0, 50000, 5);
+  const double fraction = static_cast<double>(result.decided_trials) /
+                          static_cast<double>(result.trials);
+  EXPECT_NEAR(fraction, 0.317, 0.02);
+}
+
+}  // namespace
+}  // namespace nmc::core

@@ -1,0 +1,142 @@
+#include "regression/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmc::regression {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  const Matrix id = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, PlusEquals) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b(2, 2);
+  b.At(0, 1) = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 3.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a(2, 3);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(0, 2) = 3.0;
+  a.At(1, 0) = 4.0;
+  a.At(1, 1) = 5.0;
+  a.At(1, 2) = 6.0;
+  Matrix b(3, 2);
+  b.At(0, 0) = 7.0;
+  b.At(1, 0) = 8.0;
+  b.At(2, 0) = 9.0;
+  b.At(0, 1) = 1.0;
+  b.At(1, 1) = 2.0;
+  b.At(2, 1) = 3.0;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 122.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 32.0);
+}
+
+TEST(MatrixTest, AddOuterProduct) {
+  Matrix a(2, 2);
+  a.AddOuterProduct({2.0, -1.0}, 3.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), -6.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), -6.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 3.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a = Matrix::Identity(2);
+  a.At(0, 1) = 2.0;
+  const Vector out = a.MatVec({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(out[0], 11.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = Matrix::Identity(2);
+  b.At(1, 0) = 0.5;
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, b), 0.5);
+}
+
+Matrix SpdExample() {
+  // A = [[4, 2, 0.6], [2, 5, 1], [0.6, 1, 3]] is diagonally dominant ->
+  // positive definite.
+  Matrix a(3, 3);
+  a.At(0, 0) = 4.0;
+  a.At(0, 1) = 2.0;
+  a.At(0, 2) = 0.6;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 5.0;
+  a.At(1, 2) = 1.0;
+  a.At(2, 0) = 0.6;
+  a.At(2, 1) = 1.0;
+  a.At(2, 2) = 3.0;
+  return a;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  const Matrix a = SpdExample();
+  Matrix lower;
+  ASSERT_TRUE(CholeskyFactor(a, &lower));
+  // L * L^T == A.
+  Matrix lt(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) lt.At(i, j) = lower.At(j, i);
+  }
+  const Matrix product = lower * lt;
+  EXPECT_LT(Matrix::MaxAbsDiff(product, a), 1e-12);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  const Matrix a = SpdExample();
+  const Vector x_true{1.0, -2.0, 3.0};
+  const Vector b = a.MatVec(x_true);
+  Vector x;
+  ASSERT_TRUE(SolveSpd(a, b, &x));
+  EXPECT_LT(NormDiff(x, x_true), 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a = Matrix::Identity(2);
+  a.At(1, 1) = -1.0;
+  Matrix lower;
+  EXPECT_FALSE(CholeskyFactor(a, &lower));
+}
+
+TEST(CholeskyTest, RejectsSingularMatrix) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 1.0;  // rank 1
+  Matrix lower;
+  EXPECT_FALSE(CholeskyFactor(a, &lower));
+}
+
+TEST(CholeskyTest, IdentitySolveIsIdentityMap) {
+  Vector x;
+  ASSERT_TRUE(SolveSpd(Matrix::Identity(4), {1.0, 2.0, 3.0, 4.0}, &x));
+  EXPECT_LT(NormDiff(x, {1.0, 2.0, 3.0, 4.0}), 1e-14);
+}
+
+TEST(VectorTest, Norms) {
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(NormDiff({1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(NormDiff({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace nmc::regression

@@ -1,0 +1,200 @@
+#include "sim/network.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace nmc::sim {
+namespace {
+
+// Records everything it receives; can be told to reply.
+class RecordingSite : public SiteNode {
+ public:
+  RecordingSite(int id, Network* network) : id_(id), network_(network) {}
+
+  void OnLocalUpdate(double value) override { updates_.push_back(value); }
+
+  void OnCoordinatorMessage(const Message& message) override {
+    received_.push_back(message);
+    if (reply_on_receive_) {
+      Message reply;
+      reply.type = 99;
+      reply.u = id_;
+      network_->SendToCoordinator(id_, reply);
+    }
+  }
+
+  void set_reply_on_receive(bool v) { reply_on_receive_ = v; }
+  const std::vector<Message>& received() const { return received_; }
+
+ private:
+  int id_;
+  Network* network_;
+  bool reply_on_receive_ = false;
+  std::vector<double> updates_;
+  std::vector<Message> received_;
+};
+
+class RecordingCoordinator : public CoordinatorNode {
+ public:
+  void OnSiteMessage(int site_id, const Message& message) override {
+    from_.push_back(site_id);
+    received_.push_back(message);
+  }
+
+  const std::vector<int>& from() const { return from_; }
+  const std::vector<Message>& received() const { return received_; }
+
+ private:
+  std::vector<int> from_;
+  std::vector<Message> received_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(3);
+    network_->AttachCoordinator(&coordinator_);
+    for (int s = 0; s < 3; ++s) {
+      sites_.push_back(std::make_unique<RecordingSite>(s, network_.get()));
+      network_->AttachSite(s, sites_.back().get());
+    }
+  }
+
+  std::unique_ptr<Network> network_;
+  RecordingCoordinator coordinator_;
+  std::vector<std::unique_ptr<RecordingSite>> sites_;
+};
+
+TEST_F(NetworkTest, UnicastToCoordinatorCostsOne) {
+  Message m;
+  m.type = 1;
+  m.u = 77;
+  network_->SendToCoordinator(2, m);
+  network_->DeliverAll();
+  EXPECT_EQ(network_->stats().site_to_coordinator, 1);
+  EXPECT_EQ(network_->stats().coordinator_to_site, 0);
+  ASSERT_EQ(coordinator_.received().size(), 1u);
+  EXPECT_EQ(coordinator_.from()[0], 2);
+  EXPECT_EQ(coordinator_.received()[0].u, 77);
+}
+
+TEST_F(NetworkTest, UnicastToSiteCostsOne) {
+  Message m;
+  m.type = 2;
+  network_->SendToSite(1, m);
+  network_->DeliverAll();
+  EXPECT_EQ(network_->stats().coordinator_to_site, 1);
+  EXPECT_EQ(sites_[1]->received().size(), 1u);
+  EXPECT_EQ(sites_[0]->received().size(), 0u);
+  EXPECT_EQ(sites_[2]->received().size(), 0u);
+}
+
+TEST_F(NetworkTest, BroadcastCostsK) {
+  Message m;
+  m.type = 3;
+  network_->Broadcast(m);
+  network_->DeliverAll();
+  EXPECT_EQ(network_->stats().coordinator_to_site, 3);
+  EXPECT_EQ(network_->stats().broadcasts, 1);
+  for (const auto& site : sites_) {
+    EXPECT_EQ(site->received().size(), 1u);
+  }
+  EXPECT_EQ(network_->total_messages(), 3);
+}
+
+TEST_F(NetworkTest, ChainedHandlersRunToQuiescence) {
+  // Broadcast triggers replies from all 3 sites within one DeliverAll.
+  for (auto& site : sites_) site->set_reply_on_receive(true);
+  Message m;
+  m.type = 4;
+  network_->Broadcast(m);
+  network_->DeliverAll();
+  EXPECT_EQ(coordinator_.received().size(), 3u);
+  EXPECT_EQ(network_->stats().site_to_coordinator, 3);
+  EXPECT_EQ(network_->total_messages(), 6);
+}
+
+TEST_F(NetworkTest, DeliveryIsFifo) {
+  Message a;
+  a.type = 1;
+  a.u = 1;
+  Message b;
+  b.type = 1;
+  b.u = 2;
+  network_->SendToCoordinator(0, a);
+  network_->SendToCoordinator(1, b);
+  network_->DeliverAll();
+  ASSERT_EQ(coordinator_.received().size(), 2u);
+  EXPECT_EQ(coordinator_.received()[0].u, 1);
+  EXPECT_EQ(coordinator_.received()[1].u, 2);
+}
+
+TEST_F(NetworkTest, StatsAccumulateAcrossOperations) {
+  Message m;
+  network_->SendToCoordinator(0, m);
+  network_->Broadcast(m);
+  network_->SendToSite(0, m);
+  network_->DeliverAll();
+  EXPECT_EQ(network_->stats().site_to_coordinator, 1);
+  EXPECT_EQ(network_->stats().coordinator_to_site, 4);
+  EXPECT_EQ(network_->total_messages(), 5);
+}
+
+TEST_F(NetworkTest, TypeBreakdownTracksDirections) {
+  Message report;
+  report.type = 5;
+  Message state;
+  state.type = 9;
+  network_->SendToCoordinator(0, report);
+  network_->SendToCoordinator(1, report);
+  network_->SendToSite(2, state);
+  network_->Broadcast(state);
+  network_->DeliverAll();
+  const auto& breakdown = network_->type_breakdown();
+  ASSERT_EQ(breakdown.count(5), 1u);
+  ASSERT_EQ(breakdown.count(9), 1u);
+  EXPECT_EQ(breakdown.at(5).to_coordinator, 2);
+  EXPECT_EQ(breakdown.at(5).to_sites, 0);
+  EXPECT_EQ(breakdown.at(9).to_coordinator, 0);
+  EXPECT_EQ(breakdown.at(9).to_sites, 1 + 3);  // unicast + broadcast(k=3)
+}
+
+TEST_F(NetworkTest, TypeBreakdownSumMatchesStats) {
+  Message m;
+  for (int i = 0; i < 5; ++i) {
+    m.type = i % 2;
+    network_->SendToCoordinator(i % 3, m);
+    network_->Broadcast(m);
+  }
+  network_->DeliverAll();
+  int64_t up = 0, down = 0;
+  for (const auto& [type, counts] : network_->type_breakdown()) {
+    up += counts.to_coordinator;
+    down += counts.to_sites;
+  }
+  EXPECT_EQ(up, network_->stats().site_to_coordinator);
+  EXPECT_EQ(down, network_->stats().coordinator_to_site);
+}
+
+TEST(MessageStatsTest, PlusEqualsAggregates) {
+  MessageStats a;
+  a.site_to_coordinator = 3;
+  a.coordinator_to_site = 5;
+  a.broadcasts = 1;
+  MessageStats b;
+  b.site_to_coordinator = 10;
+  b.coordinator_to_site = 20;
+  b.broadcasts = 2;
+  a += b;
+  EXPECT_EQ(a.site_to_coordinator, 13);
+  EXPECT_EQ(a.coordinator_to_site, 25);
+  EXPECT_EQ(a.broadcasts, 3);
+  EXPECT_EQ(a.total(), 38);
+}
+
+}  // namespace
+}  // namespace nmc::sim

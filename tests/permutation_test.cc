@@ -1,0 +1,97 @@
+#include "streams/permutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace nmc::streams {
+namespace {
+
+TEST(RandomlyPermutedTest, PreservesMultiset) {
+  std::vector<double> values{1.0, 2.0, 2.0, -3.0, 5.0};
+  auto permuted = RandomlyPermuted(values, 99);
+  std::sort(values.begin(), values.end());
+  std::sort(permuted.begin(), permuted.end());
+  EXPECT_EQ(values, permuted);
+}
+
+TEST(RandomlyPermutedTest, ActuallyPermutes) {
+  std::vector<double> values(100);
+  std::iota(values.begin(), values.end(), 0.0);
+  const auto permuted = RandomlyPermuted(values, 5);
+  EXPECT_NE(values, permuted);
+}
+
+TEST(RandomlyPermutedTest, DeterministicInSeed) {
+  std::vector<double> values(50);
+  std::iota(values.begin(), values.end(), 0.0);
+  EXPECT_EQ(RandomlyPermuted(values, 1), RandomlyPermuted(values, 1));
+  EXPECT_NE(RandomlyPermuted(values, 1), RandomlyPermuted(values, 2));
+}
+
+TEST(SignMultisetTest, BalancedSumsToZero) {
+  const auto values = SignMultiset(1000, 0.5);
+  EXPECT_DOUBLE_EQ(std::accumulate(values.begin(), values.end(), 0.0), 0.0);
+}
+
+TEST(SignMultisetTest, FractionControlsSum) {
+  const auto values = SignMultiset(1000, 0.7);
+  // 700 positives, 300 negatives -> sum 400.
+  EXPECT_DOUBLE_EQ(std::accumulate(values.begin(), values.end(), 0.0), 400.0);
+}
+
+TEST(SignMultisetTest, AllPositive) {
+  for (double v : SignMultiset(100, 1.0)) EXPECT_EQ(v, 1.0);
+}
+
+TEST(OscillatingMultisetTest, BoundedByOne) {
+  for (double v : OscillatingMultiset(5000)) {
+    EXPECT_LE(std::fabs(v), 1.0);
+  }
+}
+
+TEST(OscillatingMultisetTest, NotConstantAndFractional) {
+  const auto values = OscillatingMultiset(100);
+  int distinct_signs = 0;
+  bool any_fractional = false;
+  for (double v : values) {
+    if (v > 0) distinct_signs |= 1;
+    if (v < 0) distinct_signs |= 2;
+    if (v != std::floor(v)) any_fractional = true;
+  }
+  EXPECT_EQ(distinct_signs, 3);
+  EXPECT_TRUE(any_fractional);
+}
+
+TEST(SkewedMultisetTest, HeavyAndLightMix) {
+  const auto values = SkewedMultiset(1000, 10, 0.01);
+  int heavy = 0;
+  for (double v : values) {
+    const double mag = std::fabs(v);
+    EXPECT_TRUE(std::fabs(mag - 1.0) < 1e-12 || std::fabs(mag - 0.01) < 1e-12);
+    if (mag > 0.5) ++heavy;
+  }
+  EXPECT_EQ(heavy, 10);
+}
+
+TEST(BlockMultisetTest, HalfPositiveHalfNegative) {
+  const auto values = BlockMultiset(10);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(values[static_cast<size_t>(i)], 1.0);
+  for (int i = 5; i < 10; ++i) EXPECT_EQ(values[static_cast<size_t>(i)], -1.0);
+}
+
+TEST(MakeAdversaryMultisetTest, AllNamesBoundedAndSized) {
+  for (const char* name :
+       {"balanced", "biased", "oscillating", "skewed", "blocks"}) {
+    const auto values = MakeAdversaryMultiset(name, 256);
+    EXPECT_EQ(values.size(), 256u) << name;
+    for (double v : values) {
+      EXPECT_LE(std::fabs(v), 1.0) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmc::streams

@@ -1,0 +1,204 @@
+// Protocol conformance suite: a battery of contracts every sim::Protocol
+// in the library must satisfy, applied uniformly via factories. This is
+// what guarantees the benches can treat protocols interchangeably.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_sync.h"
+#include "baselines/periodic_sync.h"
+#include "baselines/two_monotonic.h"
+#include "core/horizon_free.h"
+#include "core/nonmonotonic_counter.h"
+#include "hyz/hyz_counter.h"
+#include "sim/assignment.h"
+#include "streams/bernoulli.h"
+
+namespace nmc {
+namespace {
+
+struct ProtocolSpec {
+  std::string name;
+  std::function<std::unique_ptr<sim::Protocol>(int k, uint64_t seed)> make;
+  /// Whether the protocol accepts arbitrary values in [-1, 1] (false:
+  /// monotonic/±1-only protocols get a ±1 or all-ones stream).
+  bool general_values = true;
+  bool monotonic_only = false;
+};
+
+std::vector<ProtocolSpec> AllProtocols() {
+  std::vector<ProtocolSpec> specs;
+  specs.push_back({"counter",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     core::CounterOptions options;
+                     options.epsilon = 0.2;
+                     options.horizon_n = 4096;
+                     options.seed = seed;
+                     return std::make_unique<core::NonMonotonicCounter>(
+                         k, options);
+                   },
+                   true, false});
+  specs.push_back({"counter_drift_mode",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     core::CounterOptions options;
+                     options.epsilon = 0.2;
+                     options.horizon_n = 4096;
+                     options.drift_mode = core::DriftMode::kUnknownUnitDrift;
+                     options.seed = seed;
+                     return std::make_unique<core::NonMonotonicCounter>(
+                         k, options);
+                   },
+                   false, false});
+  specs.push_back({"horizon_free",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     core::HorizonFreeOptions options;
+                     options.counter.epsilon = 0.2;
+                     options.counter.seed = seed;
+                     options.initial_horizon = 512;
+                     return std::make_unique<core::HorizonFreeCounter>(
+                         k, options);
+                   },
+                   true, false});
+  specs.push_back({"hyz_sampled",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     hyz::HyzOptions options;
+                     options.epsilon = 0.2;
+                     options.seed = seed;
+                     return std::make_unique<hyz::HyzProtocol>(k, options);
+                   },
+                   false, true});
+  specs.push_back({"hyz_deterministic",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     hyz::HyzOptions options;
+                     options.mode = hyz::HyzMode::kDeterministic;
+                     options.epsilon = 0.2;
+                     options.seed = seed;
+                     return std::make_unique<hyz::HyzProtocol>(k, options);
+                   },
+                   false, true});
+  specs.push_back({"exact_sync",
+                   [](int k, uint64_t) -> std::unique_ptr<sim::Protocol> {
+                     return std::make_unique<baselines::ExactSyncProtocol>(k);
+                   },
+                   true, false});
+  specs.push_back({"periodic_sync",
+                   [](int k, uint64_t) -> std::unique_ptr<sim::Protocol> {
+                     return std::make_unique<baselines::PeriodicSyncProtocol>(
+                         k, 8);
+                   },
+                   true, false});
+  specs.push_back({"two_monotonic",
+                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
+                     return std::make_unique<baselines::TwoMonotonicProtocol>(
+                         k, 0.2, 1e-6, seed);
+                   },
+                   false, false});
+  return specs;
+}
+
+std::vector<double> StreamFor(const ProtocolSpec& spec, int64_t n,
+                              uint64_t seed) {
+  if (spec.monotonic_only) {
+    return std::vector<double>(static_cast<size_t>(n), 1.0);
+  }
+  if (!spec.general_values) {
+    return streams::BernoulliStream(n, 0.3, seed);  // ±1 only
+  }
+  return streams::FractionalIidStream(n, 0.1, 0.9, seed);
+}
+
+class ConformanceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  ProtocolSpec spec() const { return AllProtocols()[GetParam()]; }
+};
+
+TEST_P(ConformanceTest, ReportsNumSites) {
+  const auto s = spec();
+  for (int k : {1, 3, 16}) {
+    auto protocol = s.make(k, 1);
+    EXPECT_EQ(protocol->num_sites(), k) << s.name;
+  }
+}
+
+TEST_P(ConformanceTest, EstimateValidBeforeAnyUpdate) {
+  const auto s = spec();
+  auto protocol = s.make(2, 1);
+  EXPECT_DOUBLE_EQ(protocol->Estimate(), 0.0) << s.name;
+}
+
+TEST_P(ConformanceTest, StatsMonotoneNondecreasing) {
+  const auto s = spec();
+  auto protocol = s.make(3, 2);
+  const auto stream = StreamFor(s, 512, 3);
+  int64_t previous = protocol->stats().total();
+  for (int64_t t = 0; t < 512; ++t) {
+    protocol->ProcessUpdate(static_cast<int>(t % 3),
+                            stream[static_cast<size_t>(t)]);
+    const int64_t now = protocol->stats().total();
+    ASSERT_GE(now, previous) << s.name << " t=" << t;
+    previous = now;
+  }
+}
+
+TEST_P(ConformanceTest, DeterministicInSeed) {
+  const auto s = spec();
+  auto run = [&](uint64_t seed) {
+    auto protocol = s.make(2, seed);
+    const auto stream = StreamFor(s, 1024, 7);
+    for (int64_t t = 0; t < 1024; ++t) {
+      protocol->ProcessUpdate(static_cast<int>(t % 2),
+                              stream[static_cast<size_t>(t)]);
+    }
+    return std::pair<double, int64_t>(protocol->Estimate(),
+                                      protocol->stats().total());
+  };
+  EXPECT_EQ(run(42), run(42)) << s.name;
+}
+
+TEST_P(ConformanceTest, EstimateTracksTheSumLoosely) {
+  // Conformance-level sanity (the tight guarantees are protocol-specific
+  // tests): after a drifting run the estimate is within 25% of the truth
+  // for every protocol except the intentionally broken baselines.
+  const auto s = spec();
+  if (s.name == "periodic_sync" || s.name == "two_monotonic") return;
+  auto protocol = s.make(2, 5);
+  const auto stream = StreamFor(s, 2048, 9);
+  double sum = 0.0;
+  for (int64_t t = 0; t < 2048; ++t) {
+    const double v = stream[static_cast<size_t>(t)];
+    protocol->ProcessUpdate(static_cast<int>(t % 2), v);
+    sum += v;
+  }
+  EXPECT_NEAR(protocol->Estimate(), sum, 0.25 * std::fabs(sum) + 1.0)
+      << s.name;
+}
+
+TEST_P(ConformanceTest, SurvivesAllAssignmentPolicies) {
+  const auto s = spec();
+  for (const char* psi_name : {"round_robin", "random", "single", "block",
+                               "sign_split", "zero_crossing"}) {
+    auto protocol = s.make(4, 11);
+    auto psi = sim::MakeAssignment(psi_name, 4, 13);
+    ASSERT_NE(psi, nullptr);
+    const auto stream = StreamFor(s, 512, 15);
+    for (int64_t t = 0; t < 512; ++t) {
+      const double v = stream[static_cast<size_t>(t)];
+      protocol->ProcessUpdate(psi->NextSite(t, v), v);
+    }
+    EXPECT_GE(protocol->stats().total(), 0) << s.name << "/" << psi_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ConformanceTest,
+                         ::testing::Range<size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return AllProtocols()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace nmc

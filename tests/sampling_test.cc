@@ -1,0 +1,81 @@
+#include "core/sampling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmc::core {
+namespace {
+
+TEST(RandomWalkRateTest, ClampsToOneNearZero) {
+  EXPECT_DOUBLE_EQ(RandomWalkRate(0.0, 0.1, 1024, 2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(RandomWalkRate(1.0, 0.1, 1024, 2.0, 1.0), 1.0);
+}
+
+TEST(RandomWalkRateTest, MatchesFormulaForLargeEstimate) {
+  const double s = 5000.0, eps = 0.1;
+  const int64_t n = 1 << 16;
+  const double expected = 2.0 * std::log(static_cast<double>(n)) /
+                          ((eps * s) * (eps * s));
+  EXPECT_NEAR(RandomWalkRate(s, eps, n, 2.0, 1.0), expected, 1e-15);
+}
+
+TEST(RandomWalkRateTest, SymmetricInSign) {
+  EXPECT_DOUBLE_EQ(RandomWalkRate(4000.0, 0.1, 1024, 2.0, 1.0),
+                   RandomWalkRate(-4000.0, 0.1, 1024, 2.0, 1.0));
+}
+
+TEST(RandomWalkRateTest, DecreasesQuadraticallyInEstimate) {
+  const double r1 = RandomWalkRate(2000.0, 0.1, 1024, 2.0, 1.0);
+  const double r2 = RandomWalkRate(4000.0, 0.1, 1024, 2.0, 1.0);
+  EXPECT_NEAR(r1 / r2, 4.0, 1e-9);
+}
+
+TEST(RandomWalkRateTest, BetaControlsLogExponent) {
+  const double r1 = RandomWalkRate(5000.0, 0.1, 1 << 16, 1.0, 1.0);
+  const double r2 = RandomWalkRate(5000.0, 0.1, 1 << 16, 1.0, 2.0);
+  EXPECT_NEAR(r2 / r1, std::log(static_cast<double>(1 << 16)), 1e-9);
+}
+
+TEST(FbmRateTest, DeltaTwoMatchesRandomWalkUpToLogPower) {
+  // With delta = 2, eq. (2) has log^{2} while RandomWalkRate(beta=2) has
+  // log^2 as well: the laws coincide when alpha matches.
+  const double s = 3000.0, eps = 0.1;
+  const int64_t n = 1 << 14;
+  EXPECT_NEAR(FbmRate(s, eps, n, 2.0, 3.0),
+              RandomWalkRate(s, eps, n, 3.0, 2.0), 1e-15);
+}
+
+TEST(FbmRateTest, SmallerDeltaSamplesMore) {
+  // Lower delta (heavier long-range dependence allowed) keeps the rate
+  // higher at the same |S|.
+  const double s = 10000.0, eps = 0.1;
+  const int64_t n = 1 << 16;
+  EXPECT_GT(FbmRate(s, eps, n, 1.25, 2.0), FbmRate(s, eps, n, 2.0, 2.0));
+}
+
+TEST(FbmRateTest, ClampsNearZero) {
+  EXPECT_DOUBLE_EQ(FbmRate(0.0, 0.1, 1024, 1.5, 2.0), 1.0);
+}
+
+TEST(DriftGuardRateTest, OneAtTimeZero) {
+  EXPECT_DOUBLE_EQ(DriftGuardRate(0, 0.1, 1024, 1.0), 1.0);
+}
+
+TEST(DriftGuardRateTest, DecaysAsOneOverT) {
+  const double r1 = DriftGuardRate(1000, 0.1, 1 << 16, 1.0);
+  const double r2 = DriftGuardRate(2000, 0.1, 1 << 16, 1.0);
+  EXPECT_NEAR(r1 / r2, 2.0, 1e-9);
+}
+
+TEST(DriftGuardRateTest, TotalCostIsLogarithmic) {
+  // Sum over t of the guard rate ~ (log n)^2 / eps: tiny next to sqrt(n).
+  const int64_t n = 1 << 16;
+  double total = 0.0;
+  for (int64_t t = 1; t <= n; ++t) total += DriftGuardRate(t, 0.1, n, 1.0);
+  const double log_n = std::log(static_cast<double>(n));
+  EXPECT_LT(total, 2.0 * log_n * log_n / 0.1);
+}
+
+}  // namespace
+}  // namespace nmc::core

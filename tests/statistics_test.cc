@@ -1,0 +1,111 @@
+#include "common/statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(5.0);
+  EXPECT_EQ(stat.count(), 1);
+  EXPECT_EQ(stat.mean(), 5.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.min(), 5.0);
+  EXPECT_EQ(stat.max(), 5.0);
+  EXPECT_EQ(stat.sum(), 5.0);
+}
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  EXPECT_EQ(stat.count(), 5);
+  EXPECT_DOUBLE_EQ(stat.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(stat.sum(), 31.0);
+  // Unbiased sample variance computed by hand: sum((x-6.2)^2)/4.
+  double ss = 0.0;
+  for (double v : values) ss += (v - 6.2) * (v - 6.2);
+  EXPECT_NEAR(stat.variance(), ss / 4.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(ss / 4.0), 1e-12);
+  EXPECT_NEAR(stat.stderr_mean(), std::sqrt(ss / 4.0 / 5.0), 1e-12);
+  EXPECT_EQ(stat.min(), 1.0);
+  EXPECT_EQ(stat.max(), 16.0);
+}
+
+TEST(RunningStatTest, StableForLargeOffsets) {
+  // Welford should not lose the variance to catastrophic cancellation.
+  RunningStat stat;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) stat.Add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(stat.variance(), 1.001, 0.01);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  // Sorted: 0, 10. q=0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(Quantile({10.0, 0.0}, 0.25), 2.5);
+}
+
+TEST(FitLineTest, ExactLineRecovered) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasLowerR2) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> ys{1.0, 4.0, 2.0, 6.0, 4.0, 8.0};
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.0);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {10.0, 100.0, 1000.0, 10000.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 0.5));
+  }
+  const LinearFit fit = FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLawTest, RecoversLinearGrowth) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 64.0, 512.0}) {
+    xs.push_back(x);
+    ys.push_back(7.0 * x);
+  }
+  const LinearFit fit = FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace nmc::common

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  const Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: epsilon must be positive");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::OutOfRange("y").ToString(), "OutOfRange: y");
+  EXPECT_EQ(Status::Internal("z").ToString(), "Internal: z");
+}
+
+TEST(StatusTest, EmptyMessageOmitsColon) {
+  const Status s(StatusCode::kInternal, "");
+  EXPECT_EQ(s.ToString(), "Internal");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status s = Status::OutOfRange("index 9");
+  const Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(copy.message(), "index 9");
+}
+
+}  // namespace
+}  // namespace nmc::common

@@ -1,0 +1,89 @@
+// Large-n stress tests: the asymptotic claims only become visible past
+// the finite-size bands, and multi-million-update runs also shake out
+// accumulation bugs (drift in floating-point sums, counter overflow,
+// estimator staleness) that short tests cannot. Kept to a few seconds by
+// the ~17M updates/s hot path.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/bernoulli.h"
+#include "streams/permutation.h"
+#include "test_util.h"
+
+namespace nmc {
+namespace {
+
+using nmc::testing::DefaultOptions;
+using nmc::testing::RunCounter;
+
+TEST(StressTest, FourMillionUpdatesSingleSite) {
+  const int64_t n = 1 << 22;
+  const auto stream = streams::BernoulliStream(n, 0.0, 1);
+  const auto result = RunCounter(stream, 1, DefaultOptions(n, 0.25, 2));
+  EXPECT_EQ(result.violation_steps, 0);
+  // Deep in the sqrt(n) regime: the cost must be well below n/4.
+  EXPECT_LT(result.messages, n / 4);
+  EXPECT_NEAR(result.final_estimate, result.final_sum,
+              0.25 * std::fabs(result.final_sum) + 1e-6);
+}
+
+TEST(StressTest, SublinearityImprovesWithScale) {
+  // messages/n must strictly decrease across decades — the defining
+  // signature of a sublinear protocol, measurable only at scale.
+  double previous_per_update = 10.0;
+  for (int64_t n : {1LL << 16, 1LL << 19, 1LL << 22}) {
+    const auto stream = streams::BernoulliStream(n, 0.0, 3);
+    const auto result = RunCounter(stream, 1, DefaultOptions(n, 0.25, 4));
+    EXPECT_EQ(result.violation_steps, 0);
+    const double per_update =
+        static_cast<double>(result.messages) / static_cast<double>(n);
+    EXPECT_LT(per_update, previous_per_update) << "n=" << n;
+    previous_per_update = per_update;
+  }
+  EXPECT_LT(previous_per_update, 0.2);
+}
+
+TEST(StressTest, MillionUpdateDriftRunStaysAccurate) {
+  const int64_t n = 1 << 20;
+  const auto stream = streams::BernoulliStream(n, 0.1, 5);
+  core::CounterOptions options = DefaultOptions(n, 0.1, 6);
+  options.drift_mode = core::DriftMode::kUnknownUnitDrift;
+  core::NonMonotonicCounter counter(8, options);
+  sim::RoundRobinAssignment psi(8);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.1;
+  const auto result = sim::RunTracking(stream, &psi, &counter, tracking);
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_TRUE(counter.diagnostics().phase2_active);
+  EXPECT_NEAR(counter.diagnostics().mu_hat, 0.1, 0.04);
+  EXPECT_LT(result.messages, n / 4);
+}
+
+TEST(StressTest, MillionUpdatePermutedMultisetAcrossSites) {
+  const int64_t n = 1 << 20;
+  const auto stream = streams::RandomlyPermuted(
+      streams::SignMultiset(n, 0.5), 7);
+  const auto result = RunCounter(stream, 8, DefaultOptions(n, 0.25, 8));
+  EXPECT_EQ(result.violation_steps, 0);
+  EXPECT_LT(result.messages, 2 * n);  // below the StraightSync ceiling
+}
+
+TEST(StressTest, FractionalMillionRunFloatAccumulationBounded) {
+  // Fractional values accumulate floating-point error in both the harness
+  // and the protocol; over 2^20 updates the two sums must still agree to
+  // absolute 1e-6 at every sync (covered by zero violations with the
+  // harness's tiny absolute slack).
+  const int64_t n = 1 << 20;
+  const auto stream = streams::FractionalIidStream(n, 0.0, 1.0, 9);
+  const auto result = RunCounter(stream, 4, DefaultOptions(n, 0.25, 10));
+  EXPECT_EQ(result.violation_steps, 0);
+}
+
+}  // namespace
+}  // namespace nmc

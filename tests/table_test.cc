@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"n", "messages"});
+  table.AddRow({"1024", "312"});
+  table.AddRow({"65536", "2891"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("    n  messages\n"), std::string::npos);
+  EXPECT_NE(out.find("-----  --------\n"), std::string::npos);
+  EXPECT_NE(out.find(" 1024       312\n"), std::string::npos);
+  EXPECT_NE(out.find("65536      2891\n"), std::string::npos);
+}
+
+TEST(TableTest, HeaderWiderThanCells) {
+  Table table({"quite_long_header"});
+  table.AddRow({"x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("quite_long_header\n"), std::string::npos);
+  EXPECT_NE(out.find("                x\n"), std::string::npos);
+}
+
+TEST(TableTest, CountsRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"x", "y"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table table({"name"});
+  table.AddRow({"has,comma"});
+  table.AddRow({"has\"quote"});
+  table.AddRow({"plain"});
+  EXPECT_EQ(table.ToCsv(),
+            "name\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
+}
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(Format(3.14159, 2), "3.14");
+  EXPECT_EQ(Format(3.14159, 0), "3");
+  EXPECT_EQ(Format(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, Scientific) {
+  EXPECT_EQ(FormatSci(12345.0), "1.23e+04");
+  EXPECT_EQ(FormatSci(0.00123), "1.23e-03");
+}
+
+TEST(FormatTest, Integer) {
+  EXPECT_EQ(Format(static_cast<int64_t>(0)), "0");
+  EXPECT_EQ(Format(static_cast<int64_t>(-42)), "-42");
+  EXPECT_EQ(Format(static_cast<int64_t>(1234567890123LL)), "1234567890123");
+}
+
+}  // namespace
+}  // namespace nmc::common

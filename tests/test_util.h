@@ -1,0 +1,40 @@
+#ifndef NMCOUNT_TESTS_TEST_UTIL_H_
+#define NMCOUNT_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+
+namespace nmc::testing {
+
+/// Runs the Non-monotonic Counter over `stream` with round-robin site
+/// assignment and returns the harness result. The checker epsilon equals
+/// the counter's epsilon.
+inline sim::TrackingResult RunCounter(const std::vector<double>& stream,
+                                      int num_sites,
+                                      const core::CounterOptions& options) {
+  core::NonMonotonicCounter counter(num_sites, options);
+  sim::RoundRobinAssignment psi(num_sites);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = options.epsilon;
+  return sim::RunTracking(stream, &psi, &counter, tracking);
+}
+
+/// Default counter options for a stream of length n.
+inline core::CounterOptions DefaultOptions(int64_t n, double epsilon,
+                                           uint64_t seed) {
+  core::CounterOptions options;
+  options.epsilon = epsilon;
+  options.horizon_n = n;
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace nmc::testing
+
+#endif  // NMCOUNT_TESTS_TEST_UTIL_H_
