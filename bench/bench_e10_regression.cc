@@ -126,10 +126,11 @@ void SweepN() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e10_regression");
   Banner("E10 — Section 5.2: distributed Bayesian linear regression",
          "Õ(sqrt(k n) d^2/eps) messages to track the posterior continuously");
   SweepDim();
   SweepN();
-  return 0;
+  return nmc::bench::FinishBench();
 }

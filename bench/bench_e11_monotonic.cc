@@ -125,11 +125,12 @@ void SampledVsDeterministic() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e11_monotonic");
   Banner("E11 — mu = 1 special case vs the monotonic counter of [12]",
          "our counter matches HYZ's Θ̃(sqrt(k)/eps) up to polylog factors");
   SweepK();
   SweepEpsilon();
   SampledVsDeterministic();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -225,7 +225,8 @@ void HorizonFreeAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e12_ablations");
   Banner("E12 — ablations of the algorithm's design choices",
          "stage switch, drift guard, log exponent, Phase-2 handoff");
   StagePolicyAblation();
@@ -235,5 +236,5 @@ int main() {
   Phase2Ablation();
   VarianceAdaptiveAblation();
   HorizonFreeAblation();
-  return 0;
+  return nmc::bench::FinishBench();
 }

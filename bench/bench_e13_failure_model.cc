@@ -85,11 +85,12 @@ void ImpliedFailureAcrossN() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e13_failure_model");
   Banner("E13 — the sampling law's failure model, computed exactly",
          "per-sync failure = E[(1-p)^T], T the eps-ball exit time");
   ThreeWayAgreement();
   ExitTimeMoments();
   ImpliedFailureAcrossN();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -90,10 +90,11 @@ void SweepEpsilon() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e1_single_site");
   Banner("E1 — Theorem 3.1: single-site counter, i.i.d. input, zero drift",
          "messages = O(sqrt(n)/eps * log n), tracking holds w.p. 1-O(1/n)");
   SweepN();
   SweepEpsilon();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -85,10 +85,11 @@ void SweepPsi() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e2_multisite");
   Banner("E2 — Theorem 3.2: k-site counter, i.i.d. input, zero drift",
          "messages = O(sqrt(k*n)/eps * log n), independent of psi");
   SweepK();
   SweepPsi();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -115,10 +115,11 @@ void Phase2SwitchScaling() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e3_drift");
   Banner("E3 — Theorem 3.3: k-site counter with unknown drift",
          "messages = Õ(min{sqrt(k)/(eps|mu|), sqrt(k n)/eps, n}) + Õ(k)");
   SweepMu();
   Phase2SwitchScaling();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -93,10 +93,11 @@ void VsExactSync() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e4_permutation");
   Banner("E4 — Theorem 3.4: randomly permuted adversarial input",
          "messages = O(sqrt(k n)/eps log n + log^3 n) for ANY bounded multiset");
   SweepMultisets();
   VsExactSync();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -92,10 +92,11 @@ void SweepKAtFixedHurst() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e5_fbm");
   Banner("E5 — Theorem 3.5 / Corollary 3.6: fractional Brownian motion",
          "messages = Õ(n^{1-H} k^{(3-delta)/2}/eps) for H <= 1/delta");
   SweepHurstAndN();
   SweepKAtFixedHurst();
-  return 0;
+  return nmc::bench::FinishBench();
 }

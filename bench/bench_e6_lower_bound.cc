@@ -130,7 +130,8 @@ void AlgorithmVsBound() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e6_lower_bound");
   Banner("E6 — Theorems 4.1/4.2/4.5: sample-path lower bounds",
          "E[messages] = Omega(min{sqrt(k n)/eps, n}); drift Omega(1/(eps mu))");
   OccupancyVsN();
@@ -138,5 +139,5 @@ int main() {
   OccupancyVsDrift();
   PhaseOccupancyVsK();
   AlgorithmVsBound();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -60,10 +60,11 @@ void SweepThreshold() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e7_k_inputs");
   Banner("E7 — Lemma 4.4: the tracking-k-inputs communication game",
          "deciding sign(total) when |total| >= c*sqrt(k) needs Theta(k) msgs");
   SweepSampledFraction();
   SweepThreshold();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -124,11 +124,12 @@ void BaselineComparison() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e8_adversarial");
   Banner("E8 — the Omega(n) adversarial-order barrier vs random order",
          "worst-case order costs Omega(n); the permuted multiset is Õ(sqrt(n))");
   OrderedVsPermuted();
   SawtoothAmplitude();
   BaselineComparison();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -107,10 +107,11 @@ void SweepK() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nmc::bench::InitBench(argc, argv, "bench_e9_f2");
   Banner("E9 — Corollary 5.1: F2 tracking with decrements (fast AMS + counters)",
          "Õ(sqrt(k n)/eps^2) messages; LB Omega(min{sqrt(k n)/eps, n})");
   SweepN();
   SweepK();
-  return 0;
+  return nmc::bench::FinishBench();
 }

@@ -1,7 +1,11 @@
 // M1 — google-benchmark microbenchmarks of the hot paths: counter update,
-// HYZ update, stream generation (fGn via FFT), hashing, and sketch update.
-// These bound the simulator's throughput (updates/second), which is what
-// limits the n the experiment harnesses can sweep.
+// HYZ update, full simulator pump (network + tracking checker), stream
+// generation (fGn via FFT), hashing, and sketch update. These bound the
+// simulator's throughput (updates/second), which is what limits the n the
+// experiment harnesses can sweep.
+//
+// Run with --benchmark_out=PATH --benchmark_out_format=json to feed
+// scripts/run_benches.sh's BENCH_baseline.json aggregation.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +15,10 @@
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
 #include "sim/assignment.h"
+#include "sim/harness.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/node.h"
 #include "sketch/ams_sketch.h"
 #include "sketch/hash.h"
 #include "streams/bernoulli.h"
@@ -55,6 +63,66 @@ void BM_HyzUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HyzUpdate)->Arg(4)->Arg(16);
+
+// The whole simulator path the experiment harnesses pay per update:
+// assignment, protocol update, network delivery, and the per-step
+// epsilon check in RunTracking. This is the number the hot-path
+// optimizations (flat type breakdown, reused delivery queue, cached
+// observer flag, reserved curve) move.
+void BM_TrackingPump(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 15;
+  const auto stream = nmc::streams::BernoulliStream(n, 0.0, 21);
+  int64_t updates = 0;
+  for (auto _ : state) {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 11;
+    nmc::core::NonMonotonicCounter counter(k, options);
+    nmc::sim::RoundRobinAssignment psi(k);
+    nmc::sim::TrackingOptions tracking;
+    tracking.epsilon = 0.25;
+    const auto result =
+        nmc::sim::RunTracking(stream, &psi, &counter, tracking);
+    benchmark::DoNotOptimize(result.messages);
+    updates += result.n;
+  }
+  state.SetItemsProcessed(updates);
+}
+BENCHMARK(BM_TrackingPump)->Arg(1)->Arg(8);
+
+// Raw network send+deliver cycle with a trivial echo protocol: isolates
+// the per-message Network overhead (queue churn + accounting) from the
+// counter logic above.
+void BM_NetworkPump(benchmark::State& state) {
+  class NullCoordinator : public nmc::sim::CoordinatorNode {
+   public:
+    void OnSiteMessage(int, const nmc::sim::Message&) override {}
+  };
+  class NullSite : public nmc::sim::SiteNode {
+   public:
+    void OnLocalUpdate(double) override {}
+    void OnCoordinatorMessage(const nmc::sim::Message&) override {}
+  };
+  const int k = 8;
+  nmc::sim::Network network(k);
+  NullCoordinator coordinator;
+  std::vector<NullSite> sites(k);
+  network.AttachCoordinator(&coordinator);
+  for (int s = 0; s < k; ++s) network.AttachSite(s, &sites[s]);
+  nmc::sim::Message m;
+  m.type = 3;
+  int site = 0;
+  for (auto _ : state) {
+    network.SendToCoordinator(site, m);
+    network.SendToSite(site, m);
+    network.DeliverAll();
+    site = (site + 1) % k;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_NetworkPump);
 
 void BM_RngU64(benchmark::State& state) {
   nmc::common::Rng rng(5);

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
+#include "bench/runner.h"
 #include "common/statistics.h"
 #include "core/nonmonotonic_counter.h"
 #include "sim/assignment.h"
@@ -14,46 +16,35 @@
 
 namespace nmc::bench {
 
-/// Aggregated outcome of repeated tracked runs (mean over trials).
-struct RunSummary {
-  double mean_messages = 0.0;
-  double stderr_messages = 0.0;
-  /// Fraction of steps violating the epsilon guarantee, averaged.
-  double violation_fraction = 0.0;
-  /// Number of trials with at least one violating step.
-  int trials_with_violation = 0;
-  double max_rel_error = 0.0;
-  int trials = 0;
-};
-
 /// Runs `trials` independent tracked runs; `make_stream` and
 /// `make_protocol` receive the trial index so each trial can reseed.
+///
+/// Trials fan out across the session's worker pool (see InitBench /
+/// --threads; 1 = serial). Aggregates are bit-identical regardless of the
+/// thread count, and each batch is recorded into the session's JSON report
+/// when --json_out is set.
 inline RunSummary Repeat(
     int trials, int num_sites, double epsilon,
     const std::function<std::vector<double>(int)>& make_stream,
     const std::function<std::unique_ptr<sim::Protocol>(int)>& make_protocol,
     const std::string& psi_name = "round_robin") {
-  RunSummary summary;
-  summary.trials = trials;
-  common::RunningStat messages;
-  for (int trial = 0; trial < trials; ++trial) {
-    const auto stream = make_stream(trial);
-    auto protocol = make_protocol(trial);
-    auto psi = sim::MakeAssignment(psi_name, num_sites,
-                                   1000 + static_cast<uint64_t>(trial));
-    sim::TrackingOptions tracking;
-    tracking.epsilon = epsilon;
-    const auto result =
-        sim::RunTracking(stream, psi.get(), protocol.get(), tracking);
-    messages.Add(static_cast<double>(result.messages));
-    summary.violation_fraction += static_cast<double>(result.violation_steps) /
-                                  std::max<double>(1.0, static_cast<double>(result.n));
-    if (result.any_violation()) ++summary.trials_with_violation;
-    summary.max_rel_error = std::max(summary.max_rel_error, result.max_rel_error);
-  }
-  summary.mean_messages = messages.mean();
-  summary.stderr_messages = messages.stderr_mean();
-  summary.violation_fraction /= trials;
+  RepeatSpec spec;
+  spec.trials = trials;
+  spec.num_sites = num_sites;
+  spec.epsilon = epsilon;
+  spec.psi_name = psi_name;
+  spec.make_stream = make_stream;
+  spec.make_protocol = make_protocol;
+  const RunSummary summary = RunRepeated(spec, BenchThreads());
+
+  RunRecord record;
+  record.label = NextRunLabel();
+  record.trials = trials;
+  record.num_sites = num_sites;
+  record.epsilon = epsilon;
+  record.psi_name = psi_name;
+  record.summary = summary;
+  RecordRun(record);
   return summary;
 }
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Builds Release, runs the micro-benchmarks plus one fast tracked bench per
+# family with --json_out, and aggregates everything into BENCH_baseline.json
+# at the repo root — the machine-readable perf trajectory record.
+#
+# Usage: scripts/run_benches.sh [--threads=N] [--out=PATH]
+#   --threads=N  worker threads for the tracked benches (default: all cores)
+#   --out=PATH   aggregate output path (default: BENCH_baseline.json)
+#
+# Also verifies the parallel runner under ThreadSanitizer when the host
+# toolchain supports it (build-tsan/, thread_pool_test + runner_test).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+THREADS=0
+OUT="BENCH_baseline.json"
+for arg in "$@"; do
+  case "${arg}" in
+    --threads=*) THREADS="${arg#--threads=}" ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+BUILD_DIR=build
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+echo "== building Release =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" > /dev/null
+
+echo "== micro benchmarks (simulator hot path) =="
+"${BUILD_DIR}/bench/bench_micro" \
+    --benchmark_out="${WORK_DIR}/micro.json" \
+    --benchmark_out_format=json \
+    --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate'
+
+# One fast representative per bench family: counter scaling (E2), the
+# monotonic special case / HYZ family (E11), and the adversarial-order
+# family (E8). Each writes its own BENCH_<name>.json alongside the table.
+TRACKED_BENCHES=(bench_e2_multisite bench_e11_monotonic bench_e8_adversarial)
+for bench in "${TRACKED_BENCHES[@]}"; do
+  echo "== ${bench} (threads=${THREADS}) =="
+  "${BUILD_DIR}/bench/${bench}" \
+      --threads="${THREADS}" \
+      --json_out="${WORK_DIR}/BENCH_${bench}.json"
+done
+
+echo "== aggregating -> ${OUT} =="
+python3 - "${WORK_DIR}" "${OUT}" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+work_dir, out_path = Path(sys.argv[1]), Path(sys.argv[2])
+
+micro = json.loads((work_dir / "micro.json").read_text())
+micro_rows = [
+    {
+        "name": b["name"],
+        "items_per_second": b.get("items_per_second"),
+        "real_time_ns": b["real_time"],
+    }
+    for b in micro["benchmarks"]
+]
+
+benches = []
+for path in sorted(work_dir.glob("BENCH_bench_*.json")):
+    benches.append(json.loads(path.read_text()))
+
+aggregate = {
+    "schema": "nmcount-bench-baseline-v1",
+    "host": micro.get("context", {}).get("host_name", "unknown"),
+    "num_cpus": micro.get("context", {}).get("num_cpus"),
+    "micro": micro_rows,
+    "benches": benches,
+}
+out_path.write_text(json.dumps(aggregate, indent=2) + "\n")
+print(f"wrote {out_path} ({len(micro_rows)} micro rows, "
+      f"{len(benches)} tracked benches)")
+EOF
+
+echo "== ThreadSanitizer: thread pool + parallel runner =="
+if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DNMC_SANITIZE=thread > /dev/null 2>&1 \
+   && cmake --build build-tsan -j "$(nproc)" \
+        --target thread_pool_test runner_test > /dev/null 2>&1; then
+  ./build-tsan/tests/thread_pool_test
+  ./build-tsan/tests/runner_test
+  echo "TSan: clean"
+else
+  echo "TSan build unavailable on this toolchain; skipped" >&2
+fi
+
+echo "done."

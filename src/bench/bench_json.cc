@@ -1,0 +1,221 @@
+#include "bench/bench_json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+
+namespace nmc::bench {
+
+namespace {
+
+/// Shortest form that round-trips a double through JSON.
+std::string JsonDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that still parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    if (std::strtod(candidate, nullptr) == value) return candidate;
+  }
+  return buffer;
+}
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRun(const RunRecord& run, std::string* out) {
+  const RunSummary& s = run.summary;
+  *out += "    {\n";
+  *out += "      \"label\": " + JsonString(run.label) + ",\n";
+  *out += "      \"trials\": " + std::to_string(run.trials) + ",\n";
+  *out += "      \"num_sites\": " + std::to_string(run.num_sites) + ",\n";
+  *out += "      \"epsilon\": " + JsonDouble(run.epsilon) + ",\n";
+  *out += "      \"psi\": " + JsonString(run.psi_name) + ",\n";
+  *out += "      \"mean_messages\": " + JsonDouble(s.mean_messages) + ",\n";
+  *out += "      \"stderr_messages\": " + JsonDouble(s.stderr_messages) + ",\n";
+  *out += "      \"violation_fraction\": " + JsonDouble(s.violation_fraction) +
+          ",\n";
+  *out += "      \"trials_with_violation\": " +
+          std::to_string(s.trials_with_violation) + ",\n";
+  *out += "      \"max_rel_error\": " + JsonDouble(s.max_rel_error) + ",\n";
+  *out += "      \"total_updates\": " + std::to_string(s.total_updates) + ",\n";
+  *out += "      \"wall_seconds\": " + JsonDouble(s.wall_seconds) + ",\n";
+  *out += "      \"updates_per_sec\": " + JsonDouble(s.updates_per_sec()) +
+          "\n";
+  *out += "    }";
+}
+
+}  // namespace
+
+int64_t BenchReport::total_updates() const {
+  int64_t total = 0;
+  for (const RunRecord& run : runs) total += run.summary.total_updates;
+  return total;
+}
+
+double BenchReport::updates_per_sec() const {
+  double batch_seconds = 0.0;
+  for (const RunRecord& run : runs) batch_seconds += run.summary.wall_seconds;
+  return batch_seconds > 0.0
+             ? static_cast<double>(total_updates()) / batch_seconds
+             : 0.0;
+}
+
+common::RunningStat BenchReport::pooled_messages() const {
+  common::RunningStat pooled;
+  for (const RunRecord& run : runs) pooled.Merge(run.summary.messages_stat);
+  return pooled;
+}
+
+std::string BenchReportToJson(const BenchReport& report) {
+  std::string out = "{\n";
+  out += "  \"bench\": " + JsonString(report.bench) + ",\n";
+  out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
+  out += "  \"wall_seconds\": " + JsonDouble(report.wall_seconds) + ",\n";
+  out += "  \"total_updates\": " + std::to_string(report.total_updates()) +
+         ",\n";
+  out += "  \"updates_per_sec\": " + JsonDouble(report.updates_per_sec()) +
+         ",\n";
+  const common::RunningStat pooled = report.pooled_messages();
+  out += "  \"pooled_messages\": {\n";
+  out += "    \"trials\": " + std::to_string(pooled.count()) + ",\n";
+  out += "    \"mean\": " + JsonDouble(pooled.mean()) + ",\n";
+  out += "    \"stddev\": " + JsonDouble(pooled.stddev()) + ",\n";
+  out += "    \"min\": " + JsonDouble(pooled.min()) + ",\n";
+  out += "    \"max\": " + JsonDouble(pooled.max()) + "\n";
+  out += "  },\n";
+  out += "  \"runs\": [";
+  for (size_t i = 0; i < report.runs.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    AppendRun(report.runs[i], &out);
+  }
+  out += report.runs.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool WriteBenchReport(const std::string& path, const BenchReport& report) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string json = BenchReportToJson(report);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok) std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+  return ok;
+}
+
+namespace {
+
+struct BenchSession {
+  bool initialized = false;
+  BenchReport report;
+  std::string json_out;
+  int run_counter = 0;
+  std::chrono::steady_clock::time_point start;
+};
+
+BenchSession& Session() {
+  static BenchSession session;
+  return session;
+}
+
+}  // namespace
+
+void InitBench(int argc, const char* const* argv,
+               const std::string& bench_name) {
+  BenchSession& session = Session();
+  session.initialized = true;
+  session.report.bench = bench_name;
+  session.start = std::chrono::steady_clock::now();
+
+  common::Flags flags;
+  const common::Status status = common::Flags::Parse(argc, argv, &flags);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
+                 status.message().c_str());
+    std::exit(2);
+  }
+  session.report.threads = flags.Threads();
+  session.json_out = flags.GetString("json_out", "");
+  const auto unused = flags.UnusedKeys();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "%s: unknown flag --%s (supported: --threads=N, "
+                 "--json_out=PATH)\n",
+                 bench_name.c_str(), unused.front().c_str());
+    std::exit(2);
+  }
+  if (!flags.Malformed().empty()) {
+    std::fprintf(stderr, "%s: malformed value for --%s\n", bench_name.c_str(),
+                 flags.Malformed().front().c_str());
+    std::exit(2);
+  }
+  if (session.report.threads > 1) {
+    std::printf("[bench: %d worker threads]\n", session.report.threads);
+  }
+}
+
+int BenchThreads() {
+  const BenchSession& session = Session();
+  return session.initialized ? session.report.threads : 1;
+}
+
+void RecordRun(const RunRecord& record) {
+  BenchSession& session = Session();
+  if (!session.initialized) return;
+  session.report.runs.push_back(record);
+}
+
+std::string NextRunLabel() {
+  BenchSession& session = Session();
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "repeat%02d", session.run_counter++);
+  return buffer;
+}
+
+int FinishBench() {
+  BenchSession& session = Session();
+  if (!session.initialized) return 0;
+  session.report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    session.start)
+          .count();
+  if (session.json_out.empty()) return 0;
+  const bool ok = WriteBenchReport(session.json_out, session.report);
+  if (ok) {
+    std::printf("[bench: wrote %s — %lld updates in %.2fs batch time, "
+                "%.0f updates/sec]\n",
+                session.json_out.c_str(),
+                static_cast<long long>(session.report.total_updates()),
+                session.report.wall_seconds,
+                session.report.updates_per_sec());
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace nmc::bench

@@ -1,0 +1,73 @@
+#ifndef NMCOUNT_SRC_BENCH_BENCH_JSON_H_
+#define NMCOUNT_SRC_BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/runner.h"
+
+namespace nmc::bench {
+
+/// One recorded batch of tracked runs, with the configuration that
+/// produced it.
+struct RunRecord {
+  std::string label;
+  int trials = 0;
+  int num_sites = 0;
+  double epsilon = 0.0;
+  std::string psi_name;
+  RunSummary summary;
+};
+
+/// Machine-readable record of one bench binary's execution — the unit the
+/// perf trajectory is built from (one BENCH_*.json per binary per run).
+struct BenchReport {
+  std::string bench;
+  int threads = 1;
+  std::vector<RunRecord> runs;
+  /// Wall time of the whole binary, not just the recorded batches.
+  double wall_seconds = 0.0;
+
+  int64_t total_updates() const;
+  double updates_per_sec() const;
+  /// Message counts pooled over every trial of every run, combined with
+  /// RunningStat::Merge (exact pooled moments, not an average of means).
+  common::RunningStat pooled_messages() const;
+};
+
+/// Serializes the report as indented JSON (stable key order).
+std::string BenchReportToJson(const BenchReport& report);
+
+/// Writes the serialized report to `path`. Returns false and prints to
+/// stderr on I/O failure.
+bool WriteBenchReport(const std::string& path, const BenchReport& report);
+
+/// ---- Per-binary bench session -------------------------------------------
+///
+/// The bench_e* binaries are single-threaded at top level, so the session
+/// is a plain global: InitBench parses the shared flags, Repeat batches
+/// record themselves, FinishBench writes the JSON report if requested.
+
+/// Parses the standard bench flags from argv:
+///   --threads=N    worker threads for Repeat batches (0/absent =
+///                  hardware concurrency, 1 = legacy serial)
+///   --json_out=P   write a BENCH_*.json report to P on FinishBench()
+/// Exits with status 2 on malformed or unknown flags.
+void InitBench(int argc, const char* const* argv, const std::string& bench_name);
+
+/// Thread count resolved by InitBench (1 before InitBench is called).
+int BenchThreads();
+
+/// Appends a record to the session report (no-op before InitBench).
+void RecordRun(const RunRecord& record);
+
+/// Label "repeatNN" for the next auto-recorded batch.
+std::string NextRunLabel();
+
+/// Writes the JSON report when --json_out was given. Returns the process
+/// exit code for main (0 on success, 1 on write failure).
+int FinishBench();
+
+}  // namespace nmc::bench
+
+#endif  // NMCOUNT_SRC_BENCH_BENCH_JSON_H_

@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "common/thread_pool.h"
+
 namespace nmc::common {
 
 Status Flags::Parse(int argc, const char* const* argv, Flags* flags) {
@@ -74,6 +76,12 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   if (it->second == "false" || it->second == "0") return false;
   malformed_.push_back(key);
   return default_value;
+}
+
+int Flags::Threads() const {
+  const int64_t requested = GetInt("threads", 0);
+  if (requested <= 0) return ThreadPool::DefaultThreads();
+  return static_cast<int>(requested);
 }
 
 std::vector<std::string> Flags::UnusedKeys() const {

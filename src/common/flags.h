@@ -37,6 +37,11 @@ class Flags {
   /// Get* calls to reject typos.
   std::vector<std::string> UnusedKeys() const;
 
+  /// Resolves the standard `--threads` flag shared by the bench binaries:
+  /// absent, 0, or negative means hardware concurrency, 1 reproduces the
+  /// legacy serial path, N uses N workers.
+  int Threads() const;
+
  private:
   std::map<std::string, std::string> values_;
   mutable std::vector<std::string> queried_;

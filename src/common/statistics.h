@@ -14,6 +14,13 @@ class RunningStat {
 
   void Add(double x);
 
+  /// Folds `other` into this accumulator using the pooled-moments combine
+  /// (Chan et al.): the result has the count/sum/mean/m2/min/max the
+  /// accumulator would hold after seeing both sample sets. Either side may
+  /// be empty. Enables parallel accumulation: workers build disjoint stats
+  /// and the caller merges them.
+  void Merge(const RunningStat& other);
+
   int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
   /// Unbiased sample variance; 0 for fewer than two samples.

@@ -1,0 +1,54 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace nmc::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unfinished_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
+      // Drain remaining tasks even when stopping: futures handed out by
+      // Submit() must always become ready.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task captures any exception into the future
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+    }
+  }
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace nmc::common

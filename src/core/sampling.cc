@@ -9,9 +9,33 @@ namespace nmc::core {
 
 namespace {
 
+/// log(max(n, 2)), memoized: the horizon is a run constant but this sits
+/// on the per-update sampling path, so recomputing the log each update is
+/// pure waste. thread_local keeps the cache safe under the parallel trial
+/// runner; the cached value is bit-identical to recomputation.
 double LogHorizon(int64_t horizon_n) {
   NMC_CHECK_GE(horizon_n, 1);
-  return std::log(std::max<double>(static_cast<double>(horizon_n), 2.0));
+  thread_local int64_t cached_n = -1;
+  thread_local double cached_log = 0.0;
+  if (horizon_n != cached_n) {
+    cached_log =
+        std::log(std::max<double>(static_cast<double>(horizon_n), 2.0));
+    cached_n = horizon_n;
+  }
+  return cached_log;
+}
+
+/// pow(LogHorizon(n), exponent), memoized for the same reason.
+double PowLogHorizon(int64_t horizon_n, double exponent) {
+  thread_local int64_t cached_n = -1;
+  thread_local double cached_exponent = 0.0;
+  thread_local double cached_pow = 0.0;
+  if (horizon_n != cached_n || exponent != cached_exponent) {
+    cached_pow = std::pow(LogHorizon(horizon_n), exponent);
+    cached_n = horizon_n;
+    cached_exponent = exponent;
+  }
+  return cached_pow;
 }
 
 }  // namespace
@@ -24,7 +48,7 @@ double RandomWalkRate(double estimate, double epsilon, int64_t horizon_n,
   const double scaled = epsilon * std::fabs(estimate);
   if (scaled == 0.0) return 1.0;
   const double rate =
-      alpha * std::pow(LogHorizon(horizon_n), beta) / (scaled * scaled);
+      alpha * PowLogHorizon(horizon_n, beta) / (scaled * scaled);
   return std::min(rate, 1.0);
 }
 
@@ -37,7 +61,7 @@ double FbmRate(double estimate, double epsilon, int64_t horizon_n,
   const double scaled = epsilon * std::fabs(estimate);
   if (scaled == 0.0) return 1.0;
   const double rate = alpha_delta *
-                      std::pow(LogHorizon(horizon_n), 1.0 + delta / 2.0) /
+                      PowLogHorizon(horizon_n, 1.0 + delta / 2.0) /
                       std::pow(scaled, delta);
   return std::min(rate, 1.0);
 }

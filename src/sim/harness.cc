@@ -20,6 +20,12 @@ TrackingResult RunTracking(const std::vector<double>& stream,
       options.curve_points > 0
           ? std::max<int64_t>(1, result.n / options.curve_points)
           : 0;
+  if (curve_stride > 0) {
+    // One point per stride plus the forced final point; +2 absorbs the
+    // rounding so the push_back loop below never reallocates.
+    result.curve.reserve(
+        static_cast<size_t>(result.n / curve_stride + 2));
+  }
 
   double sum = 0.0;
   for (int64_t t = 0; t < result.n; ++t) {

@@ -1,12 +1,22 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace nmc::sim {
 
+namespace {
+/// Typical protocols use single-digit type discriminators; pre-sizing the
+/// dense counter array to this floor makes the grow path effectively cold.
+constexpr size_t kInitialTypeSlots = 16;
+}  // namespace
+
 Network::Network(int num_sites) : num_sites_(num_sites) {
   NMC_CHECK_GE(num_sites, 1);
   sites_.assign(static_cast<size_t>(num_sites), nullptr);
+  queue_.reserve(64);
+  breakdown_by_type_.resize(kInitialTypeSlots);
 }
 
 void Network::AttachCoordinator(CoordinatorNode* coordinator) {
@@ -21,30 +31,37 @@ void Network::AttachSite(int site_id, SiteNode* site) {
   sites_[static_cast<size_t>(site_id)] = site;
 }
 
+void Network::GrowBreakdown(size_t index) {
+  breakdown_by_type_.resize(std::max(index + 1, breakdown_by_type_.size() * 2));
+}
+
 void Network::SendToCoordinator(int from_site, const Message& message) {
   NMC_CHECK_GE(from_site, 0);
   NMC_CHECK_LT(from_site, num_sites_);
+  NMC_CHECK_GE(message.type, 0);
   stats_.site_to_coordinator += 1;
-  type_breakdown_[message.type].to_coordinator += 1;
-  if (observer_) observer_(SentMessage{true, from_site, message});
+  BreakdownSlot(message.type).to_coordinator += 1;
+  if (has_observer_) observer_(SentMessage{true, from_site, message});
   queue_.push_back(Envelope{/*to_coordinator=*/true, from_site, message});
 }
 
 void Network::SendToSite(int site_id, const Message& message) {
   NMC_CHECK_GE(site_id, 0);
   NMC_CHECK_LT(site_id, num_sites_);
+  NMC_CHECK_GE(message.type, 0);
   stats_.coordinator_to_site += 1;
-  type_breakdown_[message.type].to_sites += 1;
-  if (observer_) observer_(SentMessage{false, site_id, message});
+  BreakdownSlot(message.type).to_sites += 1;
+  if (has_observer_) observer_(SentMessage{false, site_id, message});
   queue_.push_back(Envelope{/*to_coordinator=*/false, site_id, message});
 }
 
 void Network::Broadcast(const Message& message) {
+  NMC_CHECK_GE(message.type, 0);
   stats_.coordinator_to_site += num_sites_;
   stats_.broadcasts += 1;
-  type_breakdown_[message.type].to_sites += num_sites_;
+  BreakdownSlot(message.type).to_sites += num_sites_;
   for (int s = 0; s < num_sites_; ++s) {
-    if (observer_) observer_(SentMessage{false, s, message});
+    if (has_observer_) observer_(SentMessage{false, s, message});
     queue_.push_back(Envelope{/*to_coordinator=*/false, s, message});
   }
 }
@@ -52,9 +69,12 @@ void Network::Broadcast(const Message& message) {
 void Network::DeliverAll() {
   if (delivering_) return;  // handlers must not re-enter the pump
   delivering_ = true;
-  while (!queue_.empty()) {
-    const Envelope env = queue_.front();
-    queue_.pop_front();
+  // Handlers may send while we deliver, growing queue_ (and possibly
+  // reallocating it), so index — never hold an iterator — and copy the
+  // envelope out before dispatching.
+  while (head_ < queue_.size()) {
+    const Envelope env = queue_[head_];
+    ++head_;
     if (env.to_coordinator) {
       NMC_CHECK(coordinator_ != nullptr);
       coordinator_->OnSiteMessage(env.site_id, env.message);
@@ -64,7 +84,21 @@ void Network::DeliverAll() {
       site->OnCoordinatorMessage(env.message);
     }
   }
+  // Quiescent: reset to reuse the storage on the next pump.
+  queue_.clear();
+  head_ = 0;
   delivering_ = false;
+}
+
+std::map<int, Network::TypeBreakdown> Network::type_breakdown() const {
+  std::map<int, TypeBreakdown> breakdown;
+  for (size_t type = 0; type < breakdown_by_type_.size(); ++type) {
+    const TypeBreakdown& counts = breakdown_by_type_[type];
+    if (counts.to_coordinator != 0 || counts.to_sites != 0) {
+      breakdown[static_cast<int>(type)] = counts;
+    }
+  }
+  return breakdown;
 }
 
 }  // namespace nmc::sim

@@ -2,7 +2,6 @@
 #define NMCOUNT_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <vector>
@@ -24,6 +23,13 @@ namespace nmc::sim {
 ///
 /// The Network does not own the nodes; protocols own their nodes and attach
 /// them before use.
+///
+/// Per-message work is allocation-free in the steady state: the delivery
+/// queue is a flat vector whose storage is reused across DeliverAll()
+/// calls, the per-type accounting is a dense array indexed by message type
+/// (protocol type discriminators are small non-negative enums), and the
+/// observer hook costs one branch on a plain bool when no observer is
+/// installed.
 class Network {
  public:
   explicit Network(int num_sites);
@@ -61,9 +67,11 @@ class Network {
     int64_t to_coordinator = 0;
     int64_t to_sites = 0;
   };
-  const std::map<int, TypeBreakdown>& type_breakdown() const {
-    return type_breakdown_;
-  }
+
+  /// Snapshot of the per-type counts, keyed by type, with untouched types
+  /// omitted. Built on demand from the internal dense array — call off the
+  /// hot path (the accounting itself is always on).
+  std::map<int, TypeBreakdown> type_breakdown() const;
 
   /// One transmitted message, as seen by the observer below.
   struct SentMessage {
@@ -80,6 +88,7 @@ class Network {
   /// accounting or delivery.
   void SetObserver(std::function<void(const SentMessage&)> observer) {
     observer_ = std::move(observer);
+    has_observer_ = static_cast<bool>(observer_);
   }
 
  private:
@@ -89,13 +98,28 @@ class Network {
     Message message;
   };
 
+  TypeBreakdown& BreakdownSlot(int type) {
+    const size_t index = static_cast<size_t>(type);
+    if (index >= breakdown_by_type_.size()) GrowBreakdown(index);
+    return breakdown_by_type_[index];
+  }
+
+  void GrowBreakdown(size_t index);
+
   int num_sites_;
   CoordinatorNode* coordinator_ = nullptr;
   std::vector<SiteNode*> sites_;
-  std::deque<Envelope> queue_;
+  /// FIFO queue as (vector, head index): push_back to enqueue, advance
+  /// head_ to dequeue; storage is kept across DeliverAll() calls so the
+  /// steady state never reallocates.
+  std::vector<Envelope> queue_;
+  size_t head_ = 0;
   MessageStats stats_;
-  std::map<int, TypeBreakdown> type_breakdown_;
+  /// Dense per-type counters; index = message type. Types are expected to
+  /// be small non-negative ints (protocol enums); negative types abort.
+  std::vector<TypeBreakdown> breakdown_by_type_;
   std::function<void(const SentMessage&)> observer_;
+  bool has_observer_ = false;
   bool delivering_ = false;
 };
 

@@ -180,6 +180,89 @@ TEST_F(NetworkTest, TypeBreakdownSumMatchesStats) {
   EXPECT_EQ(down, network_->stats().coordinator_to_site);
 }
 
+TEST_F(NetworkTest, NestedSendsDuringDeliveryCountedAndDeliveredOnce) {
+  // Regression: a handler that sends from *within* delivery (the reply is
+  // enqueued while DeliverAll is pumping) must have its message charged
+  // and delivered exactly once, and the queue must be fully drained
+  // afterwards so a later pump does not redeliver anything.
+  sites_[1]->set_reply_on_receive(true);
+  Message m;
+  m.type = 4;
+  network_->SendToSite(1, m);
+  network_->DeliverAll();
+  ASSERT_EQ(coordinator_.received().size(), 1u);
+  EXPECT_EQ(coordinator_.received()[0].type, 99);
+  EXPECT_EQ(coordinator_.from()[0], 1);
+  EXPECT_EQ(network_->stats().site_to_coordinator, 1);
+  EXPECT_EQ(network_->stats().coordinator_to_site, 1);
+
+  // An empty re-pump must be a no-op: nothing redelivered, nothing
+  // recharged.
+  network_->DeliverAll();
+  EXPECT_EQ(coordinator_.received().size(), 1u);
+  EXPECT_EQ(sites_[1]->received().size(), 1u);
+  EXPECT_EQ(network_->total_messages(), 2);
+}
+
+TEST_F(NetworkTest, ReentrantDeliverAllFromHandlerIsIgnored) {
+  // A handler calling DeliverAll() re-entrantly must not double-deliver:
+  // the outer pump owns the queue.
+  class ReentrantCoordinator : public CoordinatorNode {
+   public:
+    ReentrantCoordinator(Network* network, const RecordingSite* site)
+        : network_(network), site_(site) {}
+    void OnSiteMessage(int, const Message& message) override {
+      ++received_;
+      if (message.type == 1) {
+        // Send a follow-up, then try to pump from inside delivery; the
+        // nested call must return immediately without delivering it.
+        Message follow_up;
+        follow_up.type = 2;
+        network_->SendToSite(0, follow_up);
+        network_->DeliverAll();
+        EXPECT_TRUE(site_->received().empty());
+      }
+    }
+    int received_ = 0;
+
+   private:
+    Network* network_;
+    const RecordingSite* site_;
+  };
+
+  Network network(1);
+  RecordingSite site(0, &network);
+  ReentrantCoordinator coordinator(&network, &site);
+  network.AttachCoordinator(&coordinator);
+  network.AttachSite(0, &site);
+  Message m;
+  m.type = 1;
+  network.SendToCoordinator(0, m);
+  network.DeliverAll();
+  EXPECT_EQ(coordinator.received_, 1);
+  // The follow-up sent mid-delivery arrived exactly once, via the outer
+  // pump, not the nested call.
+  ASSERT_EQ(site.received().size(), 1u);
+  EXPECT_EQ(site.received()[0].type, 2);
+  EXPECT_EQ(network.total_messages(), 2);
+}
+
+TEST_F(NetworkTest, DeepNestedChainsDrainInFifoOrder) {
+  // Each delivered broadcast triggers replies; interleave with fresh sends
+  // to exercise queue storage reuse across pumps.
+  for (auto& site : sites_) site->set_reply_on_receive(true);
+  Message m;
+  for (int round = 0; round < 50; ++round) {
+    m.type = 4;
+    network_->Broadcast(m);
+    network_->DeliverAll();
+  }
+  // Per round: 3 broadcast deliveries + 3 replies.
+  EXPECT_EQ(coordinator_.received().size(), 150u);
+  EXPECT_EQ(network_->stats().site_to_coordinator, 150);
+  EXPECT_EQ(network_->stats().coordinator_to_site, 150);
+}
+
 TEST(MessageStatsTest, PlusEqualsAggregates) {
   MessageStats a;
   a.site_to_coordinator = 3;

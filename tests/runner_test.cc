@@ -1,0 +1,112 @@
+#include "bench/runner.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nonmonotonic_counter.h"
+#include "streams/bernoulli.h"
+
+namespace nmc::bench {
+namespace {
+
+RepeatSpec CounterSpec(int trials, int num_sites, int64_t n) {
+  RepeatSpec spec;
+  spec.trials = trials;
+  spec.num_sites = num_sites;
+  spec.epsilon = 0.25;
+  spec.make_stream = [n](int trial) {
+    return streams::BernoulliStream(n, 0.0, 300 + static_cast<uint64_t>(trial));
+  };
+  spec.make_protocol = [num_sites, n](int trial) {
+    core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 17 + static_cast<uint64_t>(trial) * 7919;
+    return std::make_unique<core::NonMonotonicCounter>(num_sites, options);
+  };
+  return spec;
+}
+
+// The statistical fields must agree bit-for-bit, not just approximately:
+// parallel execution only reorders *scheduling*, never arithmetic.
+void ExpectBitIdentical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.mean_messages, b.mean_messages);
+  EXPECT_EQ(a.stderr_messages, b.stderr_messages);
+  EXPECT_EQ(a.violation_fraction, b.violation_fraction);
+  EXPECT_EQ(a.trials_with_violation, b.trials_with_violation);
+  EXPECT_EQ(a.max_rel_error, b.max_rel_error);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.messages_stat.count(), b.messages_stat.count());
+  EXPECT_EQ(a.messages_stat.mean(), b.messages_stat.mean());
+  EXPECT_EQ(a.messages_stat.variance(), b.messages_stat.variance());
+  EXPECT_EQ(a.messages_stat.min(), b.messages_stat.min());
+  EXPECT_EQ(a.messages_stat.max(), b.messages_stat.max());
+}
+
+TEST(RunnerTest, SerialMatchesParallelBitForBit) {
+  const RepeatSpec spec = CounterSpec(/*trials=*/8, /*num_sites=*/4,
+                                      /*n=*/1 << 12);
+  const RunSummary serial = RunRepeated(spec, 1);
+  const RunSummary parallel = RunRepeated(spec, 4);
+  ExpectBitIdentical(serial, parallel);
+  EXPECT_GT(serial.mean_messages, 0.0);
+  EXPECT_EQ(serial.total_updates, 8 * (1 << 12));
+}
+
+TEST(RunnerTest, ParallelMatchesWithMoreWorkersThanTrials) {
+  const RepeatSpec spec = CounterSpec(/*trials=*/3, /*num_sites=*/2,
+                                      /*n=*/1 << 10);
+  ExpectBitIdentical(RunRepeated(spec, 1), RunRepeated(spec, 16));
+}
+
+TEST(RunnerTest, RepeatedInvocationIsDeterministic) {
+  const RepeatSpec spec = CounterSpec(/*trials=*/4, /*num_sites=*/4,
+                                      /*n=*/1 << 10);
+  ExpectBitIdentical(RunRepeated(spec, 2), RunRepeated(spec, 2));
+}
+
+TEST(RunnerTest, SingleTrialRunsInline) {
+  const RepeatSpec spec = CounterSpec(/*trials=*/1, /*num_sites=*/1,
+                                      /*n=*/1 << 10);
+  const RunSummary summary = RunRepeated(spec, 8);
+  EXPECT_EQ(summary.trials, 1);
+  EXPECT_EQ(summary.stderr_messages, 0.0);
+  EXPECT_GT(summary.mean_messages, 0.0);
+}
+
+TEST(RunnerTest, SummaryMatchesLegacySingleLoopSemantics) {
+  // mean/stderr come straight from the per-trial messages_stat, and the
+  // violation fraction is the mean of per-trial fractions.
+  const RepeatSpec spec = CounterSpec(/*trials=*/5, /*num_sites=*/2,
+                                      /*n=*/1 << 11);
+  const RunSummary summary = RunRepeated(spec, 1);
+  EXPECT_EQ(summary.mean_messages, summary.messages_stat.mean());
+  EXPECT_EQ(summary.stderr_messages, summary.messages_stat.stderr_mean());
+  EXPECT_EQ(summary.messages_stat.count(), 5);
+  EXPECT_GE(summary.violation_fraction, 0.0);
+  EXPECT_LE(summary.violation_fraction, 1.0);
+}
+
+#ifdef NDEBUG
+TEST(RunnerTest, EmptyStreamTrialReportsZeroViolationFraction) {
+  // Release builds: an empty stream must contribute an explicit 0.0, not
+  // the 1-step division the old Repeat loop silently fell back to. (Debug
+  // builds assert instead — an empty stream is a harness bug.)
+  RepeatSpec spec = CounterSpec(/*trials=*/2, /*num_sites=*/1, /*n=*/16);
+  spec.make_stream = [](int trial) {
+    return trial == 0 ? std::vector<double>()
+                      : streams::BernoulliStream(16, 0.0, 5);
+  };
+  const RunSummary summary = RunRepeated(spec, 1);
+  EXPECT_EQ(summary.trials, 2);
+  EXPECT_GE(summary.violation_fraction, 0.0);
+  EXPECT_EQ(summary.total_updates, 16);
+}
+#endif
+
+}  // namespace
+}  // namespace nmc::bench

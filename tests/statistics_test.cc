@@ -52,6 +52,74 @@ TEST(RunningStatTest, StableForLargeOffsets) {
   EXPECT_NEAR(stat.variance(), 1.001, 0.01);
 }
 
+TEST(RunningStatMergeTest, MergeOfDisjointHalvesMatchesSinglePass) {
+  // Pooled-moments combine: feeding the halves separately and merging must
+  // equal one pass over the concatenation within 1e-12.
+  std::vector<double> values;
+  for (int i = 0; i < 101; ++i) {
+    values.push_back(3.5 * i - 40.0 + ((i % 7) - 3) * 0.25);
+  }
+  RunningStat single;
+  for (double v : values) single.Add(v);
+  RunningStat left, right;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i < values.size() / 2 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  EXPECT_NEAR(left.mean(), single.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), single.variance(),
+              1e-12 * single.variance());
+  EXPECT_NEAR(left.stderr_mean(), single.stderr_mean(), 1e-12);
+  EXPECT_EQ(left.min(), single.min());
+  EXPECT_EQ(left.max(), single.max());
+  EXPECT_NEAR(left.sum(), single.sum(), 1e-9);
+}
+
+TEST(RunningStatMergeTest, MergeManyChunksMatchesSinglePass) {
+  // The runner merges one stat per worker; emulate 8 disjoint chunks.
+  std::vector<double> values;
+  for (int i = 0; i < 240; ++i) values.push_back(1e6 + (i * 37) % 113);
+  RunningStat single;
+  for (double v : values) single.Add(v);
+  RunningStat merged;
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    RunningStat part;
+    for (size_t i = static_cast<size_t>(chunk) * 30; i < (chunk + 1) * 30u;
+         ++i) {
+      part.Add(values[i]);
+    }
+    merged.Merge(part);
+  }
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-12 * single.mean());
+  EXPECT_NEAR(merged.variance(), single.variance(), 1e-9);
+}
+
+TEST(RunningStatMergeTest, MergeWithEmptyIsIdentityBothWays) {
+  RunningStat stat;
+  stat.Add(2.0);
+  stat.Add(4.0);
+  RunningStat empty;
+  stat.Merge(empty);  // no-op
+  EXPECT_EQ(stat.count(), 2);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  empty.Merge(stat);  // adopts the other side wholesale
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), stat.variance());
+  EXPECT_EQ(empty.min(), 2.0);
+  EXPECT_EQ(empty.max(), 4.0);
+}
+
+TEST(RunningStatMergeTest, MergeOfEmptiesStaysEmpty) {
+  RunningStat a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
 TEST(QuantileTest, MedianOfOddCount) {
   EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
 }

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfCompletionOrder) {
+  // Tasks finish in an order unrelated to submission (earlier tasks sleep
+  // longer), but each future still yields its own task's value.
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([i]() {
+      std::this_thread::sleep_for(std::chrono::microseconds((16 - i) * 50));
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return 1; });
+  auto boom = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(
+      {
+        try {
+          boom.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotKillWorker) {
+  ThreadPool pool(1);
+  auto boom = pool.Submit([]() { throw std::runtime_error("first"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The single worker must survive to run the next task.
+  auto after = pool.Submit([]() { return 7; });
+  EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPoolTest, TeardownDrainsPendingWork) {
+  // Submit far more tasks than workers and destroy the pool immediately:
+  // every future must still become ready with its result (the destructor
+  // drains the queue rather than dropping it).
+  std::atomic<int> executed{0};
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([i, &executed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+  }  // ~ThreadPool with most tasks still queued
+  EXPECT_EQ(executed.load(), 64);
+  for (int i = 0; i < 64; ++i) {
+    auto& future = futures[static_cast<size_t>(i)];
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), i);
+  }
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmitters) {
+  // Submit from several threads at once; all results must arrive intact.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &total, s]() {
+      std::vector<std::future<int>> futures;
+      for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.Submit([s, i]() { return s * 100 + i; }));
+      }
+      for (auto& future : futures) total.fetch_add(future.get());
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  int64_t expected = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 32; ++i) expected += s * 100 + i;
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace nmc::common
