@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_BENCH_BENCH_UTIL_H_
-#define NMCOUNT_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -77,4 +76,3 @@ inline void PrintFit(const std::string& what, const std::vector<double>& xs,
 
 }  // namespace nmc::bench
 
-#endif  // NMCOUNT_BENCH_BENCH_UTIL_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_
-#define NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,4 +47,3 @@ double Eq1FailureAtRadius(int64_t b, double alpha, double beta, int64_t n);
 
 }  // namespace nmc::analysis
 
-#endif  // NMCOUNT_ANALYSIS_FIRST_PASSAGE_H_

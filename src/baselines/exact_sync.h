@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_BASELINES_EXACT_SYNC_H_
-#define NMCOUNT_BASELINES_EXACT_SYNC_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -35,4 +34,3 @@ class ExactSyncProtocol : public sim::Protocol {
 
 }  // namespace nmc::baselines
 
-#endif  // NMCOUNT_BASELINES_EXACT_SYNC_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_BASELINES_PERIODIC_SYNC_H_
-#define NMCOUNT_BASELINES_PERIODIC_SYNC_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -37,4 +36,3 @@ class PeriodicSyncProtocol : public sim::Protocol {
 
 }  // namespace nmc::baselines
 
-#endif  // NMCOUNT_BASELINES_PERIODIC_SYNC_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_BASELINES_TWO_MONOTONIC_H_
-#define NMCOUNT_BASELINES_TWO_MONOTONIC_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -35,4 +34,3 @@ class TwoMonotonicProtocol : public sim::Protocol {
 
 }  // namespace nmc::baselines
 
-#endif  // NMCOUNT_BASELINES_TWO_MONOTONIC_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SRC_BENCH_BENCH_JSON_H_
-#define NMCOUNT_SRC_BENCH_BENCH_JSON_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,4 +69,3 @@ int FinishBench();
 
 }  // namespace nmc::bench
 
-#endif  // NMCOUNT_SRC_BENCH_BENCH_JSON_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SRC_BENCH_RUNNER_H_
-#define NMCOUNT_SRC_BENCH_RUNNER_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -64,4 +63,3 @@ RunSummary RunRepeated(const RepeatSpec& spec, int threads);
 
 }  // namespace nmc::bench
 
-#endif  // NMCOUNT_SRC_BENCH_RUNNER_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_CHECK_H_
-#define NMCOUNT_COMMON_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,4 +36,3 @@
 #define NMC_CHECK_GT(a, b) NMC_CHECK_OP(>, a, b)
 #define NMC_CHECK_GE(a, b) NMC_CHECK_OP(>=, a, b)
 
-#endif  // NMCOUNT_COMMON_CHECK_H_

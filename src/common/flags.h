@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_FLAGS_H_
-#define NMCOUNT_COMMON_FLAGS_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -50,4 +49,3 @@ class Flags {
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_FLAGS_H_

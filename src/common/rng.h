@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_RNG_H_
-#define NMCOUNT_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -69,4 +68,3 @@ class Rng {
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_STATISTICS_H_
-#define NMCOUNT_COMMON_STATISTICS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -65,4 +64,3 @@ LinearFit FitPowerLaw(const std::vector<double>& xs,
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_STATISTICS_H_

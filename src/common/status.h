@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_STATUS_H_
-#define NMCOUNT_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -62,4 +61,3 @@ class Status {
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_STATUS_H_

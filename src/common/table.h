@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_TABLE_H_
-#define NMCOUNT_COMMON_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -47,4 +46,3 @@ std::string Format(int64_t value);
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_TABLE_H_

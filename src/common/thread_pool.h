@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_COMMON_THREAD_POOL_H_
-#define NMCOUNT_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <deque>
@@ -76,4 +75,3 @@ class ThreadPool {
 
 }  // namespace nmc::common
 
-#endif  // NMCOUNT_COMMON_THREAD_POOL_H_

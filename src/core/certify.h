@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_CERTIFY_H_
-#define NMCOUNT_CORE_CERTIFY_H_
+#pragma once
 
 namespace nmc::core {
 
@@ -29,4 +28,3 @@ int CertifiedSign(double estimate, double epsilon, double min_magnitude);
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_CERTIFY_H_

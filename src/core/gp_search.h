@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_GP_SEARCH_H_
-#define NMCOUNT_CORE_GP_SEARCH_H_
+#pragma once
 
 #include <cstdint>
 
@@ -58,4 +57,3 @@ class GpSearch {
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_GP_SEARCH_H_

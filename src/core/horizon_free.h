@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_HORIZON_FREE_H_
-#define NMCOUNT_CORE_HORIZON_FREE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -61,4 +60,3 @@ class HorizonFreeCounter : public sim::Protocol {
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_HORIZON_FREE_H_

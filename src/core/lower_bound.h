@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_LOWER_BOUND_H_
-#define NMCOUNT_CORE_LOWER_BOUND_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ KInputsGameResult RunKInputsGame(int64_t k, int64_t sampled_sites,
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_LOWER_BOUND_H_

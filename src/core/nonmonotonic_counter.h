@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_NONMONOTONIC_COUNTER_H_
-#define NMCOUNT_CORE_NONMONOTONIC_COUNTER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -218,4 +217,3 @@ class NonMonotonicCounter : public sim::Protocol {
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_NONMONOTONIC_COUNTER_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_CORE_SAMPLING_H_
-#define NMCOUNT_CORE_SAMPLING_H_
+#pragma once
 
 #include <cstdint>
 
@@ -31,4 +30,3 @@ double DriftGuardRate(int64_t t, double epsilon, int64_t horizon_n, double c);
 
 }  // namespace nmc::core
 
-#endif  // NMCOUNT_CORE_SAMPLING_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_HYZ_HYZ_COUNTER_H_
-#define NMCOUNT_HYZ_HYZ_COUNTER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -95,4 +94,3 @@ class HyzProtocol : public sim::Protocol {
 
 }  // namespace nmc::hyz
 
-#endif  // NMCOUNT_HYZ_HYZ_COUNTER_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_REGRESSION_BAYES_LINREG_H_
-#define NMCOUNT_REGRESSION_BAYES_LINREG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -65,4 +64,3 @@ bool Predict(const Matrix& precision, const Vector& moment,
 
 }  // namespace nmc::regression
 
-#endif  // NMCOUNT_REGRESSION_BAYES_LINREG_H_

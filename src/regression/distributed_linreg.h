@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_REGRESSION_DISTRIBUTED_LINREG_H_
-#define NMCOUNT_REGRESSION_DISTRIBUTED_LINREG_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -84,4 +83,3 @@ class DistributedLinRegTracker {
 
 }  // namespace nmc::regression
 
-#endif  // NMCOUNT_REGRESSION_DISTRIBUTED_LINREG_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_REGRESSION_MATRIX_H_
-#define NMCOUNT_REGRESSION_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -62,4 +61,3 @@ double NormDiff(const Vector& a, const Vector& b);
 
 }  // namespace nmc::regression
 
-#endif  // NMCOUNT_REGRESSION_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_ASSIGNMENT_H_
-#define NMCOUNT_SIM_ASSIGNMENT_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -106,4 +105,3 @@ std::unique_ptr<AssignmentPolicy> MakeAssignment(const std::string& name,
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_ASSIGNMENT_H_

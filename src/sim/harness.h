@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_HARNESS_H_
-#define NMCOUNT_SIM_HARNESS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,4 +62,3 @@ TrackingResult RunTracking(const std::vector<double>& stream,
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_HARNESS_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_MESSAGE_H_
-#define NMCOUNT_SIM_MESSAGE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -41,4 +40,3 @@ struct MessageStats {
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_MESSAGE_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_NODE_H_
-#define NMCOUNT_SIM_NODE_H_
+#pragma once
 
 #include "sim/message.h"
 
@@ -34,4 +33,3 @@ class CoordinatorNode {
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_NODE_H_

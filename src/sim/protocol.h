@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_PROTOCOL_H_
-#define NMCOUNT_SIM_PROTOCOL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -30,4 +29,3 @@ class Protocol {
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_PROTOCOL_H_

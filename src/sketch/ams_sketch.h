@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SKETCH_AMS_SKETCH_H_
-#define NMCOUNT_SKETCH_AMS_SKETCH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -51,4 +50,3 @@ double Median(std::vector<double> values);
 
 }  // namespace nmc::sketch
 
-#endif  // NMCOUNT_SKETCH_AMS_SKETCH_H_

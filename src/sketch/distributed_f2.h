@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SKETCH_DISTRIBUTED_F2_H_
-#define NMCOUNT_SKETCH_DISTRIBUTED_F2_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -82,4 +81,3 @@ class DistributedF2Tracker {
 
 }  // namespace nmc::sketch
 
-#endif  // NMCOUNT_SKETCH_DISTRIBUTED_F2_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SKETCH_HASH_H_
-#define NMCOUNT_SKETCH_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -32,4 +31,3 @@ class KWiseHash {
 
 }  // namespace nmc::sketch
 
-#endif  // NMCOUNT_SKETCH_HASH_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_ADVERSARIAL_H_
-#define NMCOUNT_STREAMS_ADVERSARIAL_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -23,4 +22,3 @@ std::vector<double> SawtoothStream(int64_t n, int64_t peak);
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_ADVERSARIAL_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_BERNOULLI_H_
-#define NMCOUNT_STREAMS_BERNOULLI_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -20,4 +19,3 @@ std::vector<double> FractionalIidStream(int64_t n, double mu, double amplitude,
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_BERNOULLI_H_

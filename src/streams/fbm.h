@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_FBM_H_
-#define NMCOUNT_STREAMS_FBM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -32,4 +31,3 @@ std::vector<double> CumulativeSum(const std::vector<double>& increments);
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_FBM_H_

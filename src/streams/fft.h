@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_FFT_H_
-#define NMCOUNT_STREAMS_FFT_H_
+#pragma once
 
 #include <complex>
 #include <cstdint>
@@ -23,4 +22,3 @@ size_t NextPowerOfTwo(size_t n);
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_FFT_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_ITEMS_H_
-#define NMCOUNT_STREAMS_ITEMS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -42,4 +41,3 @@ std::vector<int64_t> ExactF2Prefix(const std::vector<ItemUpdate>& updates,
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_ITEMS_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_PERMUTATION_H_
-#define NMCOUNT_STREAMS_PERMUTATION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -39,4 +38,3 @@ std::vector<double> MakeAdversaryMultiset(const std::string& name, int64_t n);
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_PERMUTATION_H_

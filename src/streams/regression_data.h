@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_REGRESSION_DATA_H_
-#define NMCOUNT_STREAMS_REGRESSION_DATA_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -37,4 +36,3 @@ RegressionData GenerateRegressionData(int64_t n,
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_REGRESSION_DATA_H_

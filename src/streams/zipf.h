@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_STREAMS_ZIPF_H_
-#define NMCOUNT_STREAMS_ZIPF_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -31,4 +30,3 @@ class ZipfSampler {
 
 }  // namespace nmc::streams
 
-#endif  // NMCOUNT_STREAMS_ZIPF_H_

@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_TESTS_TEST_UTIL_H_
-#define NMCOUNT_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -37,4 +36,3 @@ inline core::CounterOptions DefaultOptions(int64_t n, double epsilon,
 
 }  // namespace nmc::testing
 
-#endif  // NMCOUNT_TESTS_TEST_UTIL_H_
