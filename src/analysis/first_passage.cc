@@ -12,8 +12,8 @@ namespace {
 // One DP sweep: occupancy[i] holds the probability of being at interior
 // position i - (b-1) (i = 0..2b-2) without having exited yet.
 struct WalkDp {
-  explicit WalkDp(int64_t b, double mu)
-      : b(b),
+  explicit WalkDp(int64_t barrier, double mu)
+      : b(barrier),
         up((1.0 + mu) / 2.0),
         down((1.0 - mu) / 2.0),
         occupancy(static_cast<size_t>(2 * b - 1), 0.0) {

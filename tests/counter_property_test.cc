@@ -70,11 +70,11 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1, 3, 8),
         ::testing::Values(0.05, 0.1, 0.2),
         ::testing::Values<uint64_t>(1, 2)),
-    [](const ::testing::TestParamInfo<TrackingParam>& info) {
-      return std::get<0>(info.param) + "_k" +
-             std::to_string(std::get<1>(info.param)) + "_eps" +
-             std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
-             "_s" + std::to_string(std::get<3>(info.param));
+    [](const ::testing::TestParamInfo<TrackingParam>& param_info) {
+      return std::get<0>(param_info.param) + "_k" +
+             std::to_string(std::get<1>(param_info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 100)) +
+             "_s" + std::to_string(std::get<3>(param_info.param));
     });
 
 // (policy, k).
@@ -105,9 +105,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("round_robin", "random", "single",
                                          "block", "sign_split"),
                        ::testing::Values(2, 5)),
-    [](const ::testing::TestParamInfo<PolicyParam>& info) {
-      return std::get<0>(info.param) + "_k" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<PolicyParam>& param_info) {
+      return std::get<0>(param_info.param) + "_k" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // Drift-mode property sweep: Phase 2 must engage for every constant drift
@@ -133,9 +133,9 @@ TEST_P(DriftSweepTest, PhaseTwoEngagesAndTracks) {
 
 INSTANTIATE_TEST_SUITE_P(Drifts, DriftSweepTest,
                          ::testing::Values(-1.0, -0.7, -0.4, 0.4, 0.7, 1.0),
-                         [](const ::testing::TestParamInfo<double>& info) {
+                         [](const ::testing::TestParamInfo<double>& param_info) {
                            const int code =
-                               static_cast<int>(std::lround(info.param * 10));
+                               static_cast<int>(std::lround(param_info.param * 10));
                            return std::string(code < 0 ? "neg" : "pos") +
                                   std::to_string(std::abs(code));
                          });

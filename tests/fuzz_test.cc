@@ -74,9 +74,10 @@ std::vector<double> MakeStream(const FuzzConfig& config, int64_t n) {
     return streams::FractionalIidStream(n, 0.0, 1.0, config.seed);
   }
   if (config.model == "permuted") {
-    return streams::RandomlyPermuted(
-        streams::SignMultiset(n, 0.3 + 0.4 * (config.seed % 5) / 4.0),
-        config.seed);
+    const double bias =
+        0.3 + 0.4 * static_cast<double>(config.seed % 5) / 4.0;
+    return streams::RandomlyPermuted(streams::SignMultiset(n, bias),
+                                     config.seed);
   }
   return streams::FgnDaviesHarte(n, config.hurst, config.seed);
 }

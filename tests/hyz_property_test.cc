@@ -50,11 +50,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1), ::testing::Values(1, 3, 8, 32),
                        ::testing::Values(0.02, 0.1, 0.3),
                        ::testing::Values<uint64_t>(1, 2)),
-    [](const ::testing::TestParamInfo<HyzParam>& info) {
-      return std::string(std::get<0>(info.param) == 0 ? "sampled" : "det") +
-             "_k" + std::to_string(std::get<1>(info.param)) + "_eps" +
-             std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
-             "_s" + std::to_string(std::get<3>(info.param));
+    [](const ::testing::TestParamInfo<HyzParam>& param_info) {
+      return std::string(std::get<0>(param_info.param) == 0 ? "sampled" : "det") +
+             "_k" + std::to_string(std::get<1>(param_info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 100)) +
+             "_s" + std::to_string(std::get<3>(param_info.param));
     });
 
 TEST(HyzOrderingTest, CostMonotoneInEpsilonBothModes) {

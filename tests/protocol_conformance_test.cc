@@ -196,8 +196,8 @@ TEST_P(ConformanceTest, SurvivesAllAssignmentPolicies) {
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ConformanceTest,
                          ::testing::Range<size_t>(0, 8),
-                         [](const ::testing::TestParamInfo<size_t>& info) {
-                           return AllProtocols()[info.param].name;
+                         [](const ::testing::TestParamInfo<size_t>& param) {
+                           return AllProtocols()[param.param].name;
                          });
 
 }  // namespace
