@@ -1,5 +1,4 @@
-#ifndef NMCOUNT_SIM_NETWORK_H_
-#define NMCOUNT_SIM_NETWORK_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -71,6 +70,7 @@ class Network {
   /// Snapshot of the per-type counts, keyed by type, with untouched types
   /// omitted. Built on demand from the internal dense array — call off the
   /// hot path (the accounting itself is always on).
+  // nmc-lint: allow(NO_MAP_IN_HOT_PATH) cold-path diagnostic snapshot, built on demand; delivery accounting stays in the dense array
   std::map<int, TypeBreakdown> type_breakdown() const;
 
   /// One transmitted message, as seen by the observer below.
@@ -125,4 +125,3 @@ class Network {
 
 }  // namespace nmc::sim
 
-#endif  // NMCOUNT_SIM_NETWORK_H_

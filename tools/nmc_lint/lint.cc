@@ -1,0 +1,500 @@
+#include "nmc_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nmc::lint {
+
+namespace {
+
+// ---- Path scopes ----------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/// src/ minus src/bench/ — the simulator + protocol library proper, where
+/// wall-clock reads and console output are banned (src/bench is the timing
+/// and reporting layer, which needs both).
+bool InSimLibrary(const std::string& path) {
+  return StartsWith(path, "src/") && !StartsWith(path, "src/bench/");
+}
+
+/// Directories whose code decides *what messages are sent when* — any
+/// iteration-order dependence here leaks straight into message schedules.
+bool InProtocolCode(const std::string& path) {
+  return StartsWith(path, "src/core/") || StartsWith(path, "src/hyz/") ||
+         StartsWith(path, "src/baselines/") || StartsWith(path, "src/sim/");
+}
+
+bool InHotPath(const std::string& path) { return StartsWith(path, "src/sim/"); }
+
+/// Determinism scope: everything that can influence a recorded result —
+/// the library, the bench drivers, and the CLI tools. tests/ are excluded:
+/// they only check results, they do not produce them.
+bool InDeterminismScope(const std::string& path) {
+  return StartsWith(path, "src/") || StartsWith(path, "bench/") ||
+         StartsWith(path, "tools/");
+}
+
+bool InRepoCode(const std::string& path) {
+  return StartsWith(path, "src/") || StartsWith(path, "bench/") ||
+         StartsWith(path, "tests/") || StartsWith(path, "tools/");
+}
+
+// ---- Rule table -----------------------------------------------------------
+
+struct TokenRule {
+  const char* id;
+  bool (*in_scope)(const std::string& path);
+  const char* pattern;  // ECMAScript regex, word-boundary aware.
+  const char* message;
+};
+
+/// The pattern-match rules. Matching runs on comment- and string-stripped
+/// text, so `// calls rand()` and `"rand"` never fire; `\b` boundaries keep
+/// identifiers like resolution_time() or operand from matching time( / rand.
+const TokenRule kTokenRules[] = {
+    {"NO_UNSEEDED_RNG", InDeterminismScope,
+     R"(\brandom_device\b|\bsrand\b|\brand\s*\()",
+     "non-deterministic RNG source; use a seeded nmc::common::Rng"},
+    {"NO_WALLCLOCK_IN_SIM", InSimLibrary,
+     R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b)"
+     R"(|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b|\blocaltime\b|\bgmtime\b)",
+     "wall-clock read in simulator/protocol code; timing belongs in "
+     "src/bench"},
+    {"NO_MAP_IN_HOT_PATH", InHotPath,
+     R"(\bstd::map\s*<|\bstd::multimap\s*<|\bstd::deque\s*<)",
+     "node-based container in src/sim delivery path; use a flat "
+     "vector/array (see PR 1 regression class)"},
+    {"NO_IOSTREAM_IN_LIB", InSimLibrary,
+     R"(#\s*include\s*<iostream>|\bstd::cout\b|\bstd::cerr\b|\bprintf\s*\()",
+     "console output in library code; return data or use "
+     "fprintf(stderr, ...) at the binary layer"},
+};
+
+struct HygieneRule {
+  const char* id;
+  const char* summary;
+};
+
+const std::vector<RuleInfo> kAllRules = {
+    {"NO_UNSEEDED_RNG",
+     "no std::random_device / rand() / srand in src/, bench/, tools/"},
+    {"NO_WALLCLOCK_IN_SIM",
+     "no wall-clock reads in src/ outside src/bench timing code"},
+    {"NO_UNORDERED_ITERATION_IN_PROTOCOL",
+     "no iteration over unordered containers in src/{core,hyz,baselines,sim}"},
+    {"NO_MAP_IN_HOT_PATH", "no std::map/std::deque in src/sim delivery paths"},
+    {"NO_IOSTREAM_IN_LIB", "no std::cout/printf in library code"},
+    {"INCLUDE_HYGIENE",
+     "no parent-relative #include \"../...\" and no <bits/...> headers"},
+    {"PRAGMA_ONCE", "every header starts with #pragma once"},
+    {"ALLOW_MISSING_REASON", "nmc-lint: allow(...) must carry a reason"},
+    {"ALLOW_UNKNOWN_RULE", "nmc-lint: allow(...) names a rule that exists"},
+    {"ALLOW_UNUSED", "nmc-lint: allow(...) must suppress something"},
+};
+
+bool IsKnownRule(const std::string& id) {
+  for (const RuleInfo& rule : kAllRules) {
+    if (id == rule.id) return true;
+  }
+  return false;
+}
+
+// ---- Lexical preprocessing ------------------------------------------------
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Blanks comments and string/character literals (preserving length and
+/// line structure) so token rules only ever match real code. Handles //,
+/// /* */, "..." with escapes, '...', and R"( ... )" raw strings with
+/// optional delimiters.
+std::string StripCommentsAndStrings(const std::string& content) {
+  std::string out = content;
+  const size_t n = content.size();
+  size_t i = 0;
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      while (i < n && content[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        blank(i++);
+      }
+      if (i + 1 < n) {
+        blank(i++);
+        blank(i++);
+      } else if (i < n) {
+        blank(i++);
+      }
+    } else if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+               (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                               content[i - 1])) &&
+                           content[i - 1] != '_'))) {
+      // Raw string: R"delim( ... )delim"
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = content.find(closer, j);
+      const size_t stop = end == std::string::npos ? n : end + closer.size();
+      while (i < stop) blank(i++);
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      blank(i++);
+      while (i < n && content[i] != quote && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n && content[i] == quote) blank(i++);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---- Allow annotations ----------------------------------------------------
+
+struct Allowance {
+  int line = 0;           // line the allowance was written on (1-based)
+  int target_line = 0;    // line it suppresses
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+};
+
+/// Parses allow annotations — the "nmc-lint:" marker followed by a
+/// parenthesized comma-separated rule list and a free-text reason — from
+/// the raw (unstripped) lines. An annotation on a comment-only line applies
+/// to the next line; inline annotations apply to their own line.
+std::vector<Allowance> ParseAllowances(const std::vector<std::string>& lines) {
+  static const std::regex kAllowRe(
+      R"(//\s*nmc-lint:\s*allow\(([^)]*)\)\s*(.*)$)");
+  std::vector<Allowance> allowances;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(lines[i], match, kAllowRe)) continue;
+    const std::string first_two = lines[i].substr(
+        std::min(lines[i].find_first_not_of(" \t"), lines[i].size()), 2);
+    const int target =
+        first_two == "//" ? static_cast<int>(i) + 2 : static_cast<int>(i) + 1;
+    const bool has_reason = !match[2].str().empty();
+    std::stringstream rule_list(match[1].str());
+    std::string rule;
+    while (std::getline(rule_list, rule, ',')) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      const size_t end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      allowances.push_back({static_cast<int>(i) + 1, target,
+                            rule.substr(begin, end - begin + 1), has_reason,
+                            false});
+    }
+  }
+  return allowances;
+}
+
+// ---- NO_UNORDERED_ITERATION_IN_PROTOCOL -----------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Names declared in this file with an unordered container type. Lexical
+/// heuristic: find `unordered_{map,set,...} < ... >` (brackets balanced
+/// within the line) and take the identifier that follows, skipping
+/// function declarations (identifier followed by '(').
+std::set<std::string> CollectUnorderedNames(
+    const std::vector<std::string>& stripped) {
+  static const std::regex kDeclRe(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  std::set<std::string> names;
+  for (const std::string& line : stripped) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kDeclRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      size_t pos = static_cast<size_t>(it->position()) + it->length() - 1;
+      int depth = 0;
+      while (pos < line.size()) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++pos;
+      }
+      if (pos >= line.size()) continue;  // declaration spans lines: skip
+      ++pos;
+      while (pos < line.size() &&
+             (line[pos] == ' ' || line[pos] == '&' || line[pos] == '*')) {
+        ++pos;
+      }
+      std::string name;
+      while (pos < line.size() && IsIdentChar(line[pos])) name += line[pos++];
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      const bool is_function = pos < line.size() && line[pos] == '(';
+      if (!name.empty() && !is_function) names.insert(name);
+    }
+  }
+  return names;
+}
+
+void CheckUnorderedIteration(const std::string& path,
+                             const std::vector<std::string>& stripped,
+                             std::vector<Finding>* findings) {
+  const std::set<std::string> names = CollectUnorderedNames(stripped);
+  if (names.empty()) return;
+  static const std::regex kRangeForRe(
+      R"(\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)\s*\))");
+  // Only the begin() family starts an iteration; `x.find(k) != x.end()` is
+  // the standard membership probe and must not fire.
+  static const std::regex kBeginRe(
+      R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?r?begin\s*\()");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    for (const std::regex* re : {&kRangeForRe, &kBeginRe}) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), *re);
+           it != std::sregex_iterator(); ++it) {
+        if (names.count((*it)[1].str()) == 0) continue;
+        findings->push_back(
+            {path, static_cast<int>(i) + 1,
+             "NO_UNORDERED_ITERATION_IN_PROTOCOL",
+             "iteration over unordered container '" + (*it)[1].str() +
+                 "' — hash-order leaks into the message schedule; iterate "
+                 "a sorted/indexed structure instead"});
+      }
+    }
+  }
+}
+
+// ---- INCLUDE_HYGIENE / PRAGMA_ONCE ----------------------------------------
+
+void CheckIncludeHygiene(const std::string& path,
+                         const std::vector<std::string>& raw,
+                         std::vector<Finding>* findings) {
+  // Anchored to line start: include directives cannot be indented behind
+  // code, and the anchor keeps commented-out includes from firing (this
+  // check runs on raw lines because the string stripper blanks the
+  // "../path" literal itself).
+  static const std::regex kParentRe(R"(^\s*#\s*include\s*\"\.\./)");
+  static const std::regex kBitsRe(R"(^\s*#\s*include\s*<bits/)");
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (std::regex_search(raw[i], kParentRe)) {
+      findings->push_back({path, static_cast<int>(i) + 1, "INCLUDE_HYGIENE",
+                           "parent-relative #include; include repo-rooted "
+                           "paths (e.g. \"core/sampling.h\")"});
+    }
+    if (std::regex_search(raw[i], kBitsRe)) {
+      findings->push_back({path, static_cast<int>(i) + 1, "INCLUDE_HYGIENE",
+                           "non-portable <bits/...> header"});
+    }
+  }
+}
+
+void CheckPragmaOnce(const std::string& path,
+                     const std::vector<std::string>& raw,
+                     std::vector<Finding>* findings) {
+  for (const std::string& line : raw) {
+    const size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    if (line.compare(begin, 12, "#pragma once") == 0) return;
+  }
+  findings->push_back({path, 1, "PRAGMA_ONCE",
+                       "header lacks #pragma once (repo convention; "
+                       "#ifndef guards were retired in PR 2)"});
+}
+
+}  // namespace
+
+// ---- Public API -----------------------------------------------------------
+
+const std::vector<RuleInfo>& Rules() { return kAllRules; }
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  if (!InRepoCode(path)) return findings;
+
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> stripped =
+      SplitLines(StripCommentsAndStrings(content));
+  std::vector<Allowance> allowances = ParseAllowances(raw);
+
+  // Pattern rules on stripped text.
+  for (const TokenRule& rule : kTokenRules) {
+    if (!rule.in_scope(path)) continue;
+    const std::regex re(rule.pattern);
+    for (size_t i = 0; i < stripped.size(); ++i) {
+      if (std::regex_search(stripped[i], re)) {
+        findings.push_back(
+            {path, static_cast<int>(i) + 1, rule.id, rule.message});
+      }
+    }
+  }
+
+  if (InProtocolCode(path)) CheckUnorderedIteration(path, stripped, &findings);
+  CheckIncludeHygiene(path, raw, &findings);
+  if (IsHeader(path)) CheckPragmaOnce(path, raw, &findings);
+
+  // Apply allowances: a finding on an annotated line (with the matching
+  // rule) is suppressed and marks the allowance used.
+  std::vector<Finding> kept;
+  for (const Finding& finding : findings) {
+    bool suppressed = false;
+    for (Allowance& allowance : allowances) {
+      if (allowance.target_line == finding.line &&
+          allowance.rule == finding.rule) {
+        allowance.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(finding);
+  }
+
+  // Annotation hygiene. These findings are not themselves suppressible —
+  // the annotation layer must stay honest.
+  for (const Allowance& allowance : allowances) {
+    if (!IsKnownRule(allowance.rule)) {
+      kept.push_back({path, allowance.line, "ALLOW_UNKNOWN_RULE",
+                      "allow(" + allowance.rule + ") names no known rule"});
+      continue;
+    }
+    if (!allowance.has_reason) {
+      kept.push_back({path, allowance.line, "ALLOW_MISSING_REASON",
+                      "allow(" + allowance.rule +
+                          ") carries no justification; write the reason "
+                          "after the closing parenthesis"});
+    }
+    if (!allowance.used) {
+      kept.push_back({path, allowance.line, "ALLOW_UNUSED",
+                      "allow(" + allowance.rule +
+                          ") suppresses nothing on line " +
+                          std::to_string(allowance.target_line) +
+                          "; delete the stale annotation"});
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<Finding> LintFiles(const std::string& repo_root,
+                               const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  for (const std::string& path : paths) {
+    const fs::path abs =
+        fs::path(path).is_absolute() ? fs::path(path) : fs::path(repo_root) / path;
+    const std::string rel =
+        fs::path(path).is_absolute()
+            ? fs::relative(abs, repo_root).generic_string()
+            : path;
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      findings.push_back({rel, 0, "LINT_IO", "cannot read file"});
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = LintContent(rel, buffer.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<std::string> CollectFiles(const std::string& repo_root,
+                                      const std::string& compile_commands_path,
+                                      const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::set<std::string> files;
+  auto under_roots = [&](const std::string& rel) {
+    for (const std::string& root : roots) {
+      if (StartsWith(rel, root + "/") || rel == root) return true;
+    }
+    return false;
+  };
+  auto in_testdata = [](const fs::path& p) {
+    for (const auto& part : p) {
+      if (part == "testdata") return true;
+    }
+    return false;
+  };
+  for (const std::string& root : roots) {
+    const fs::path dir = fs::path(repo_root) / root;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      if (in_testdata(entry.path())) continue;
+      files.insert(fs::relative(entry.path(), repo_root).generic_string());
+    }
+  }
+  if (!compile_commands_path.empty()) {
+    std::ifstream in(compile_commands_path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string json = buffer.str();
+      static const std::regex kFileRe(R"re("file"\s*:\s*"([^"]+)")re");
+      for (auto it = std::sregex_iterator(json.begin(), json.end(), kFileRe);
+           it != std::sregex_iterator(); ++it) {
+        const fs::path file((*it)[1].str());
+        if (in_testdata(file)) continue;
+        std::error_code ec;
+        const fs::path rel = fs::relative(file, repo_root, ec);
+        if (ec) continue;
+        const std::string rel_str = rel.generic_string();
+        if (under_roots(rel_str)) files.insert(rel_str);
+      }
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message;
+}
+
+}  // namespace nmc::lint

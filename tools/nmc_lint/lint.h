@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nmc::lint {
+
+/// One rule violation (or annotation-hygiene problem) at a specific line.
+struct Finding {
+  std::string file;  ///< Repo-relative path, as passed to LintContent.
+  int line = 0;      ///< 1-based line number.
+  std::string rule;  ///< Rule ID, e.g. "NO_UNSEEDED_RNG".
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the linter can emit, in stable order (for --list-rules and
+/// for validating allow() annotations).
+const std::vector<RuleInfo>& Rules();
+
+/// Lints `content` as if it lived at repo-relative `path`. Scope decisions
+/// (which rules apply) use only the path prefix, so fixture tests can lint
+/// a testdata file "as if" it were in src/sim/. Findings are sorted by
+/// (line, rule).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Reads and lints each file. Paths may be absolute or repo_root-relative;
+/// rule scopes are decided on the repo_root-relative form. Unreadable files
+/// produce a LINT_IO finding. Findings are sorted by (file, line, rule).
+std::vector<Finding> LintFiles(const std::string& repo_root,
+                               const std::vector<std::string>& paths);
+
+/// Builds the file list for a repo lint run: every *.h/*.hpp/*.cc/*.cpp
+/// found under `roots` (repo_root-relative directories), unioned with the
+/// translation units named by `compile_commands_path` (empty string = no
+/// compile database) that fall under those roots. Paths containing a
+/// "testdata" component are excluded — lint fixtures are deliberately
+/// pathological. Returned paths are repo_root-relative and sorted.
+std::vector<std::string> CollectFiles(const std::string& repo_root,
+                                      const std::string& compile_commands_path,
+                                      const std::vector<std::string>& roots);
+
+/// "path:line: RULE: message" — the stable output format.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace nmc::lint

@@ -1,0 +1,20 @@
+// Fixture for the annotation-hygiene rules. Linted as if at
+// src/core/fixture.cc. The allowlist layer itself is linted: an allowance
+// must name a real rule, carry a written reason, and actually suppress
+// something — otherwise it rots into a blanket suppression.
+#include <cstdlib>
+
+// EXPECT-NEXT: ALLOW_MISSING_REASON
+int NoReasonGiven() { return rand(); }  // nmc-lint: allow(NO_UNSEEDED_RNG)
+
+// EXPECT-NEXT: ALLOW_UNKNOWN_RULE
+int TypoedRule() { return 1; }  // nmc-lint: allow(NO_SUCH_RULE) the rule name is misspelled
+
+// EXPECT-NEXT: ALLOW_UNUSED
+int NothingToSuppress() { return 2; }  // nmc-lint: allow(NO_UNSEEDED_RNG) nothing on this line fires
+
+// A correct allowance: known rule, written reason, suppresses a real
+// finding — completely silent.
+int JustifiedUse() {
+  return rand();  // nmc-lint: allow(NO_UNSEEDED_RNG) fixture: documented escape hatch
+}

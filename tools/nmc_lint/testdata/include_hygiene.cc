@@ -1,0 +1,12 @@
+// Fixture for INCLUDE_HYGIENE. Linted as if at src/streams/fixture.cc.
+#include "../core/sampling.h"  // EXPECT: INCLUDE_HYGIENE
+#include <bits/stdc++.h>  // EXPECT: INCLUDE_HYGIENE
+
+// Near-misses that must stay silent:
+#include "core/sampling.h"
+#include <vector>
+// A comment mentioning #include "../core/sampling.h" must not fire, and
+// neither must a string:
+const char* kExample = "#include \"../core/sampling.h\"";
+
+int Placeholder() { return 0; }

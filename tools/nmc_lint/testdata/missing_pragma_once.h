@@ -1,0 +1,9 @@
+// EXPECT: PRAGMA_ONCE
+// Fixture: a header still using the retired #ifndef guard convention.
+// The finding is reported at line 1 (it is a whole-file property).
+#ifndef NMCOUNT_TESTDATA_MISSING_PRAGMA_ONCE_H_
+#define NMCOUNT_TESTDATA_MISSING_PRAGMA_ONCE_H_
+
+int GuardedDeclaration();
+
+#endif  // NMCOUNT_TESTDATA_MISSING_PRAGMA_ONCE_H_

@@ -1,0 +1,25 @@
+// Fixture for NO_IOSTREAM_IN_LIB. Linted as if at src/core/fixture.cc.
+// Library code returns data; printing is for binaries and src/bench.
+#include <cstdio>
+#include <iostream>  // EXPECT: NO_IOSTREAM_IN_LIB
+
+void ReportProgress(int step) {
+  std::cout << "step " << step << "\n";  // EXPECT: NO_IOSTREAM_IN_LIB
+}
+
+void ReportError(const char* what) {
+  std::cerr << what << "\n";  // EXPECT: NO_IOSTREAM_IN_LIB
+}
+
+void LegacyPrint(int value) {
+  printf("%d\n", value);  // EXPECT: NO_IOSTREAM_IN_LIB
+}
+
+// Near-misses that must stay silent: stderr diagnostics via fprintf and
+// string formatting via snprintf are the sanctioned forms (see
+// src/common/check.h).
+void Diagnose(const char* what) { std::fprintf(stderr, "%s\n", what); }
+int Format(char* buf, unsigned long n) {
+  return std::snprintf(buf, n, "x");
+}
+int sprintf_like_name(int x) { return x; }  // 'printf' inside an identifier

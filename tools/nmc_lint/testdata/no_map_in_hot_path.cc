@@ -1,0 +1,25 @@
+// Fixture for NO_MAP_IN_HOT_PATH. Linted as if at src/sim/fixture.cc.
+// Node-based containers in the delivery path are the exact regression
+// class PR 1 removed (std::map accounting, std::deque delivery queue).
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Delivery {
+  std::map<int, long> per_type_counts;  // EXPECT: NO_MAP_IN_HOT_PATH
+  std::deque<int> queue;                // EXPECT: NO_MAP_IN_HOT_PATH
+};
+
+// Near-misses that must stay silent:
+struct FlatDelivery {
+  std::vector<int> queue;                  // the PR 1 replacement shape
+  std::unordered_map<int, long> lookup;    // 'map<' inside unordered_map<
+};
+int remap_site(int site) { return site; }  // 'map' inside an identifier
+
+// The sanctioned escape hatch: cold-path diagnostics may build a std::map
+// on demand when annotated with a reason.
+std::map<int, long> DebugSnapshot() {  // nmc-lint: allow(NO_MAP_IN_HOT_PATH) fixture: cold-path diagnostic built on demand
+  return {};
+}

@@ -1,0 +1,34 @@
+// Fixture for NO_UNORDERED_ITERATION_IN_PROTOCOL. Linted as if at
+// src/hyz/fixture.cc. Declaring and point-querying unordered containers is
+// fine; iterating one (hash order → message schedule) is the violation.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int SumValues(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) {  // EXPECT: NO_UNORDERED_ITERATION_IN_PROTOCOL
+    total += entry.second;
+  }
+  return total;
+}
+
+int FirstElement(const std::unordered_set<int>& live_sites) {
+  return *live_sites.begin();  // EXPECT: NO_UNORDERED_ITERATION_IN_PROTOCOL
+}
+
+// Near-misses that must stay silent:
+int PointLookups(const std::unordered_map<std::string, int>& index) {
+  int hits = 0;
+  // The standard membership probe: .end() without .begin() is not a sweep.
+  if (index.find("root") != index.end()) ++hits;
+  hits += static_cast<int>(index.count("leaf"));
+  return hits;
+}
+
+std::vector<int> SortedSweep(const std::vector<int>& ordered_sites) {
+  std::vector<int> out;
+  for (const int site : ordered_sites) out.push_back(site);  // vector: fine
+  return out;
+}

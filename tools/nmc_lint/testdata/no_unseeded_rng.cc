@@ -1,0 +1,37 @@
+// Fixture for NO_UNSEEDED_RNG. Linted as if at src/core/fixture.cc.
+// Tagged lines must produce exactly the named finding; every other line
+// must stay silent.
+#include <cstdlib>
+#include <random>
+
+int HardwareEntropy() {
+  std::random_device rd;  // EXPECT: NO_UNSEEDED_RNG
+  return static_cast<int>(rd());
+}
+
+void SeedFromNothing() {
+  srand(42);  // EXPECT: NO_UNSEEDED_RNG
+}
+
+int LegacyRand() {
+  return rand();  // EXPECT: NO_UNSEEDED_RNG
+}
+
+// Near-misses: the tokens embedded in identifiers must NOT fire.
+int brand_score(int x) { return x; }
+int operand_count() { return 2; }
+double my_rand_helper_value() { return 0.5; }
+struct Srandomizer {};  // 'srand' inside an identifier
+
+// Tokens in comments and string literals must NOT fire:
+// calling rand() or std::random_device here would be a bug.
+const char* kDoc = "uses rand() and srand() internally";
+
+int AllowedLegacyRand() {
+  // nmc-lint: allow(NO_UNSEEDED_RNG) fixture: proves annotation-above form suppresses
+  return rand();
+}
+
+int AllowedInline() {
+  return rand();  // nmc-lint: allow(NO_UNSEEDED_RNG) fixture: inline form
+}

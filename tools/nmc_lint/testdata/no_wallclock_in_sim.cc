@@ -1,0 +1,27 @@
+// Fixture for NO_WALLCLOCK_IN_SIM. Linted as if at src/sim/fixture.cc —
+// and a second time as if at src/bench/fixture.cc, where every line below
+// must be silent (src/bench is the sanctioned timing layer).
+#include <chrono>
+#include <ctime>
+
+double WallNow() {
+  const auto now = std::chrono::system_clock::now();  // EXPECT: NO_WALLCLOCK_IN_SIM
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long UnixTime() {
+  return time(nullptr);  // EXPECT: NO_WALLCLOCK_IN_SIM
+}
+
+double MonotonicNow() {
+  const auto t = std::chrono::steady_clock::now();  // EXPECT: NO_WALLCLOCK_IN_SIM
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Near-misses: `time` as an identifier fragment must NOT fire. This is the
+// canonical false-positive the word-boundary matcher exists for.
+double resolution_time();
+double QueryResolution() { return resolution_time(); }
+int downtime(int x) { return x; }
+struct Clockwork {};  // 'clock' inside an identifier, no call
+int uptime_seconds = 0;

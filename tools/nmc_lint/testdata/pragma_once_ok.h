@@ -1,0 +1,6 @@
+// Fixture: the compliant header shape — no findings expected anywhere.
+#pragma once
+
+#include <vector>
+
+std::vector<int> CompliantDeclaration();
