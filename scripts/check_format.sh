@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate over src/ bench/ tests/ tools/ examples/.
+# Never rewrites files — prints a unified diff of what clang-format would
+# change and fails if any file differs.
+#
+# Usage: scripts/check_format.sh [files...]
+#   With no arguments, checks every tracked *.h/*.cc/*.cpp under
+#   src/ bench/ tests/ tools/ examples/ (lint fixtures under testdata/
+#   excluded — they are deliberately pathological).
+#
+# Exit codes:
+#   0  all files clean, or clang-format not installed (prints SKIP so a
+#      missing tool never masquerades as a formatting failure in CI logs)
+#   1  at least one file would be reformatted (diff printed)
+#   2  usage / environment error
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "check_format: SKIP (clang-format not installed)" >&2
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/**' 'bench/**' 'tests/**' \
+                           'tools/**' 'examples/**' \
+                       | grep -E '\.(h|cc|cpp|hpp)$' \
+                       | grep -v '/testdata/')
+fi
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no files to check" >&2
+  exit 2
+fi
+
+status=0
+for file in "${files[@]}"; do
+  if ! diff -u --label "${file} (tracked)" --label "${file} (formatted)" \
+       "${file}" <(clang-format --style=file "${file}"); then
+    status=1
+  fi
+done
+
+if [[ ${status} -eq 0 ]]; then
+  echo "check_format: ${#files[@]} files clean"
+else
+  echo "check_format: formatting differences found (see diff above)" >&2
+fi
+exit "${status}"
