@@ -18,6 +18,7 @@ namespace {
 
 using nmc::bench::Banner;
 using nmc::bench::CounterFactory;
+using nmc::bench::HyzFactory;
 using nmc::bench::Repeat;
 using nmc::common::Format;
 
@@ -41,13 +42,12 @@ void SweepK() {
     options.seed = 45;
     const auto ours = Repeat(3, k, epsilon, OnesStream(n),
                              CounterFactory(k, options));
-    const auto hyz = Repeat(3, k, epsilon, OnesStream(n), [k, epsilon](int trial) {
-      nmc::hyz::HyzOptions hyz_options;
-      hyz_options.epsilon = epsilon;
-      hyz_options.delta = 1e-6;
-      hyz_options.seed = 4500 + static_cast<uint64_t>(trial);
-      return std::make_unique<nmc::hyz::HyzProtocol>(k, hyz_options);
-    });
+    nmc::hyz::HyzOptions hyz_options;
+    hyz_options.epsilon = epsilon;
+    hyz_options.delta = 1e-6;
+    hyz_options.seed = 4500;
+    const auto hyz =
+        Repeat(3, k, epsilon, OnesStream(n), HyzFactory(k, hyz_options));
     table.AddRow({Format(static_cast<int64_t>(k)),
                   Format(ours.mean_messages, 0), Format(hyz.mean_messages, 0),
                   Format(static_cast<double>(n), 0),
@@ -73,13 +73,12 @@ void SweepEpsilon() {
   nmc::common::Table table({"eps", "hyz_msgs", "msgs*eps"});
   std::vector<double> inv_eps, costs;
   for (double epsilon : {0.02, 0.05, 0.1, 0.2}) {
-    const auto hyz = Repeat(3, k, epsilon, OnesStream(n), [k, epsilon](int trial) {
-      nmc::hyz::HyzOptions hyz_options;
-      hyz_options.epsilon = epsilon;
-      hyz_options.delta = 1e-6;
-      hyz_options.seed = 4600 + static_cast<uint64_t>(trial);
-      return std::make_unique<nmc::hyz::HyzProtocol>(k, hyz_options);
-    });
+    nmc::hyz::HyzOptions hyz_options;
+    hyz_options.epsilon = epsilon;
+    hyz_options.delta = 1e-6;
+    hyz_options.seed = 4600;
+    const auto hyz =
+        Repeat(3, k, epsilon, OnesStream(n), HyzFactory(k, hyz_options));
     table.AddRow({Format(epsilon, 3), Format(hyz.mean_messages, 0),
                   Format(hyz.mean_messages * epsilon, 1)});
     inv_eps.push_back(1.0 / epsilon);
@@ -97,14 +96,12 @@ void SampledVsDeterministic() {
   nmc::common::Table table({"k", "sampled", "deterministic", "violations"});
   for (int k : {1, 4, 16, 64, 256}) {
     auto make = [k](nmc::hyz::HyzMode mode) {
-      return [k, mode](int trial) {
-        nmc::hyz::HyzOptions options;
-        options.mode = mode;
-        options.epsilon = 0.1;
-        options.delta = 1e-6;
-        options.seed = 4700 + static_cast<uint64_t>(trial);
-        return std::make_unique<nmc::hyz::HyzProtocol>(k, options);
-      };
+      nmc::hyz::HyzOptions options;
+      options.mode = mode;
+      options.epsilon = 0.1;
+      options.delta = 1e-6;
+      options.seed = 4700;
+      return HyzFactory(k, options);
     };
     const auto sampled =
         Repeat(2, k, 0.1, OnesStream(n), make(nmc::hyz::HyzMode::kSampled));

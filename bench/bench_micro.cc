@@ -4,14 +4,22 @@
 // simulator's throughput (updates/second), which is what limits the n the
 // experiment harnesses can sweep.
 //
-// Run with --benchmark_out=PATH --benchmark_out_format=json to feed
-// scripts/run_benches.sh's BENCH_baseline.json aggregation.
+// Accepts the shared bench flags --json_out=PATH (mapped to
+// --benchmark_out=PATH --benchmark_out_format=json for
+// scripts/run_benches.sh's BENCH_baseline.json aggregation), --batch=N
+// (harness batch size for the pump benches) and --legacy_pump (per-update
+// pump + per-coin samplers), alongside the native --benchmark_* flags.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/geometric_skip.h"
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
 #include "sim/assignment.h"
@@ -26,6 +34,27 @@
 #include "streams/fft.h"
 
 namespace {
+
+/// Pump configuration from --batch / --legacy_pump (see main below);
+/// applied by the tracking-pump benches.
+int g_batch = 0;               // 0 = harness default
+bool g_legacy_pump = false;
+
+nmc::sim::TrackingOptions PumpTracking(double epsilon) {
+  nmc::sim::TrackingOptions tracking;
+  tracking.epsilon = epsilon;
+  if (g_legacy_pump) {
+    tracking.batch_size = 1;
+  } else if (g_batch > 0) {
+    tracking.batch_size = g_batch;
+  }
+  return tracking;
+}
+
+nmc::core::SamplerMode PumpSampler() {
+  return g_legacy_pump ? nmc::core::SamplerMode::kLegacyCoins
+                       : nmc::core::SamplerMode::kGeometricSkip;
+}
 
 void BM_CounterUpdate(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -79,10 +108,65 @@ void BM_TrackingPump(benchmark::State& state) {
     options.epsilon = 0.25;
     options.horizon_n = n;
     options.seed = 11;
+    options.sampler = PumpSampler();
     nmc::core::NonMonotonicCounter counter(k, options);
     nmc::sim::RoundRobinAssignment psi(k);
+    const auto result =
+        nmc::sim::RunTracking(stream, &psi, &counter, PumpTracking(0.25));
+    benchmark::DoNotOptimize(result.messages);
+    updates += result.n;
+  }
+  state.SetItemsProcessed(updates);
+}
+BENCHMARK(BM_TrackingPump)->Arg(1)->Arg(8);
+
+// The long-gap regime the fast-forward path targets: a drifted stream
+// keeps |s| large, so the eq. (1) rate is tiny and inter-report gaps are
+// long — the geometric skip consumes them in O(1) per run instead of one
+// coin per update. (The zero-drift BM_TrackingPump above spends most of
+// its life at rate ~1, where every update reports and no pump can skip.)
+void BM_TrackingPumpLongGap(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 15;
+  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21);
+  int64_t updates = 0;
+  for (auto _ : state) {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 11;
+    options.sampler = PumpSampler();
+    nmc::core::NonMonotonicCounter counter(k, options);
+    nmc::sim::RoundRobinAssignment psi(k);
+    const auto result =
+        nmc::sim::RunTracking(stream, &psi, &counter, PumpTracking(0.25));
+    benchmark::DoNotOptimize(result.messages);
+    updates += result.n;
+  }
+  state.SetItemsProcessed(updates);
+}
+BENCHMARK(BM_TrackingPumpLongGap)->Arg(1)->Arg(8);
+
+// Harness batch-size sweep over the long-gap config (skip sampler unless
+// --legacy_pump): quantifies how much of the fast-forward win needs the
+// batched pump on top of the skip sampler (batch = 1 still pays one
+// virtual call + invariant check per update).
+void BM_BatchedPump(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 15;
+  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21);
+  int64_t updates = 0;
+  for (auto _ : state) {
+    nmc::core::CounterOptions options;
+    options.epsilon = 0.25;
+    options.horizon_n = n;
+    options.seed = 11;
+    options.sampler = PumpSampler();
+    nmc::core::NonMonotonicCounter counter(1, options);
+    nmc::sim::RoundRobinAssignment psi(1);
     nmc::sim::TrackingOptions tracking;
     tracking.epsilon = 0.25;
+    tracking.batch_size = batch;
     const auto result =
         nmc::sim::RunTracking(stream, &psi, &counter, tracking);
     benchmark::DoNotOptimize(result.messages);
@@ -90,7 +174,40 @@ void BM_TrackingPump(benchmark::State& state) {
   }
   state.SetItemsProcessed(updates);
 }
-BENCHMARK(BM_TrackingPump)->Arg(1)->Arg(8);
+BENCHMARK(BM_BatchedPump)->Arg(1)->Arg(32)->Arg(256)->Arg(2048);
+
+// Raw sampler cost per inter-report run at rate p = 1/range(0):
+// range(1) = 0 uses the geometric-skip draw (one uniform + one log per
+// run), 1 replays per-update coins (gap+1 Bernoulli draws). items/s
+// counts stream updates consumed, so the ratio is the per-update
+// fast-forward factor with everything else stripped away.
+void BM_SkipSampler(benchmark::State& state) {
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  const bool legacy = state.range(1) != 0;
+  nmc::core::GeometricSkip skip(legacy
+                                    ? nmc::core::SamplerMode::kLegacyCoins
+                                    : nmc::core::SamplerMode::kGeometricSkip);
+  nmc::common::Rng rng(17);
+  int64_t items = 0;
+  for (auto _ : state) {
+    if (legacy) {
+      ++items;
+      while (!skip.Step(&rng, p)) ++items;
+    } else {
+      skip.EnsureGap(&rng, p);
+      items += skip.gap() + 1;
+      skip.Advance(skip.gap());
+      skip.TakeCandidate();
+    }
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_SkipSampler)
+    ->ArgNames({"inv_p", "legacy"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
 
 // Raw network send+deliver cycle with a trivial echo protocol: isolates
 // the per-message Network overhead (queue churn + accounting) from the
@@ -174,4 +291,42 @@ BENCHMARK(BM_AmsUpdate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN: peels off the repo's shared
+/// bench flags (--json_out, --batch, --legacy_pump) before handing the
+/// rest to google-benchmark, so run_benches.sh and the CI bench-smoke job
+/// can drive every bench binary with one flag vocabulary. Unknown flags
+/// exit 2, matching the InitBench-based binaries (and the
+/// rejects-unknown-flag smoke test).
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(std::strlen("--json_out=")));
+      args.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      g_batch = std::atoi(arg.c_str() + std::strlen("--batch="));
+      if (g_batch < 1) {
+        std::fprintf(stderr, "bench_micro: --batch expects a positive int\n");
+        return 2;
+      }
+    } else if (arg == "--legacy_pump" || arg == "--legacy_pump=true") {
+      g_legacy_pump = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv_out;
+  argv_out.reserve(args.size());
+  for (std::string& s : args) argv_out.push_back(s.data());
+  int argc_out = static_cast<int>(argv_out.size());
+  benchmark::Initialize(&argc_out, argv_out.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_out, argv_out.data())) {
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "bench/runner.h"
 #include "common/statistics.h"
 #include "core/nonmonotonic_counter.h"
+#include "hyz/hyz_counter.h"
 #include "sim/assignment.h"
 #include "sim/harness.h"
 
@@ -32,6 +33,8 @@ inline RunSummary Repeat(
   spec.num_sites = num_sites;
   spec.epsilon = epsilon;
   spec.psi_name = psi_name;
+  spec.batch_size = BenchBatch();
+  spec.legacy_pump = BenchLegacyPump();
   spec.make_stream = make_stream;
   spec.make_protocol = make_protocol;
   const RunSummary summary = RunRepeated(spec, BenchThreads());
@@ -48,13 +51,29 @@ inline RunSummary Repeat(
 }
 
 /// Convenience: the Non-monotonic Counter with the given options (seed is
-/// offset per trial).
+/// offset per trial). Under --legacy_pump the sampler is forced to
+/// kLegacyCoins so the whole run replays the pre-batching per-coin
+/// execution.
 inline std::function<std::unique_ptr<sim::Protocol>(int)> CounterFactory(
     int num_sites, core::CounterOptions options) {
+  if (BenchLegacyPump()) options.sampler = core::SamplerMode::kLegacyCoins;
   return [num_sites, options](int trial) {
     core::CounterOptions per_trial = options;
     per_trial.seed = options.seed + static_cast<uint64_t>(trial) * 7919;
     return std::make_unique<core::NonMonotonicCounter>(num_sites, per_trial);
+  };
+}
+
+/// Convenience: the HYZ monotonic counter with the given options (seed is
+/// offset per trial; sampler forced to kLegacyCoins under --legacy_pump,
+/// mirroring CounterFactory).
+inline std::function<std::unique_ptr<sim::Protocol>(int)> HyzFactory(
+    int num_sites, hyz::HyzOptions options) {
+  if (BenchLegacyPump()) options.sampler = core::SamplerMode::kLegacyCoins;
+  return [num_sites, options](int trial) {
+    hyz::HyzOptions per_trial = options;
+    per_trial.seed = options.seed + static_cast<uint64_t>(trial);
+    return std::make_unique<hyz::HyzProtocol>(num_sites, per_trial);
   };
 }
 

@@ -4,8 +4,17 @@
 # at the repo root — the machine-readable perf trajectory record.
 #
 # Usage: scripts/run_benches.sh [--threads=N] [--out=PATH]
-#   --threads=N  worker threads for the tracked benches (default: all cores)
-#   --out=PATH   aggregate output path (default: BENCH_baseline.json)
+#                                [--allow-regression]
+#   --threads=N         worker threads for the tracked benches (default: all
+#                       cores)
+#   --out=PATH          aggregate output path (default: BENCH_baseline.json)
+#   --allow-regression  still diff against the committed baseline, but do
+#                       not fail on slowdowns (use when refreshing the
+#                       baseline on different hardware)
+#
+# Before writing the aggregate, the run is diffed against the committed
+# BENCH_baseline.json via scripts/compare_bench.py; a >10% throughput
+# regression on any shared metric fails the script.
 #
 # Also verifies the parallel runner under ThreadSanitizer when the host
 # toolchain supports it (build-tsan/, thread_pool_test + runner_test).
@@ -17,10 +26,12 @@ cd "${REPO_ROOT}"
 
 THREADS=0
 OUT="BENCH_baseline.json"
+COMPARE_FLAGS=()
 for arg in "$@"; do
   case "${arg}" in
     --threads=*) THREADS="${arg#--threads=}" ;;
     --out=*) OUT="${arg#--out=}" ;;
+    --allow-regression) COMPARE_FLAGS+=(--report-only) ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -37,7 +48,7 @@ echo "== micro benchmarks (simulator hot path) =="
 "${BUILD_DIR}/bench/bench_micro" \
     --benchmark_out="${WORK_DIR}/micro.json" \
     --benchmark_out_format=json \
-    --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate'
+    --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate|SkipSampler|BatchedPump'
 
 # One fast representative per bench family: counter scaling (E2), the
 # monotonic special case / HYZ family (E11), and the adversarial-order
@@ -50,8 +61,8 @@ for bench in "${TRACKED_BENCHES[@]}"; do
       --json_out="${WORK_DIR}/BENCH_${bench}.json"
 done
 
-echo "== aggregating -> ${OUT} =="
-python3 - "${WORK_DIR}" "${OUT}" <<'EOF'
+echo "== aggregating =="
+python3 - "${WORK_DIR}" "${WORK_DIR}/aggregate.json" <<'EOF'
 import json
 import sys
 from pathlib import Path
@@ -83,6 +94,17 @@ out_path.write_text(json.dumps(aggregate, indent=2) + "\n")
 print(f"wrote {out_path} ({len(micro_rows)} micro rows, "
       f"{len(benches)} tracked benches)")
 EOF
+
+if [[ -f "BENCH_baseline.json" ]]; then
+  echo "== comparing against committed BENCH_baseline.json =="
+  python3 scripts/compare_bench.py "${COMPARE_FLAGS[@]}" \
+      BENCH_baseline.json "${WORK_DIR}/aggregate.json"
+else
+  echo "== no committed BENCH_baseline.json; skipping comparison =="
+fi
+
+cp "${WORK_DIR}/aggregate.json" "${OUT}"
+echo "wrote ${OUT}"
 
 echo "== ThreadSanitizer: thread pool + parallel runner =="
 if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

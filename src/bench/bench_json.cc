@@ -94,6 +94,9 @@ std::string BenchReportToJson(const BenchReport& report) {
   std::string out = "{\n";
   out += "  \"bench\": " + JsonString(report.bench) + ",\n";
   out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
+  out += "  \"batch\": " + std::to_string(report.batch) + ",\n";
+  out += std::string("  \"legacy_pump\": ") +
+         (report.legacy_pump ? "true" : "false") + ",\n";
   out += "  \"wall_seconds\": " + JsonDouble(report.wall_seconds) + ",\n";
   out += "  \"total_updates\": " + std::to_string(report.total_updates()) +
          ",\n";
@@ -137,6 +140,8 @@ struct BenchSession {
   BenchReport report;
   std::string json_out;
   int run_counter = 0;
+  int batch = 0;
+  bool legacy_pump = false;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -163,10 +168,14 @@ void InitBench(int argc, const char* const* argv,
   }
   session.report.threads = flags.Threads();
   session.json_out = flags.GetString("json_out", "");
+  session.batch = static_cast<int>(flags.GetInt("batch", 0));
+  session.legacy_pump = flags.GetBool("legacy_pump", false);
+  session.report.batch = session.batch;
+  session.report.legacy_pump = session.legacy_pump;
   const auto unused = flags.UnusedKeys();
   if (!unused.empty()) {
     std::fprintf(stderr, "%s: unknown flag --%s (supported: --threads=N, "
-                 "--json_out=PATH)\n",
+                 "--json_out=PATH, --batch=N, --legacy_pump)\n",
                  bench_name.c_str(), unused.front().c_str());
     std::exit(2);
   }
@@ -183,6 +192,16 @@ void InitBench(int argc, const char* const* argv,
 int BenchThreads() {
   const BenchSession& session = Session();
   return session.initialized ? session.report.threads : 1;
+}
+
+int BenchBatch() {
+  const BenchSession& session = Session();
+  return session.initialized ? session.batch : 0;
+}
+
+bool BenchLegacyPump() {
+  const BenchSession& session = Session();
+  return session.initialized && session.legacy_pump;
 }
 
 void RecordRun(const RunRecord& record) {

@@ -23,6 +23,9 @@ struct RunRecord {
 struct BenchReport {
   std::string bench;
   int threads = 1;
+  /// Pump configuration the batches ran under (see --batch/--legacy_pump).
+  int batch = 0;
+  bool legacy_pump = false;
   std::vector<RunRecord> runs;
   /// Wall time of the whole binary, not just the recorded batches.
   double wall_seconds = 0.0;
@@ -51,11 +54,23 @@ bool WriteBenchReport(const std::string& path, const BenchReport& report);
 ///   --threads=N    worker threads for Repeat batches (0/absent =
 ///                  hardware concurrency, 1 = legacy serial)
 ///   --json_out=P   write a BENCH_*.json report to P on FinishBench()
+///   --batch=N      harness batch size for Repeat batches (0/absent =
+///                  harness default)
+///   --legacy_pump  per-update pump + per-coin samplers: reproduces the
+///                  pre-batching execution bit for bit
 /// Exits with status 2 on malformed or unknown flags.
 void InitBench(int argc, const char* const* argv, const std::string& bench_name);
 
 /// Thread count resolved by InitBench (1 before InitBench is called).
 int BenchThreads();
+
+/// --batch value resolved by InitBench (0 = harness default).
+int BenchBatch();
+
+/// True when --legacy_pump was given: Repeat pumps one update per
+/// ProcessBatch and the protocol factories in bench_util switch the
+/// samplers to kLegacyCoins.
+bool BenchLegacyPump();
 
 /// Appends a record to the session report (no-op before InitBench).
 void RecordRun(const RunRecord& record);

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmc::core {
+
+/// How a protocol realizes its per-update Bernoulli report coins.
+enum class SamplerMode {
+  /// Fast-forward: draw the gap to the next report as a geometric variate
+  /// (one uniform per inter-report run) and consume the silent updates in
+  /// bulk. Distribution-preserving but consumes the RNG differently from
+  /// the per-coin reference, so fixed-seed transcripts differ.
+  kGeometricSkip,
+  /// Replay one Bernoulli coin per update, bit-identical to the historic
+  /// per-update implementation (the --legacy_pump benches and the
+  /// equivalence tests run in this mode).
+  kLegacyCoins,
+};
+
+/// Vitter-style skip sampler: for a Bernoulli(p) coin sequence with a
+/// frozen rate p, the number of tails before the next head is
+/// Geometric(p), so a site can consume a whole inter-report run in O(1)
+/// instead of flipping O(gap) coins. The cached gap stays valid only
+/// while the rate it was drawn at still applies; the owner must call
+/// Invalidate() whenever a broadcast (or any other state change) moves
+/// the rate. Header-only so that nmc_hyz can use it without linking
+/// nmc_core.
+///
+/// Rates that drift *downward* between invalidations (e.g. the decaying
+/// drift-guard term) are handled by thinning: draw the gap at a
+/// dominating rate `dom >= p_t`, then accept each candidate with
+/// probability p_t / dom — the compound is exactly Bernoulli(p_t) per
+/// update. Memorylessness makes it exact to discard a partially consumed
+/// gap at any boundary that is deterministic given the coins already
+/// realized (a chunk-span expiry or an incoming broadcast).
+class GeometricSkip {
+ public:
+  /// Sentinel for "no report will ever fire at this rate" (p <= 0). Half
+  /// of the int64 range so Advance() arithmetic cannot overflow.
+  static constexpr int64_t kInfiniteGap =
+      std::numeric_limits<int64_t>::max() / 2;
+
+  explicit GeometricSkip(SamplerMode mode = SamplerMode::kGeometricSkip)
+      : mode_(mode) {}
+
+  SamplerMode mode() const { return mode_; }
+
+  /// Gap to the next head of a Bernoulli(p) sequence:
+  /// floor(log1p(-U)/log1p(-p)) with U uniform on [0, 1). Matches
+  /// Rng::Bernoulli's clamps (p >= 1 reports immediately and p <= 0
+  /// never reports, neither consuming randomness) and clamps the cast so
+  /// a tiny p cannot overflow int64 (UB on the raw cast).
+  static int64_t DrawGap(common::Rng* rng, double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return kInfiniteGap;
+    const double u = 1.0 - rng->UniformDouble();  // in (0, 1]
+    const double gap = std::floor(std::log(u) / std::log1p(-p));
+    if (!(gap < static_cast<double>(kInfiniteGap))) return kInfiniteGap;
+    return static_cast<int64_t>(gap);
+  }
+
+  bool valid() const { return valid_; }
+
+  /// Discards the cached gap. Must be called whenever the (dominating)
+  /// rate the gap was drawn at stops applying.
+  void Invalidate() { valid_ = false; }
+
+  /// Draws a fresh gap at `rate` unless one is already cached. Repeated
+  /// draws at one rate (thinning redraws, chunked domination) reuse the
+  /// memoized log1p(-rate), halving the transcendental cost per draw;
+  /// the drawn value is bit-identical to DrawGap either way.
+  void EnsureGap(common::Rng* rng, double rate) {
+    if (valid_) return;
+    if (rate >= 1.0) {
+      gap_ = 0;
+    } else if (rate <= 0.0) {
+      gap_ = kInfiniteGap;
+    } else {
+      if (rate != memo_rate_) {
+        memo_rate_ = rate;
+        memo_log_q_ = std::log1p(-rate);
+      }
+      const double u = 1.0 - rng->UniformDouble();  // in (0, 1]
+      const double gap = std::floor(std::log(u) / memo_log_q_);
+      gap_ = gap < static_cast<double>(kInfiniteGap)
+                 ? static_cast<int64_t>(gap)
+                 : kInfiniteGap;
+    }
+    valid_ = true;
+  }
+
+  /// Updates left before the next candidate. Only meaningful while
+  /// valid().
+  int64_t gap() const {
+    NMC_CHECK(valid_);
+    return gap_;
+  }
+
+  /// Consumes `steps` candidate-free updates (steps <= gap()).
+  void Advance(int64_t steps) {
+    NMC_CHECK(valid_);
+    NMC_CHECK_GE(steps, 0);
+    NMC_CHECK_LE(steps, gap_);
+    gap_ -= steps;
+  }
+
+  /// Consumes the candidate update itself (requires gap() == 0); the next
+  /// EnsureGap starts a fresh inter-report run.
+  void TakeCandidate() {
+    NMC_CHECK(valid_);
+    NMC_CHECK_EQ(gap_, 0);
+    valid_ = false;
+  }
+
+  /// One-update convenience used by sites that cannot batch: in legacy
+  /// mode exactly rng->Bernoulli(rate) (same draws, same result); in skip
+  /// mode the cached-gap walk. The caller still owns invalidation on rate
+  /// changes.
+  bool Step(common::Rng* rng, double rate) {
+    if (mode_ == SamplerMode::kLegacyCoins) return rng->Bernoulli(rate);
+    EnsureGap(rng, rate);
+    if (gap_ > 0) {
+      --gap_;
+      return false;
+    }
+    valid_ = false;
+    return true;
+  }
+
+ private:
+  SamplerMode mode_;
+  bool valid_ = false;
+  int64_t gap_ = 0;
+  /// Memoized log1p(-memo_rate_) for EnsureGap (kept across Invalidate:
+  /// the memo depends only on the rate value, not on gap validity).
+  double memo_rate_ = -1.0;
+  double memo_log_q_ = 0.0;
+};
+
+}  // namespace nmc::core

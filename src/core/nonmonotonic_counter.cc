@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/geometric_skip.h"
 #include "core/sampling.h"
 
 namespace nmc::core {
@@ -25,6 +26,13 @@ enum MessageType {
 constexpr int64_t kStageStraight = 0;
 constexpr int64_t kStageSbc = 1;
 
+/// Fraction of |s| a single-site fast-forward chunk may span: the
+/// dominating rate is evaluated at |s| * (1 - 1/kChunkDivisor), so the
+/// acceptance probability of a thinned candidate stays >=
+/// ((kChunkDivisor-1)/kChunkDivisor)^2 ~ 0.77 while a chunk restart is
+/// amortized over |s|/kChunkDivisor updates.
+constexpr double kChunkDivisor = 8.0;
+
 // Rate scale from the mean square of the updates seen so far. The eq. (1)
 // first-passage calibration assumes ±1 steps; steps of variance m2 take
 // 1/m2 times longer to cover the same distance, so the rate may be scaled
@@ -38,22 +46,38 @@ double VarianceScale(const CounterOptions& options, double sum_sq,
 
 // The Phase-1 sampling rate a site evaluates against the shared estimate.
 // `scale` (in (0, 1], from VarianceScale) rescales the diffusive term; the
-// drift guard is time-based and therefore scale-free.
+// drift guard is time-based and therefore scale-free. `cache` memoizes the
+// walk/fBm term for call sites whose estimate is frozen between broadcasts
+// (bit-identical to recomputation).
 double Phase1Rate(const CounterOptions& options, double estimate,
-                  int64_t t_estimate, double scale) {
+                  int64_t t_estimate, double scale,
+                  RateCache* cache = nullptr) {
   // Folding the scale into epsilon keeps the min{., 1} clamps intact:
   // scale * alpha log^b / (eps s)^2 == alpha log^b / (eps' s)^2 with
-  // eps' = eps / sqrt(scale) (delta-th root in fBm mode).
+  // eps' = eps / sqrt(scale) (delta-th root in fBm mode). scale == 1.0
+  // (every non-variance-adaptive run) short-circuits the pow/sqrt, which
+  // is exact: x / sqrt(1.0) == x / pow(1.0, y) == x.
   double rate;
   if (options.fbm_delta > 0.0) {
     const double eps_eff =
-        options.epsilon / std::pow(scale, 1.0 / options.fbm_delta);
-    rate = FbmRate(estimate, eps_eff, options.horizon_n, options.fbm_delta,
-                   options.fbm_alpha);
+        scale == 1.0
+            ? options.epsilon
+            : options.epsilon / std::pow(scale, 1.0 / options.fbm_delta);
+    const auto compute = [&] {
+      return FbmRate(estimate, eps_eff, options.horizon_n, options.fbm_delta,
+                     options.fbm_alpha);
+    };
+    rate = cache != nullptr ? cache->Get(estimate, eps_eff, compute)
+                            : compute();
   } else {
-    const double eps_eff = options.epsilon / std::sqrt(scale);
-    rate = RandomWalkRate(estimate, eps_eff, options.horizon_n, options.alpha,
-                          options.beta);
+    const double eps_eff =
+        scale == 1.0 ? options.epsilon : options.epsilon / std::sqrt(scale);
+    const auto compute = [&] {
+      return RandomWalkRate(estimate, eps_eff, options.horizon_n,
+                            options.alpha, options.beta);
+    };
+    rate = cache != nullptr ? cache->Get(estimate, eps_eff, compute)
+                            : compute();
   }
   if (options.enable_drift_guard) {
     rate = std::max(rate, DriftGuardRate(t_estimate, options.epsilon,
@@ -74,7 +98,8 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
         num_sites_(num_sites),
         options_(options),
         network_(network),
-        rng_(rng) {
+        rng_(rng),
+        skip_(options.sampler) {
     if (num_sites_ == 1) {
       // The single site holds the entire history, including any carried
       // state from a previous horizon epoch.
@@ -85,48 +110,28 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   }
 
   void OnLocalUpdate(double value) override {
-    NMC_CHECK(!phase2_);  // Phase-2 updates are routed to the HYZ pair
-    // The discrete models assume bounded updates in [-1, 1]; fBm mode
-    // feeds Gaussian (unbounded) increments, per Section 3.4.
-    if (options_.fbm_delta == 0.0) NMC_CHECK_LE(std::fabs(value), 1.0);
-    if (options_.drift_mode == DriftMode::kUnknownUnitDrift) {
-      NMC_CHECK_EQ(std::fabs(value), 1.0);
-    }
-    ++local_updates_;
-    local_sum_ += value;
-    local_sum_sq_ += value * value;
-    ++updates_since_state_;
+    ConsumeRun(std::span<const double>(&value, 1));
+  }
 
-    if (num_sites_ == 1) {
-      // Single-site form (Theorem 3.1): the site samples against its own
-      // exact count; a head costs one message and needs no reply.
-      const double scale =
-          VarianceScale(options_, local_sum_sq_, local_updates_);
-      double rate = options_.stage_policy == StagePolicy::kStraightOnly
-                        ? 1.0
-                        : Phase1Rate(options_, local_sum_, local_updates_,
-                                     scale);
-      if (rng_.Bernoulli(rate)) SendSnapshot(kExactReport);
-      return;
-    }
+  /// Consumes a prefix of `values` (>= 1 update), stopping immediately
+  /// after the first update that emits a message; returns the count
+  /// consumed. ProcessUpdate is the count == 1 special case, so batched
+  /// and per-update pumping share one state machine and are bit-identical
+  /// for every slicing of the stream into runs.
+  int64_t ConsumeRun(std::span<const double> values) {
+    NMC_CHECK(!phase2_);  // Phase-2 updates are routed to the HYZ pair
+    NMC_CHECK(!values.empty());
+
+    if (num_sites_ == 1) return ConsumeSingleSite(values);
 
     if (!in_sbc_stage_) {
+      // StraightSync: every update is forwarded, so runs cannot be
+      // fast-forwarded — each update is a message event.
+      Absorb(values[0]);
       SendSnapshot(kStraightReport);
-      return;
+      return 1;
     }
-
-    // SBC: sample against the last broadcast estimate. The global time
-    // estimate (for the drift guard) is the broadcast time plus the
-    // updates this site has seen since — an underestimate of the true t,
-    // which errs toward sampling more, never less.
-    const double rate =
-        Phase1Rate(options_, global_estimate_,
-                   global_time_ + updates_since_state_, rate_scale_);
-    if (rng_.Bernoulli(rate)) {
-      sim::Message m;
-      m.type = kSyncRequest;
-      network_->SendToCoordinator(site_id_, m);
-    }
+    return ConsumeSbc(values);
   }
 
   void OnCoordinatorMessage(const sim::Message& message) override {
@@ -140,9 +145,13 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
         in_sbc_stage_ = (message.v == kStageSbc);
         rate_scale_ = message.b;
         updates_since_state_ = 0;
+        // The broadcast moved the rate inputs: any cached inter-report
+        // gap was drawn at a dominating rate that no longer applies.
+        skip_.Invalidate();
         break;
       case kPhase2:
         phase2_ = true;
+        skip_.Invalidate();
         break;
       default:
         NMC_CHECK(false);
@@ -168,11 +177,194 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   }
 
  private:
+  /// Applies one update to the local totals (the per-update bookkeeping
+  /// every path shares, coins or not).
+  void Absorb(double value) {
+    // The discrete models assume bounded updates in [-1, 1]; fBm mode
+    // feeds Gaussian (unbounded) increments, per Section 3.4.
+    if (options_.fbm_delta == 0.0) NMC_CHECK_LE(std::fabs(value), 1.0);
+    if (options_.drift_mode == DriftMode::kUnknownUnitDrift) {
+      NMC_CHECK_EQ(std::fabs(value), 1.0);
+    }
+    ++local_updates_;
+    local_sum_ += value;
+    local_sum_sq_ += value * value;
+    ++updates_since_state_;
+  }
+
+  void AbsorbRun(std::span<const double> values) {
+    for (const double value : values) Absorb(value);
+  }
+
+  /// Single-site form (Theorem 3.1): the site samples against its own
+  /// exact count; a head costs one message and needs no reply.
+  int64_t ConsumeSingleSite(std::span<const double> values) {
+    // The fast-forward chunk bound needs |local_sum_| to move by at most
+    // 1 per update and the rate law to be monotone in |s| at fixed
+    // epsilon — which rules out unbounded fBm increments and the
+    // per-update rescaling of variance_adaptive. Those run on the
+    // per-coin reference path (in legacy mode everything does).
+    const bool fast_forward = skip_.mode() == SamplerMode::kGeometricSkip &&
+                              options_.fbm_delta == 0.0 &&
+                              !options_.variance_adaptive;
+    if (!fast_forward) {
+      int64_t consumed = 0;
+      const int64_t count = static_cast<int64_t>(values.size());
+      while (consumed < count) {
+        Absorb(values[static_cast<size_t>(consumed)]);
+        ++consumed;
+        const double scale =
+            VarianceScale(options_, local_sum_sq_, local_updates_);
+        const double rate =
+            options_.stage_policy == StagePolicy::kStraightOnly
+                ? 1.0
+                : Phase1Rate(options_, local_sum_, local_updates_, scale);
+        if (rng_.Bernoulli(rate)) {
+          SendSnapshot(kExactReport);
+          break;
+        }
+      }
+      return consumed;
+    }
+
+    // Fast-forward: thinned geometric skips over a chunk of updates whose
+    // rate is dominated by chunk_dom_ (the rate at the smallest |s| and
+    // earliest t the chunk can reach). Candidates fire at the dominating
+    // rate and are accepted with probability rate/chunk_dom_, which makes
+    // every update an exact Bernoulli(rate) trial; discarding a partially
+    // consumed gap at a chunk boundary is exact by memorylessness.
+    int64_t consumed = 0;
+    const int64_t count = static_cast<int64_t>(values.size());
+    while (consumed < count) {
+      if (chunk_left_ <= 0) RestartSingleSiteChunk();
+      skip_.EnsureGap(&rng_, chunk_dom_);
+      const int64_t m =
+          std::min({skip_.gap(), chunk_left_, count - consumed});
+      if (m > 0) {
+        AbsorbRun(values.subspan(static_cast<size_t>(consumed),
+                                 static_cast<size_t>(m)));
+        consumed += m;
+        chunk_left_ -= m;
+        skip_.Advance(m);
+      }
+      if (consumed == count) break;
+      if (chunk_left_ == 0) continue;  // domination span expired: rechunk
+      // gap == 0 within the chunk: the next update is a candidate.
+      Absorb(values[static_cast<size_t>(consumed)]);
+      ++consumed;
+      --chunk_left_;
+      skip_.TakeCandidate();
+      const double rate =
+          options_.stage_policy == StagePolicy::kStraightOnly
+              ? 1.0
+              : Phase1Rate(options_, local_sum_, local_updates_,
+                           /*scale=*/1.0);
+      // The chunk stays valid across reports: its domination argument
+      // bounds |s| and t over the next chunk_left_ updates and does not
+      // involve the report history, so only the gap is redrawn.
+      const bool accept =
+          rate >= chunk_dom_ || rng_.UniformDouble() * chunk_dom_ < rate;
+      if (accept) {
+        SendSnapshot(kExactReport);
+        break;
+      }
+    }
+    return consumed;
+  }
+
+  void RestartSingleSiteChunk() {
+    skip_.Invalidate();
+    if (options_.stage_policy == StagePolicy::kStraightOnly) {
+      chunk_dom_ = 1.0;  // rate is the constant 1: every update reports
+      chunk_left_ = GeometricSkip::kInfiniteGap;
+      return;
+    }
+    const double abs_s = std::fabs(local_sum_);
+    int64_t span = static_cast<int64_t>(abs_s / kChunkDivisor);
+    if (span < 1) span = 1;
+    const double s_min = std::max(abs_s - static_cast<double>(span), 0.0);
+    // Updates are bounded by 1, so |s| >= s_min throughout the span and
+    // t >= local_updates_ + 1 at the first update: both the walk law
+    // (decreasing in |s|) and the drift guard (decreasing in t) are
+    // dominated by the rate at (s_min, t + 1).
+    chunk_dom_ =
+        Phase1Rate(options_, s_min, local_updates_ + 1, /*scale=*/1.0);
+    chunk_left_ = span;
+  }
+
+  /// SBC: sample against the last broadcast estimate. The global time
+  /// estimate (for the drift guard) is the broadcast time plus the
+  /// updates this site has seen since — an underestimate of the true t,
+  /// which errs toward sampling more, never less.
+  int64_t ConsumeSbc(std::span<const double> values) {
+    const int64_t count = static_cast<int64_t>(values.size());
+    if (skip_.mode() == SamplerMode::kLegacyCoins) {
+      int64_t consumed = 0;
+      while (consumed < count) {
+        Absorb(values[static_cast<size_t>(consumed)]);
+        ++consumed;
+        const double rate =
+            Phase1Rate(options_, global_estimate_,
+                       global_time_ + updates_since_state_, rate_scale_,
+                       &walk_cache_);
+        if (rng_.Bernoulli(rate)) {
+          SendSyncRequest();
+          break;
+        }
+      }
+      return consumed;
+    }
+
+    // Fast-forward: between broadcasts the walk/fBm term is frozen and
+    // the drift guard only decays, so the rate at the next update
+    // dominates every later one until the next kState invalidates the
+    // gap. Candidates are thinned by rate/sbc_dom_ (identically 1 once
+    // the frozen walk term dominates the guard).
+    int64_t consumed = 0;
+    while (consumed < count) {
+      if (!skip_.valid()) {
+        sbc_dom_ = Phase1Rate(options_, global_estimate_,
+                              global_time_ + updates_since_state_ + 1,
+                              rate_scale_, &walk_cache_);
+        skip_.EnsureGap(&rng_, sbc_dom_);
+      }
+      const int64_t m = std::min(skip_.gap(), count - consumed);
+      if (m > 0) {
+        AbsorbRun(values.subspan(static_cast<size_t>(consumed),
+                                 static_cast<size_t>(m)));
+        consumed += m;
+        skip_.Advance(m);
+      }
+      if (consumed == count) break;
+      Absorb(values[static_cast<size_t>(consumed)]);
+      ++consumed;
+      skip_.TakeCandidate();
+      const double rate =
+          Phase1Rate(options_, global_estimate_,
+                     global_time_ + updates_since_state_, rate_scale_,
+                     &walk_cache_);
+      const bool accept =
+          rate >= sbc_dom_ || rng_.UniformDouble() * sbc_dom_ < rate;
+      if (accept) {
+        SendSyncRequest();
+        break;
+      }
+    }
+    return consumed;
+  }
+
   int site_id_;
   int num_sites_;
   CounterOptions options_;
   sim::Network* network_;
   common::Rng rng_;
+  GeometricSkip skip_;
+  RateCache walk_cache_;
+
+  // Fast-forward state: the dominating rates the cached gap was drawn at.
+  double chunk_dom_ = 0.0;    // single-site chunk (valid while chunk_left_ > 0)
+  int64_t chunk_left_ = 0;    // updates left in the single-site chunk
+  double sbc_dom_ = 0.0;      // SBC dominating rate (valid while gap cached)
 
   int64_t local_updates_ = 0;
   double local_sum_ = 0.0;
@@ -395,22 +587,32 @@ NonMonotonicCounter::~NonMonotonicCounter() = default;
 int NonMonotonicCounter::num_sites() const { return network_.num_sites(); }
 
 void NonMonotonicCounter::ProcessUpdate(int site_id, double value) {
+  ProcessBatch(site_id, std::span<const double>(&value, 1));
+}
+
+int64_t NonMonotonicCounter::ProcessBatch(int site_id,
+                                          std::span<const double> values) {
   NMC_CHECK_GE(site_id, 0);
   NMC_CHECK_LT(site_id, num_sites());
+  NMC_CHECK(!values.empty());
   if (positive_counter_ != nullptr) {
-    NMC_CHECK_EQ(std::fabs(value), 1.0);
-    if (value > 0) {
-      positive_counter_->ProcessUpdate(site_id, 1.0);
-    } else {
-      negative_counter_->ProcessUpdate(site_id, 1.0);
-    }
-    return;
+    // Phase 2: forward the leading same-sign run to the matching HYZ
+    // counter as unit increments (±1 updates only, so same sign == equal).
+    const double first = values.front();
+    NMC_CHECK_EQ(std::fabs(first), 1.0);
+    size_t run = 1;
+    while (run < values.size() && values[run] == first) ++run;
+    hyz::HyzProtocol* target =
+        first > 0 ? positive_counter_.get() : negative_counter_.get();
+    return target->ProcessRun(site_id, static_cast<int64_t>(run));
   }
-  sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
+  const int64_t consumed =
+      sites_[static_cast<size_t>(site_id)]->ConsumeRun(values);
   network_.DeliverAll();
   if (coordinator_->phase2_pending() && positive_counter_ == nullptr) {
     ActivatePhase2();
   }
+  return consumed;
 }
 
 void NonMonotonicCounter::ForceSync() {
@@ -452,6 +654,7 @@ void NonMonotonicCounter::ActivatePhase2() {
       0.9);
   const double n = static_cast<double>(options_.horizon_n);
   hyz_options.delta = std::min(0.5, options_.phase2_delta_scale / (n * n));
+  hyz_options.sampler = options_.sampler;
   if (options_.phase2_auto_hyz_mode) {
     // Per-round cost: deterministic ~2k, sampled ~sqrt(kL) + L.
     const double k = static_cast<double>(num_sites());

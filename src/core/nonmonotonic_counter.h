@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "core/geometric_skip.h"
 #include "core/gp_search.h"
 #include "hyz/hyz_counter.h"
 #include "sim/network.h"
@@ -114,6 +116,16 @@ struct CounterOptions {
   /// oversamples all the way to Theta(n). No effect on ±1 streams.
   bool variance_adaptive = false;
 
+  /// How the per-update Bernoulli trials are realized. kGeometricSkip
+  /// (default) draws geometric inter-report gaps at a dominating rate and
+  /// thins candidates, so silent runs are consumed in O(1) coin draws —
+  /// the sampled trajectory has exactly the per-coin distribution, but a
+  /// different RNG consumption pattern. kLegacyCoins flips one Bernoulli
+  /// coin per update in stream order and is bit-identical to the
+  /// pre-skip-sampler implementation (golden transcripts, seed-pinned
+  /// regression tests).
+  SamplerMode sampler = SamplerMode::kGeometricSkip;
+
   /// Carried state for restarts (used by HorizonFreeCounter): the counter
   /// behaves as if `initial_updates` updates summing to `initial_sum`
   /// (with sum of squares `initial_sum_sq`) had already been processed and
@@ -168,6 +180,14 @@ class NonMonotonicCounter : public sim::Protocol {
 
   /// Feeds one update (value in [-1, 1]; exactly ±1 in drift mode).
   void ProcessUpdate(int site_id, double value) override;
+
+  /// Feeds a same-site run: consumes a non-empty prefix of `values` —
+  /// stopping right after the first update that triggers communication —
+  /// and returns the count consumed (see the Protocol::ProcessBatch
+  /// contract). With the kGeometricSkip sampler the silent prefix of a
+  /// run costs O(1) RNG draws and rate evaluations instead of one per
+  /// update.
+  int64_t ProcessBatch(int site_id, std::span<const double> values) override;
 
   double Estimate() const override;
 

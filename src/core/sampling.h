@@ -28,5 +28,34 @@ double FbmRate(double estimate, double epsilon, int64_t horizon_n,
 /// its total cost is only O(log^2(n)/eps) (the paper's "type 1 waste").
 double DriftGuardRate(int64_t t, double epsilon, int64_t horizon_n, double c);
 
+/// Single-entry memo for the walk/fBm laws at call sites where the
+/// estimate is frozen between broadcasts but the law would otherwise be
+/// re-evaluated per update: LogHorizon/PowLogHorizon memoize the run
+/// constants, but FbmRate still pays a pow(eps*|s|, delta) per call even
+/// when the estimate has not moved since the last broadcast. Keyed on
+/// (estimate, effective epsilon); the cached value is bit-identical to
+/// recomputation, so hits and misses are observationally equivalent.
+class RateCache {
+ public:
+  template <typename ComputeFn>
+  double Get(double estimate, double epsilon_eff, ComputeFn&& compute) {
+    if (!valid_ || estimate != key_estimate_ || epsilon_eff != key_epsilon_) {
+      rate_ = compute();
+      key_estimate_ = estimate;
+      key_epsilon_ = epsilon_eff;
+      valid_ = true;
+    }
+    return rate_;
+  }
+
+  void Invalidate() { valid_ = false; }
+
+ private:
+  bool valid_ = false;
+  double key_estimate_ = 0.0;
+  double key_epsilon_ = 0.0;
+  double rate_ = 0.0;
+};
+
 }  // namespace nmc::core
 

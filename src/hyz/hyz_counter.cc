@@ -22,23 +22,63 @@ enum MessageType {
 /// sampling probability.
 class HyzProtocol::Site : public sim::SiteNode {
  public:
-  Site(int site_id, HyzMode mode, sim::Network* network, common::Rng rng)
-      : site_id_(site_id), mode_(mode), network_(network), rng_(rng) {}
+  Site(int site_id, HyzMode mode, core::SamplerMode sampler,
+       sim::Network* network, common::Rng rng)
+      : site_id_(site_id),
+        mode_(mode),
+        network_(network),
+        rng_(rng),
+        skip_(sampler) {}
 
   void OnLocalUpdate(double value) override {
     NMC_CHECK_EQ(value, 1.0);
-    ++round_count_;
-    const bool report =
-        mode_ == HyzMode::kSampled
-            ? rng_.Bernoulli(rate_)
-            : round_count_ - last_reported_ >= threshold_;
-    if (report) {
-      sim::Message m;
-      m.type = kReport;
-      m.u = round_count_;
-      last_reported_ = round_count_;
-      network_->SendToCoordinator(site_id_, m);
+    ConsumeRun(1);
+  }
+
+  /// Consumes a prefix of `count` unit increments (>= 1), stopping right
+  /// after the first one that emits a report; returns the count consumed.
+  /// Both modes fast-forward the silent prefix: kDeterministic knows the
+  /// next report arithmetically (no coins exist to replay, so this is
+  /// bit-exact in every sampler mode), kSampled skips by a geometric gap
+  /// at the frozen round rate — no thinning needed, the rate only changes
+  /// via broadcasts, which invalidate the cached gap.
+  int64_t ConsumeRun(int64_t count) {
+    NMC_CHECK_GE(count, 1);
+    if (mode_ == HyzMode::kDeterministic) {
+      const int64_t to_report =
+          std::max<int64_t>(1, last_reported_ + threshold_ - round_count_);
+      if (count < to_report) {
+        round_count_ += count;
+        return count;
+      }
+      round_count_ += to_report;
+      Report();
+      return to_report;
     }
+    if (skip_.mode() == core::SamplerMode::kLegacyCoins) {
+      int64_t consumed = 0;
+      while (consumed < count) {
+        ++round_count_;
+        ++consumed;
+        if (rng_.Bernoulli(rate_)) {
+          Report();
+          break;
+        }
+      }
+      return consumed;
+    }
+    skip_.EnsureGap(&rng_, rate_);
+    if (skip_.gap() >= count) {
+      skip_.Advance(count);
+      round_count_ += count;
+      return count;
+    }
+    const int64_t consumed = skip_.gap() + 1;
+    skip_.Advance(skip_.gap());
+    skip_.TakeCandidate();
+    round_count_ += consumed;
+    Report();
+    return consumed;
   }
 
   void OnCoordinatorMessage(const sim::Message& message) override {
@@ -49,6 +89,9 @@ class HyzProtocol::Site : public sim::SiteNode {
         reply.u = round_count_;
         round_count_ = 0;
         last_reported_ = 0;
+        // The reset redefines the reporting state; any cached gap was
+        // drawn for the old round.
+        skip_.Invalidate();
         network_->SendToCoordinator(site_id_, reply);
         break;
       }
@@ -60,6 +103,7 @@ class HyzProtocol::Site : public sim::SiteNode {
         } else {
           threshold_ = message.u;
         }
+        skip_.Invalidate();
         break;
       default:
         NMC_CHECK(false);
@@ -67,10 +111,19 @@ class HyzProtocol::Site : public sim::SiteNode {
   }
 
  private:
+  void Report() {
+    sim::Message m;
+    m.type = kReport;
+    m.u = round_count_;
+    last_reported_ = round_count_;
+    network_->SendToCoordinator(site_id_, m);
+  }
+
   int site_id_;
   HyzMode mode_;
   sim::Network* network_;
   common::Rng rng_;
+  core::GeometricSkip skip_;
   double rate_ = 1.0;
   int64_t threshold_ = 1;
   int64_t round_count_ = 0;
@@ -215,8 +268,8 @@ HyzProtocol::HyzProtocol(int num_sites, const HyzOptions& options)
   network_.AttachCoordinator(coordinator_.get());
   sites_.reserve(static_cast<size_t>(num_sites));
   for (int s = 0; s < num_sites; ++s) {
-    sites_.push_back(
-        std::make_unique<Site>(s, options.mode, &network_, seeder.Fork()));
+    sites_.push_back(std::make_unique<Site>(s, options.mode, options.sampler,
+                                            &network_, seeder.Fork()));
     network_.AttachSite(s, sites_.back().get());
   }
   coordinator_->StartRound();
@@ -228,10 +281,27 @@ HyzProtocol::~HyzProtocol() = default;
 int HyzProtocol::num_sites() const { return network_.num_sites(); }
 
 void HyzProtocol::ProcessUpdate(int site_id, double value) {
+  NMC_CHECK_EQ(value, 1.0);
+  ProcessRun(site_id, 1);
+}
+
+int64_t HyzProtocol::ProcessBatch(int site_id, std::span<const double> values) {
+  NMC_CHECK(!values.empty());
+  const int64_t consumed =
+      ProcessRun(site_id, static_cast<int64_t>(values.size()));
+  for (int64_t j = 0; j < consumed; ++j) {
+    NMC_CHECK_EQ(values[static_cast<size_t>(j)], 1.0);
+  }
+  return consumed;
+}
+
+int64_t HyzProtocol::ProcessRun(int site_id, int64_t count) {
   NMC_CHECK_GE(site_id, 0);
   NMC_CHECK_LT(site_id, num_sites());
-  sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
+  const int64_t consumed =
+      sites_[static_cast<size_t>(site_id)]->ConsumeRun(count);
   network_.DeliverAll();
+  return consumed;
 }
 
 double HyzProtocol::Estimate() const { return coordinator_->Estimate(); }

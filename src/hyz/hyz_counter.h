@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/geometric_skip.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -33,6 +37,14 @@ struct HyzOptions {
   double delta = 1e-6;
   /// Multiplier on the theoretical sampling rate (tuning constant).
   double rate_constant = 1.0;
+  /// How kSampled realizes its per-increment Bernoulli trials. The rate
+  /// is frozen between round broadcasts, so kGeometricSkip (default)
+  /// consumes a whole inter-report run per gap draw — same distribution,
+  /// different RNG consumption pattern. kLegacyCoins is bit-identical to
+  /// the pre-skip-sampler implementation (one coin per increment).
+  /// kDeterministic mode needs no coins and fast-forwards either way.
+  core::SamplerMode sampler = core::SamplerMode::kGeometricSkip;
+
   /// Offset added to the tracked count: Estimate() returns
   /// initial_total + (count of increments seen). Used when HYZ is started
   /// mid-stream from an exact snapshot (Phase 2 of the non-monotonic
@@ -74,9 +86,26 @@ class HyzProtocol : public sim::Protocol {
   /// `value` must be +1: this is a monotonic counter of unit increments.
   void ProcessUpdate(int site_id, double value) override;
 
+  /// Batched form (every value must be +1): consumes a non-empty prefix,
+  /// stopping right after the first increment that emits a message, and
+  /// returns the count consumed (see the Protocol::ProcessBatch contract).
+  int64_t ProcessBatch(int site_id, std::span<const double> values) override;
+
+  /// Value-free form of ProcessBatch for callers that already know the
+  /// run is `count` unit increments (Phase 2 of the non-monotonic
+  /// counter): identical semantics without touching the values.
+  int64_t ProcessRun(int site_id, int64_t count);
+
   double Estimate() const override;
 
   const sim::MessageStats& stats() const override;
+
+  /// Taps the network (see sim::Network::SetObserver) — used by the
+  /// skip-vs-coins equivalence tests to histogram inter-report gaps.
+  void SetMessageObserver(
+      std::function<void(const sim::Network::SentMessage&)> observer) {
+    network_.SetObserver(std::move(observer));
+  }
 
   /// Current round's sampling probability (exposed for tests/ablations).
   double current_rate() const;

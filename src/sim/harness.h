@@ -5,6 +5,7 @@
 
 #include "sim/assignment.h"
 #include "sim/protocol.h"
+#include "sim/stream_source.h"
 
 namespace nmc::sim {
 
@@ -27,6 +28,14 @@ struct TrackingOptions {
   /// If > 0, record (t, cumulative messages, S, estimate) at this many
   /// roughly evenly spaced steps — the raw series behind "figures".
   int curve_points = 0;
+
+  /// Stream items offered per Protocol::ProcessBatch run (>= 1). Larger
+  /// batches let protocols with a fast-forward path consume whole
+  /// inter-report runs per virtual call; 1 reproduces the per-update pump.
+  /// Every field of TrackingResult is bit-identical across batch sizes
+  /// (the ProcessBatch contract keeps the estimate constant over a run's
+  /// silent prefix, and skip-sampler gap state persists across calls).
+  int batch_size = 256;
 };
 
 /// One sampled point of the tracking trajectory.
@@ -55,10 +64,20 @@ struct TrackingResult {
 
 /// Drives `stream` through `protocol`, assigning the t-th update to site
 /// psi->NextSite(t, value), and checks the coordinator's estimate against
-/// the exact running sum after every update.
+/// the exact running sum after every update. Updates are pumped in
+/// contiguous same-site runs of up to options.batch_size items via
+/// Protocol::ProcessBatch; for a single-site protocol the assignment
+/// policy is short-circuited to site 0 (every policy maps to 0 when
+/// k == 1, and none observes protocol state).
 TrackingResult RunTracking(const std::vector<double>& stream,
                            AssignmentPolicy* psi, Protocol* protocol,
                            const TrackingOptions& options);
 
-}  // namespace nmc::sim
+/// Same checker over a chunked source: pulls options.batch_size items at a
+/// time into one reusable buffer, so tracking an n-item stream allocates
+/// O(batch_size) instead of O(n). Produces the same TrackingResult as the
+/// vector overload fed the materialized stream.
+TrackingResult RunTracking(StreamSource* source, AssignmentPolicy* psi,
+                           Protocol* protocol, const TrackingOptions& options);
 
+}  // namespace nmc::sim

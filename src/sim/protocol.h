@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "common/check.h"
 #include "sim/message.h"
 
 namespace nmc::sim {
@@ -19,6 +21,23 @@ class Protocol {
   /// Feeds one stream update to the given site and runs all communication
   /// it triggers to quiescence.
   virtual void ProcessUpdate(int site_id, double value) = 0;
+
+  /// Feeds a run of consecutive updates all addressed to `site_id`.
+  /// Consumes at least one update, stops no later than immediately after
+  /// the first update that triggers communication, and returns the count
+  /// consumed. The contract the batched harness relies on: for every
+  /// consumed update except possibly the last, no messages were sent and
+  /// Estimate() is unchanged, so the tracking invariant can be checked
+  /// against a cached estimate instead of a virtual call per item.
+  /// Equivalence: in any protocol, a ProcessBatch-driven run must be
+  /// bit-identical to the same updates fed through ProcessUpdate one at a
+  /// time (the default forwards exactly one update, so protocols without
+  /// a fast-forward path satisfy this trivially).
+  virtual int64_t ProcessBatch(int site_id, std::span<const double> values) {
+    NMC_CHECK(!values.empty());
+    ProcessUpdate(site_id, values.front());
+    return 1;
+  }
 
   /// The coordinator's current estimate of the tracked sum. Must be valid
   /// after every ProcessUpdate — the tracking guarantee is continuous.

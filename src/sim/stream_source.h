@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+
+namespace nmc::sim {
+
+/// Chunked stream generation: the harness pulls fixed-size chunks into a
+/// reusable buffer instead of requiring the whole stream (or a per-item
+/// allocation) up front. Generator implementations live in
+/// src/streams/chunked.h; this header-only interface sits in sim/ so the
+/// harness can consume sources without linking nmc_streams.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Total number of items the source will produce.
+  virtual int64_t length() const = 0;
+
+  /// Generates the next min(out.size(), remaining) items into `out` and
+  /// returns the count filled (0 once exhausted).
+  virtual int64_t FillChunk(std::span<double> out) = 0;
+};
+
+/// Adapter serving an existing in-memory stream chunk by chunk (the
+/// bridge from the vector-returning generators to the chunked harness).
+class SpanSource final : public StreamSource {
+ public:
+  explicit SpanSource(std::span<const double> values) : values_(values) {}
+
+  int64_t length() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+
+  int64_t FillChunk(std::span<double> out) override {
+    const size_t count = std::min(out.size(), values_.size() - offset_);
+    for (size_t i = 0; i < count; ++i) out[i] = values_[offset_ + i];
+    offset_ += count;
+    return static_cast<int64_t>(count);
+  }
+
+ private:
+  std::span<const double> values_;
+  size_t offset_ = 0;
+};
+
+}  // namespace nmc::sim

@@ -1,31 +1,17 @@
 #include "streams/adversarial.h"
 
-#include "common/check.h"
+#include "streams/chunked.h"
 
 namespace nmc::streams {
 
 std::vector<double> AlternatingStream(int64_t n) {
-  NMC_CHECK_GE(n, 0);
-  std::vector<double> stream(static_cast<size_t>(n));
-  for (int64_t t = 0; t < n; ++t) {
-    stream[static_cast<size_t>(t)] = (t % 2 == 0) ? 1.0 : -1.0;
-  }
-  return stream;
+  AlternatingSource source(n);
+  return Materialize(&source);
 }
 
 std::vector<double> SawtoothStream(int64_t n, int64_t peak) {
-  NMC_CHECK_GE(n, 0);
-  NMC_CHECK_GE(peak, 1);
-  std::vector<double> stream(static_cast<size_t>(n));
-  int64_t level = 0;
-  int direction = 1;
-  for (int64_t t = 0; t < n; ++t) {
-    stream[static_cast<size_t>(t)] = static_cast<double>(direction);
-    level += direction;
-    if (level >= peak) direction = -1;
-    if (level <= -peak) direction = 1;
-  }
-  return stream;
+  SawtoothSource source(n, peak);
+  return Materialize(&source);
 }
 
 }  // namespace nmc::streams

@@ -1,37 +1,18 @@
 #include "streams/bernoulli.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/check.h"
-#include "common/rng.h"
+#include "streams/chunked.h"
 
 namespace nmc::streams {
 
 std::vector<double> BernoulliStream(int64_t n, double mu, uint64_t seed) {
-  NMC_CHECK_GE(n, 0);
-  NMC_CHECK_GE(mu, -1.0);
-  NMC_CHECK_LE(mu, 1.0);
-  common::Rng rng(seed);
-  const double p_plus = (1.0 + mu) / 2.0;
-  std::vector<double> stream(static_cast<size_t>(n));
-  for (double& x : stream) x = rng.Bernoulli(p_plus) ? 1.0 : -1.0;
-  return stream;
+  BernoulliSource source(n, mu, seed);
+  return Materialize(&source);
 }
 
 std::vector<double> FractionalIidStream(int64_t n, double mu, double amplitude,
                                         uint64_t seed) {
-  NMC_CHECK_GE(n, 0);
-  NMC_CHECK_GE(mu, -1.0);
-  NMC_CHECK_LE(mu, 1.0);
-  NMC_CHECK_GE(amplitude, 0.0);
-  common::Rng rng(seed);
-  const double a = std::min(1.0 - std::fabs(mu), amplitude);
-  std::vector<double> stream(static_cast<size_t>(n));
-  for (double& x : stream) {
-    x = mu + a * (2.0 * rng.UniformDouble() - 1.0);
-  }
-  return stream;
+  FractionalIidSource source(n, mu, amplitude, seed);
+  return Materialize(&source);
 }
 
 }  // namespace nmc::streams

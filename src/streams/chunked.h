@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/stream_source.h"
+
+namespace nmc::streams {
+
+/// Chunked stream generators (see sim::StreamSource): each source produces
+/// exactly the same value sequence as its vector-returning counterpart in
+/// the sibling headers — the vector functions are now thin wrappers that
+/// drain a source — but generates on demand into a caller buffer, so the
+/// harness can track an n-item stream with O(batch_size) memory.
+///
+/// Inherently whole-stream inputs (random permutations, Davies-Harte fGn)
+/// cannot stream; wrap their materialized vectors in MaterializedSource to
+/// pass them through the same chunked interface.
+
+/// I.i.d. ±1 with drift mu (chunked form of BernoulliStream).
+class BernoulliSource final : public sim::StreamSource {
+ public:
+  BernoulliSource(int64_t n, double mu, uint64_t seed);
+
+  int64_t length() const override { return n_; }
+  int64_t FillChunk(std::span<double> out) override;
+
+ private:
+  int64_t n_;
+  int64_t produced_ = 0;
+  double p_plus_;
+  common::Rng rng_;
+};
+
+/// I.i.d. bounded fractional updates (chunked form of FractionalIidStream).
+class FractionalIidSource final : public sim::StreamSource {
+ public:
+  FractionalIidSource(int64_t n, double mu, double amplitude, uint64_t seed);
+
+  int64_t length() const override { return n_; }
+  int64_t FillChunk(std::span<double> out) override;
+
+ private:
+  int64_t n_;
+  int64_t produced_ = 0;
+  double mu_;
+  double a_;
+  common::Rng rng_;
+};
+
+/// +1, -1, +1, -1, ... (chunked form of AlternatingStream).
+class AlternatingSource final : public sim::StreamSource {
+ public:
+  explicit AlternatingSource(int64_t n);
+
+  int64_t length() const override { return n_; }
+  int64_t FillChunk(std::span<double> out) override;
+
+ private:
+  int64_t n_;
+  int64_t produced_ = 0;
+};
+
+/// Zero-crossing ±1 sawtooth (chunked form of SawtoothStream).
+class SawtoothSource final : public sim::StreamSource {
+ public:
+  SawtoothSource(int64_t n, int64_t peak);
+
+  int64_t length() const override { return n_; }
+  int64_t FillChunk(std::span<double> out) override;
+
+ private:
+  int64_t n_;
+  int64_t peak_;
+  int64_t produced_ = 0;
+  int64_t level_ = 0;
+  int direction_ = 1;
+};
+
+/// Owns a fully materialized stream and serves it chunk by chunk — the
+/// adapter for generators that need the whole series up front (random
+/// permutations, fGn via circulant embedding).
+class MaterializedSource final : public sim::StreamSource {
+ public:
+  explicit MaterializedSource(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  int64_t length() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+
+  int64_t FillChunk(std::span<double> out) override {
+    sim::SpanSource span_source(
+        std::span<const double>(values_).subspan(offset_));
+    const int64_t filled = span_source.FillChunk(out);
+    offset_ += static_cast<size_t>(filled);
+    return filled;
+  }
+
+ private:
+  std::vector<double> values_;
+  size_t offset_ = 0;
+};
+
+/// Drains `source` into a vector (the bridge back from chunked sources to
+/// the vector-returning stream API; also used by tests to compare a
+/// source against its reference sequence).
+std::vector<double> Materialize(sim::StreamSource* source);
+
+}  // namespace nmc::streams

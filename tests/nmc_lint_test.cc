@@ -137,6 +137,21 @@ TEST(NmcLintTest, AllowAnnotationHygiene) {
   CheckFixture("allow_annotations.cc", "src/core/fixture.cc");
 }
 
+TEST(NmcLintTest, NoPerUpdateTranscendentals) {
+  CheckFixture("no_per_update_transcendentals.cc", "src/core/fixture.cc");
+}
+
+TEST(NmcLintTest, PerUpdateTranscendentalsScopedToProtocolCode) {
+  // src/streams is not protocol code — nothing there runs once per update
+  // through the pump's entry points. The fixture's allow annotation then
+  // correctly surfaces as stale.
+  const std::string content = ReadFixture("no_per_update_transcendentals.cc");
+  for (const lint::Finding& finding :
+       lint::LintContent("src/streams/fixture.cc", content)) {
+    EXPECT_EQ(finding.rule, "ALLOW_UNUSED") << lint::FormatFinding(finding);
+  }
+}
+
 TEST(NmcLintTest, RngRuleScopedToResultProducingCode) {
   // tests/ only *check* results; the determinism rules do not apply there.
   // (The fixture's allow annotations correctly surface as ALLOW_UNUSED in
@@ -162,6 +177,7 @@ TEST(NmcLintTest, EveryEmittedRuleIsRegistered) {
       "no_unordered_iteration.cc", "no_map_in_hot_path.cc",
       "no_iostream_in_lib.cc", "include_hygiene.cc",
       "missing_pragma_once.h", "allow_annotations.cc",
+      "no_per_update_transcendentals.cc",
   };
   std::vector<std::string> registered;
   for (const lint::RuleInfo& rule : lint::Rules()) {

@@ -99,6 +99,9 @@ const std::vector<RuleInfo> kAllRules = {
      "no iteration over unordered containers in src/{core,hyz,baselines,sim}"},
     {"NO_MAP_IN_HOT_PATH", "no std::map/std::deque in src/sim delivery paths"},
     {"NO_IOSTREAM_IN_LIB", "no std::cout/printf in library code"},
+    {"NO_PER_UPDATE_TRANSCENDENTALS",
+     "no log/exp/pow inside per-update protocol entry points; hoist into a "
+     "rate helper or cache (see core::RateCache)"},
     {"INCLUDE_HYGIENE",
      "no parent-relative #include \"../...\" and no <bits/...> headers"},
     {"PRAGMA_ONCE", "every header starts with #pragma once"},
@@ -297,6 +300,78 @@ void CheckUnorderedIteration(const std::string& path,
   }
 }
 
+// ---- NO_PER_UPDATE_TRANSCENDENTALS ----------------------------------------
+
+/// Entry points the harness calls once per stream item (or per consumed
+/// run). A transcendental evaluated here is paid O(n) times per trial —
+/// the exact cost class the geometric skip sampler and RateCache exist to
+/// remove. Rate math belongs in a helper the body calls only on the slow
+/// path, or behind a cache keyed on its inputs.
+constexpr const char* kPerUpdateEntryPoints =
+    R"(\b(OnLocalUpdate|ProcessUpdate|ProcessBatch|ProcessRun|ConsumeRun)\s*\()";
+
+/// Brace-tracks the *definitions* of the per-update entry points (a name
+/// followed by `;` before any `{` is a declaration and is skipped) and
+/// flags direct transcendental calls inside their bodies. Lexical, like
+/// every other rule here: a helper called from the body is not traced —
+/// the rule polices the hot loop's own text, the layer where these costs
+/// have actually crept in.
+void CheckPerUpdateTranscendentals(const std::string& path,
+                                   const std::vector<std::string>& stripped,
+                                   std::vector<Finding>* findings) {
+  static const std::regex kEntryRe(kPerUpdateEntryPoints);
+  static const std::regex kTransRe(
+      R"(\b(?:std\s*::\s*)?(log1p|log2|log10|log|exp2|expm1|exp|pow)\s*\()");
+  enum class Mode { kOutside, kSeeking, kInside };
+  Mode mode = Mode::kOutside;
+  int depth = 0;
+  std::string entry;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    size_t pos = 0;
+    if (mode == Mode::kOutside) {
+      std::smatch match;
+      if (!std::regex_search(line, match, kEntryRe)) continue;
+      mode = Mode::kSeeking;
+      entry = match[1].str();
+      pos = static_cast<size_t>(match.position()) +
+            static_cast<size_t>(match.length());
+    }
+    bool line_in_body = mode == Mode::kInside;
+    for (; pos < line.size(); ++pos) {
+      const char c = line[pos];
+      if (mode == Mode::kSeeking) {
+        if (c == ';') {  // declaration (or call expression), not a body
+          mode = Mode::kOutside;
+          break;
+        }
+        if (c == '{') {
+          mode = Mode::kInside;
+          depth = 1;
+          line_in_body = true;
+        }
+      } else if (mode == Mode::kInside) {
+        if (c == '{') {
+          ++depth;
+        } else if (c == '}' && --depth == 0) {
+          mode = Mode::kOutside;
+          break;
+        }
+      }
+    }
+    if (!line_in_body) continue;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kTransRe);
+         it != std::sregex_iterator(); ++it) {
+      findings->push_back(
+          {path, static_cast<int>(i) + 1, "NO_PER_UPDATE_TRANSCENDENTALS",
+           "'" + (*it)[1].str() + "' call inside " + entry +
+               "() runs once per update; hoist it into a rate helper, "
+               "cache it (core::RateCache), or fast-forward with the skip "
+               "sampler"});
+    }
+  }
+}
+
 // ---- INCLUDE_HYGIENE / PRAGMA_ONCE ----------------------------------------
 
 void CheckIncludeHygiene(const std::string& path,
@@ -362,7 +437,10 @@ std::vector<Finding> LintContent(const std::string& path,
     }
   }
 
-  if (InProtocolCode(path)) CheckUnorderedIteration(path, stripped, &findings);
+  if (InProtocolCode(path)) {
+    CheckUnorderedIteration(path, stripped, &findings);
+    CheckPerUpdateTranscendentals(path, stripped, &findings);
+  }
   CheckIncludeHygiene(path, raw, &findings);
   if (IsHeader(path)) CheckPragmaOnce(path, raw, &findings);
 
