@@ -56,7 +56,7 @@ inline RunSummary Repeat(
 /// execution.
 inline std::function<std::unique_ptr<sim::Protocol>(int)> CounterFactory(
     int num_sites, core::CounterOptions options) {
-  if (BenchLegacyPump()) options.sampler = core::SamplerMode::kLegacyCoins;
+  if (BenchLegacyPump()) options.sampler = common::SamplerMode::kLegacyCoins;
   return [num_sites, options](int trial) {
     core::CounterOptions per_trial = options;
     per_trial.seed = options.seed + static_cast<uint64_t>(trial) * 7919;
@@ -69,7 +69,7 @@ inline std::function<std::unique_ptr<sim::Protocol>(int)> CounterFactory(
 /// mirroring CounterFactory).
 inline std::function<std::unique_ptr<sim::Protocol>(int)> HyzFactory(
     int num_sites, hyz::HyzOptions options) {
-  if (BenchLegacyPump()) options.sampler = core::SamplerMode::kLegacyCoins;
+  if (BenchLegacyPump()) options.sampler = common::SamplerMode::kLegacyCoins;
   return [num_sites, options](int trial) {
     hyz::HyzOptions per_trial = options;
     per_trial.seed = options.seed + static_cast<uint64_t>(trial);

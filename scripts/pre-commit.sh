@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate over the files staged for commit: nmc_lint's
+# single-file rules plus the clang-format check. Install with
+#
+#   ln -s ../../scripts/pre-commit.sh .git/hooks/pre-commit
+#
+# or run it by hand before committing. The include-graph rules (layering,
+# cycles, depth) need the whole repo and are left to `ctest -R nmc_lint` /
+# scripts/run_static_analysis.sh; this hook is the seconds-fast subset.
+#
+# Exit codes: 0 = clean (or nothing staged), 1 = findings or format diffs,
+#             2 = the lint tool would not build.
+
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+mapfile -t staged < <(git diff --cached --name-only --diff-filter=ACMR \
+                      | grep -E '\.(h|hpp|cc|cpp)$' | grep -v '/testdata/' \
+                      || true)
+if [[ "${#staged[@]}" -eq 0 ]]; then
+  echo "pre-commit: no staged C++ files"
+  exit 0
+fi
+
+cmake -B build -S . > /dev/null || exit 2
+cmake --build build -j "$(nproc)" --target nmc_lint > /dev/null || exit 2
+
+status=0
+./build/tools/nmc_lint/nmc_lint --root="${REPO_ROOT}" "${staged[@]}" \
+    || status=1
+scripts/check_format.sh "${staged[@]}" || status=1
+exit "${status}"

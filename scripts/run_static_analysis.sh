@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The repo's static-analysis gate, in one entry point:
 #
-#   1. nmc_lint        — determinism/hygiene invariants (tools/nmc_lint)
+#   1. nmc_lint        — determinism/hygiene invariants (tools/nmc_lint);
+#                        also writes build/nmc_lint.sarif (SARIF 2.1.0) for
+#                        CI artifact upload and code-scanning viewers
 #   2. clang-format    — check-only, via scripts/check_format.sh
 #   3. clang-tidy      — curated .clang-tidy over every built TU
 #   4. -Werror build   — strengthened warning set (NMC_WERROR=ON)
@@ -24,6 +26,8 @@
 #   4  clang-tidy findings
 #   5  -Werror build failed (new warnings)
 #   6  a sanitizer build or its ctest run failed
+#   7  the SARIF emission pass failed (text pass was clean — an emitter or
+#      baseline inconsistency, not a new lint finding)
 
 set -uo pipefail
 
@@ -43,6 +47,17 @@ done
 echo "== stage 1: nmc_lint =="
 cmake -B build -S . > /dev/null || exit 2
 cmake --build build -j "${JOBS}" --target nmc_lint > /dev/null || exit 2
+# SARIF first, so the artifact exists even when the gate below fails and
+# CI can upload the findings. Exit 1 here just means findings (the text
+# pass below gates on them); >= 2 means the emitter or its inputs are
+# broken, which is its own failure class.
+./build/tools/nmc_lint/nmc_lint --root="${REPO_ROOT}" \
+    --compile-commands=build/compile_commands.json \
+    --format=sarif > build/nmc_lint.sarif
+sarif_rc=$?
+[[ "${sarif_rc}" -ge 2 ]] && exit 7
+echo "SARIF log: build/nmc_lint.sarif"
+
 ./build/tools/nmc_lint/nmc_lint --root="${REPO_ROOT}" \
     --compile-commands=build/compile_commands.json || exit 1
 

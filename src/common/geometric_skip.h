@@ -7,7 +7,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 
-namespace nmc::core {
+namespace nmc::common {
 
 /// How a protocol realizes its per-update Bernoulli report coins.
 enum class SamplerMode {
@@ -142,4 +142,4 @@ class GeometricSkip {
   double memo_log_q_ = 0.0;
 };
 
-}  // namespace nmc::core
+}  // namespace nmc::common

@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/geometric_skip.h"
 #include "common/rng.h"
-#include "core/geometric_skip.h"
 #include "core/sampling.h"
 
 namespace nmc::core {
@@ -204,7 +204,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
     // epsilon — which rules out unbounded fBm increments and the
     // per-update rescaling of variance_adaptive. Those run on the
     // per-coin reference path (in legacy mode everything does).
-    const bool fast_forward = skip_.mode() == SamplerMode::kGeometricSkip &&
+    const bool fast_forward = skip_.mode() == common::SamplerMode::kGeometricSkip &&
                               options_.fbm_delta == 0.0 &&
                               !options_.variance_adaptive;
     if (!fast_forward) {
@@ -276,7 +276,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
     skip_.Invalidate();
     if (options_.stage_policy == StagePolicy::kStraightOnly) {
       chunk_dom_ = 1.0;  // rate is the constant 1: every update reports
-      chunk_left_ = GeometricSkip::kInfiniteGap;
+      chunk_left_ = common::GeometricSkip::kInfiniteGap;
       return;
     }
     const double abs_s = std::fabs(local_sum_);
@@ -298,7 +298,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   /// which errs toward sampling more, never less.
   int64_t ConsumeSbc(std::span<const double> values) {
     const int64_t count = static_cast<int64_t>(values.size());
-    if (skip_.mode() == SamplerMode::kLegacyCoins) {
+    if (skip_.mode() == common::SamplerMode::kLegacyCoins) {
       int64_t consumed = 0;
       while (consumed < count) {
         Absorb(values[static_cast<size_t>(consumed)]);
@@ -358,7 +358,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   CounterOptions options_;
   sim::Network* network_;
   common::Rng rng_;
-  GeometricSkip skip_;
+  common::GeometricSkip skip_;
   RateCache walk_cache_;
 
   // Fast-forward state: the dominating rates the cached gap was drawn at.

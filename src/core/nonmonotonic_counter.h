@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "core/geometric_skip.h"
+#include "common/geometric_skip.h"
 #include "core/gp_search.h"
 #include "hyz/hyz_counter.h"
 #include "sim/network.h"
@@ -124,7 +124,7 @@ struct CounterOptions {
   /// coin per update in stream order and is bit-identical to the
   /// pre-skip-sampler implementation (golden transcripts, seed-pinned
   /// regression tests).
-  SamplerMode sampler = SamplerMode::kGeometricSkip;
+  common::SamplerMode sampler = common::SamplerMode::kGeometricSkip;
 
   /// Carried state for restarts (used by HorizonFreeCounter): the counter
   /// behaves as if `initial_updates` updates summing to `initial_sum`

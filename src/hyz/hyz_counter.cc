@@ -22,7 +22,7 @@ enum MessageType {
 /// sampling probability.
 class HyzProtocol::Site : public sim::SiteNode {
  public:
-  Site(int site_id, HyzMode mode, core::SamplerMode sampler,
+  Site(int site_id, HyzMode mode, common::SamplerMode sampler,
        sim::Network* network, common::Rng rng)
       : site_id_(site_id),
         mode_(mode),
@@ -55,7 +55,7 @@ class HyzProtocol::Site : public sim::SiteNode {
       Report();
       return to_report;
     }
-    if (skip_.mode() == core::SamplerMode::kLegacyCoins) {
+    if (skip_.mode() == common::SamplerMode::kLegacyCoins) {
       int64_t consumed = 0;
       while (consumed < count) {
         ++round_count_;
@@ -123,7 +123,7 @@ class HyzProtocol::Site : public sim::SiteNode {
   HyzMode mode_;
   sim::Network* network_;
   common::Rng rng_;
-  core::GeometricSkip skip_;
+  common::GeometricSkip skip_;
   double rate_ = 1.0;
   int64_t threshold_ = 1;
   int64_t round_count_ = 0;

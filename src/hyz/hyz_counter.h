@@ -7,8 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/geometric_skip.h"
 #include "common/rng.h"
-#include "core/geometric_skip.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -43,7 +43,7 @@ struct HyzOptions {
   /// different RNG consumption pattern. kLegacyCoins is bit-identical to
   /// the pre-skip-sampler implementation (one coin per increment).
   /// kDeterministic mode needs no coins and fast-forwards either way.
-  core::SamplerMode sampler = core::SamplerMode::kGeometricSkip;
+  common::SamplerMode sampler = common::SamplerMode::kGeometricSkip;
 
   /// Offset added to the tracked count: Estimate() returns
   /// initial_total + (count of increments seen). Used when HYZ is started

@@ -61,7 +61,7 @@ TEST(BatchedPumpTest, CounterBitIdenticalAcrossBatchSizes) {
   const int64_t n = 1 << 13;
   for (int num_sites : {1, 4}) {
     for (const auto sampler :
-         {core::SamplerMode::kGeometricSkip, core::SamplerMode::kLegacyCoins}) {
+         {common::SamplerMode::kGeometricSkip, common::SamplerMode::kLegacyCoins}) {
       core::CounterOptions options = testing::DefaultOptions(n, 0.2, 404);
       options.sampler = sampler;
       const auto stream = streams::BernoulliStream(n, 0.5, 91);
@@ -105,7 +105,7 @@ TEST(BatchedPumpTest, HyzBitIdenticalAcrossBatchSizes) {
   const std::vector<double> stream(static_cast<size_t>(n), 1.0);
   for (const auto mode : {hyz::HyzMode::kSampled, hyz::HyzMode::kDeterministic}) {
     for (const auto sampler :
-         {core::SamplerMode::kGeometricSkip, core::SamplerMode::kLegacyCoins}) {
+         {common::SamplerMode::kGeometricSkip, common::SamplerMode::kLegacyCoins}) {
       hyz::HyzOptions options;
       options.mode = mode;
       options.epsilon = 0.1;

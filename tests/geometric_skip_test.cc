@@ -1,4 +1,4 @@
-#include "core/geometric_skip.h"
+#include "common/geometric_skip.h"
 
 #include <cmath>
 #include <cstdint>
@@ -8,7 +8,7 @@
 
 #include "common/rng.h"
 
-namespace nmc::core {
+namespace nmc::common {
 namespace {
 
 // ---- Legacy mode: bit-exact coin replay ----------------------------------
@@ -191,4 +191,4 @@ TEST(GeometricSkipTest, ForkedSiteStreamsAreIndependent) {
 }
 
 }  // namespace
-}  // namespace nmc::core
+}  // namespace nmc::common

@@ -1,0 +1,119 @@
+// Include-graph tests over the miniature tree in
+// tools/nmc_lint/testdata/layers/: a three-layer spec (base < mid < top,
+// depth budget 3) with one upward include, one two-file cycle, and one
+// too-deep chain. Findings are asserted exactly — rule, file, and line.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nmc_lint/include_graph.h"
+#include "nmc_lint/lint.h"
+
+namespace nmc::lint {
+namespace {
+
+const char* kTreeRoot = NMC_LINT_FIXTURE_DIR "/layers";
+
+const std::vector<std::string> kFiles = {
+    "base/b.h",     "base/up.h",    "mid/m.h",      "mid/cyc_a.h",
+    "mid/cyc_b.h",  "top/deep0.h",  "top/deep1.h",  "top/deep2.h",
+    "top/deep3.h",  "top/deep4.h",
+};
+
+LayerSpec LoadSpec() {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_TRUE(LoadLayerSpec(std::string(kTreeRoot) + "/spec.txt", &spec,
+                            &error))
+      << error;
+  return spec;
+}
+
+TEST(NmcLintGraphTest, BuildsResolvedEdges) {
+  const IncludeGraph graph = BuildIncludeGraph(kTreeRoot, kFiles);
+  ASSERT_EQ(graph.edges.size(), kFiles.size());
+  // base/b.h has no includes; mid/m.h resolves its single include to
+  // base/b.h at the directive's line.
+  EXPECT_TRUE(graph.edges.at("base/b.h").empty());
+  ASSERT_EQ(graph.edges.at("mid/m.h").size(), 1u);
+  EXPECT_EQ(graph.edges.at("mid/m.h")[0], (IncludeRef{"base/b.h", 3}));
+  // System includes and unresolvable paths never make edges (the fixture
+  // has none, so every edge target is one of the listed files).
+  for (const auto& [from, refs] : graph.edges) {
+    for (const IncludeRef& ref : refs) {
+      EXPECT_NE(std::find(kFiles.begin(), kFiles.end(), ref.target),
+                kFiles.end())
+          << from << " -> " << ref.target;
+    }
+  }
+}
+
+TEST(NmcLintGraphTest, ParsesSpec) {
+  const LayerSpec spec = LoadSpec();
+  EXPECT_EQ(spec.depth_budget, 3);
+  ASSERT_EQ(spec.layers.size(), 3u);
+  EXPECT_EQ(spec.layers[0], std::vector<std::string>{"base"});
+  EXPECT_EQ(spec.layers[2], std::vector<std::string>{"top"});
+}
+
+TEST(NmcLintGraphTest, RejectsMalformedSpecs) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseLayerSpec("", &spec, &error));
+  EXPECT_FALSE(ParseLayerSpec("layer\n", &spec, &error));
+  EXPECT_FALSE(ParseLayerSpec("depth_budget nope\nlayer a\n", &spec, &error));
+  EXPECT_FALSE(ParseLayerSpec("floor a b\n", &spec, &error));
+  EXPECT_TRUE(ParseLayerSpec("# ok\nlayer a/ b\n", &spec, &error)) << error;
+  EXPECT_EQ(spec.layers[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(NmcLintGraphTest, FindsExactlyTheSeededViolations) {
+  const IncludeGraph graph = BuildIncludeGraph(kTreeRoot, kFiles);
+  const std::vector<Finding> findings = CheckIncludeGraph(graph, LoadSpec());
+
+  std::vector<std::string> got;
+  for (const Finding& f : findings) {
+    got.push_back(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+  }
+  const std::vector<std::string> want = {
+      "base/up.h:3:LAYERING_VIOLATION",  // base may not include mid
+      "mid/cyc_b.h:3:NO_INCLUDE_CYCLES",  // cyc_a <-> cyc_b back edge
+      "top/deep0.h:3:INCLUDE_DEPTH",      // chain of 4 > budget 3
+  };
+  EXPECT_EQ(got, want);
+
+  // The messages carry the full evidence: the cycle path and the chain.
+  for (const Finding& f : findings) {
+    if (f.rule == "NO_INCLUDE_CYCLES") {
+      EXPECT_NE(f.message.find(
+                    "mid/cyc_a.h -> mid/cyc_b.h -> mid/cyc_a.h"),
+                std::string::npos)
+          << f.message;
+    }
+    if (f.rule == "INCLUDE_DEPTH") {
+      EXPECT_NE(f.message.find("top/deep0.h -> top/deep1.h"),
+                std::string::npos)
+          << f.message;
+    }
+  }
+}
+
+TEST(NmcLintGraphTest, DepthBudgetBoundaryIsInclusive) {
+  // deep1's chain is exactly the budget (3 edges to deep4) and must pass.
+  const IncludeGraph graph = BuildIncludeGraph(
+      kTreeRoot, {"top/deep1.h", "top/deep2.h", "top/deep3.h", "top/deep4.h"});
+  const std::vector<Finding> findings = CheckIncludeGraph(graph, LoadSpec());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(NmcLintGraphTest, SameModuleIncludesAreFree) {
+  // The cycle pair lives inside one module; with the cycle files removed,
+  // mid/m.h -> base/b.h is a legal downward edge and nothing fires.
+  const IncludeGraph graph =
+      BuildIncludeGraph(kTreeRoot, {"base/b.h", "mid/m.h"});
+  EXPECT_TRUE(CheckIncludeGraph(graph, LoadSpec()).empty());
+}
+
+}  // namespace
+}  // namespace nmc::lint

@@ -1,0 +1,160 @@
+// Unit tests for the nmc_lint token lexer: the classifications the rules
+// lean on (comments and literals are invisible, directives are a separate
+// stream) and the two things the old line scanner got wrong — raw-string
+// delimiters and line accounting across splices and multi-line literals.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nmc_lint/lexer.h"
+
+namespace nmc::lint {
+namespace {
+
+std::vector<Token> CodeAndLiterals(const std::string& src) { return Lex(src); }
+
+const Token* FindText(const std::vector<Token>& tokens,
+                      const std::string& text) {
+  for (const Token& t : tokens) {
+    if (t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+TEST(NmcLintLexerTest, ClassifiesBasicTokenKinds) {
+  const auto tokens = Lex("int x = 42; foo->bar(x);");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(FindText(tokens, "42")->kind, TokenKind::kNumber);
+  EXPECT_EQ(FindText(tokens, "=")->kind, TokenKind::kPunct);
+  EXPECT_EQ(FindText(tokens, "->")->kind, TokenKind::kPunct);
+}
+
+TEST(NmcLintLexerTest, LineCommentVersusBlockComment) {
+  const auto tokens = Lex("a // trailing rand()\nb /* block\nstill block */ c\n");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, "// trailing rand()");
+  EXPECT_EQ(tokens[2].text, "b");
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[3].line, 2);
+  // The block comment spans a newline; `c` lands on line 3.
+  EXPECT_EQ(tokens[4].text, "c");
+  EXPECT_EQ(tokens[4].line, 3);
+}
+
+TEST(NmcLintLexerTest, RawStringRespectsDelimiter) {
+  // The embedded )" must not close the literal; only )x" does.
+  const auto tokens = Lex(R"src(auto s = R"x(text )" more)x"; done)src");
+  const Token* raw = nullptr;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kRawString) raw = &t;
+  }
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->text, "R\"x(text )\" more)x\"");
+  EXPECT_NE(FindText(tokens, "done"), nullptr);
+  EXPECT_EQ(FindText(tokens, "more"), nullptr) << "literal body leaked";
+}
+
+TEST(NmcLintLexerTest, MultiLineRawStringKeepsLineNumbers) {
+  const auto tokens = Lex("x\nauto q = R\"(one\ntwo\nthree)\";\nafter\n");
+  const Token* after = FindText(tokens, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 5);
+  const Token* two = FindText(tokens, "two");
+  EXPECT_EQ(two, nullptr) << "raw-string body leaked into the code stream";
+}
+
+TEST(NmcLintLexerTest, EncodingPrefixedLiterals) {
+  const auto tokens = Lex("u8\"bytes\" L'x' u\"wide\" U'y' LR\"(raw)\"");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kRawString);
+}
+
+TEST(NmcLintLexerTest, CharLiteralsWithQuotesInside) {
+  const auto tokens = Lex("char a = '\"'; char b = '\\''; int z = 1;");
+  // Neither the double quote nor the escaped single quote may open a
+  // string that swallows the rest of the input.
+  const Token* z = FindText(tokens, "z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(FindText(tokens, "1")->kind, TokenKind::kNumber);
+  int char_literals = 0;
+  for (const Token& t : tokens) {
+    char_literals += t.kind == TokenKind::kCharLiteral ? 1 : 0;
+  }
+  EXPECT_EQ(char_literals, 2);
+}
+
+TEST(NmcLintLexerTest, LineContinuationSplicesTokens) {
+  // An identifier split by backslash-newline is one token, reported at the
+  // physical line where it starts.
+  const auto tokens = Lex("ran\\\ndom_device x;\nnext\n");
+  const Token* spliced = FindText(tokens, "random_device");
+  ASSERT_NE(spliced, nullptr);
+  EXPECT_EQ(spliced->line, 1);
+  const Token* next = FindText(tokens, "next");
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->line, 3);
+}
+
+TEST(NmcLintLexerTest, ContinuedLineCommentStaysOneComment) {
+  // A '\' at the end of a // comment continues the comment onto the next
+  // physical line; nothing there may surface as code.
+  const auto tokens = Lex("a // comment \\\nrand();\nb\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, "b");
+  EXPECT_EQ(tokens[2].line, 3);
+}
+
+TEST(NmcLintLexerTest, DirectivesAreTheirOwnStream) {
+  const auto tokens =
+      Lex("#include <iostream>\nint x; // #include <map>\n#pragma once\n");
+  std::vector<std::string> directives;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kPpDirective) directives.push_back(t.text);
+  }
+  ASSERT_EQ(directives.size(), 2u);
+  EXPECT_EQ(directives[0], "#include <iostream>");
+  EXPECT_EQ(directives[1], "#pragma once");
+}
+
+TEST(NmcLintLexerTest, ContinuedDirectiveKeepsStartLine) {
+  const auto tokens = Lex("#define M(x) \\\n  ((x) + 1)\nint y;\n");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPpDirective);
+  EXPECT_EQ(tokens[0].line, 1);
+  const Token* y = FindText(tokens, "y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->line, 3);
+}
+
+TEST(NmcLintLexerTest, NumbersWithExponentsAndSeparators) {
+  const auto tokens = CodeAndLiterals("1e+9 0x1p-3 1'000'000 0x9e3779b97f4a7c15ULL");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (const Token& t : tokens) {
+    EXPECT_EQ(t.kind, TokenKind::kNumber) << t.text;
+  }
+  EXPECT_EQ(tokens[0].text, "1e+9");
+  EXPECT_EQ(tokens[1].text, "0x1p-3");
+  EXPECT_EQ(tokens[3].text, "0x9e3779b97f4a7c15ULL");
+}
+
+TEST(NmcLintLexerTest, ShiftStaysOneToken) {
+  // Documented contract: ">>" is a single token; bracket balancers must
+  // count it as two closers.
+  const auto tokens = Lex("map<int, set<int>> m;");
+  EXPECT_NE(FindText(tokens, ">>"), nullptr);
+}
+
+}  // namespace
+}  // namespace nmc::lint

@@ -1,0 +1,218 @@
+// SARIF output tests: the emitted log is parsed with a small recursive
+// JSON reader (no external deps) and validated structurally —
+// runs[0].tool.driver.rules carries the full registry,
+// results[] carry ruleId / message.text / physicalLocation with the right
+// uri and startLine, and baselined results carry suppressions.
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nmc_lint/lint.h"
+#include "nmc_lint/sarif.h"
+
+namespace nmc::lint {
+namespace {
+
+// ---- Minimal JSON reader (objects, arrays, strings, numbers, literals) ----
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    static const Json kNullValue;
+    const auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+  const Json& at(size_t i) const {
+    static const Json kNullValue;
+    return i < array.size() ? array[i] : kNullValue;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool Read(Json* out) { return Value(out) && (Ws(), pos_ == s_.size()); }
+
+ private:
+  void Ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool Eat(char c) {
+    Ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool String(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        ++pos_;
+        switch (s_[pos_]) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u': pos_ += 4; *out += '?'; break;
+          default: *out += s_[pos_];
+        }
+      } else {
+        *out += s_[pos_];
+      }
+      ++pos_;
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool Value(Json* out) {
+    Ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Json::Kind::kObject;
+      if (Eat('}')) return true;
+      do {
+        std::string key;
+        Ws();
+        if (!String(&key) || !Eat(':')) return false;
+        if (!Value(&out->object[key])) return false;
+      } while (Eat(','));
+      return Eat('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Json::Kind::kArray;
+      if (Eat(']')) return true;
+      do {
+        out->array.emplace_back();
+        if (!Value(&out->array.back())) return false;
+      } while (Eat(','));
+      return Eat(']');
+    }
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return String(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = Json::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = Json::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    out->kind = Json::Kind::kNumber;
+    size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) || s_[end] == '-' ||
+            s_[end] == '+' || s_[end] == '.' || s_[end] == 'e' ||
+            s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->number = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::vector<Finding> SampleFindings() {
+  return {
+      {"src/sim/network.cc", 42, "NO_MAP_IN_HOT_PATH", "node-based container"},
+      {"src/core/counter.cc", 7, "NO_UNSEEDED_RNG",
+       "hard-coded seed with a \"quoted\" excuse"},
+      {"bench/bench_util.h", 3, "LAYERING_VIOLATION", "climbs the DAG"},
+  };
+}
+
+TEST(NmcLintSarifTest, TopLevelEnvelope) {
+  Json doc;
+  ASSERT_TRUE(JsonReader(SarifReport({}, {})).Read(&doc));
+  EXPECT_EQ(doc.at("version").str, "2.1.0");
+  EXPECT_NE(doc.at("$schema").str.find("sarif-2.1.0"), std::string::npos);
+  ASSERT_EQ(doc.at("runs").array.size(), 1u);
+  EXPECT_EQ(doc.at("runs").at(0).at("tool").at("driver").at("name").str,
+            "nmc_lint");
+  EXPECT_TRUE(doc.at("runs").at(0).at("results").array.empty());
+}
+
+TEST(NmcLintSarifTest, DriverRulesCarryTheFullRegistry) {
+  Json doc;
+  ASSERT_TRUE(JsonReader(SarifReport({}, {})).Read(&doc));
+  const Json& rules =
+      doc.at("runs").at(0).at("tool").at("driver").at("rules");
+  ASSERT_EQ(rules.array.size(), Rules().size());
+  for (size_t i = 0; i < Rules().size(); ++i) {
+    EXPECT_EQ(rules.at(i).at("id").str, Rules()[i].id);
+    EXPECT_EQ(rules.at(i).at("shortDescription").at("text").str,
+              Rules()[i].summary);
+  }
+}
+
+TEST(NmcLintSarifTest, ResultsCarryRuleIdMessageAndLocation) {
+  const std::vector<Finding> findings = SampleFindings();
+  Json doc;
+  ASSERT_TRUE(
+      JsonReader(SarifReport(findings, std::vector<bool>(findings.size())))
+          .Read(&doc));
+  const Json& results = doc.at("runs").at(0).at("results");
+  ASSERT_EQ(results.array.size(), findings.size());
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Json& r = results.at(i);
+    EXPECT_EQ(r.at("ruleId").str, findings[i].rule);
+    EXPECT_EQ(r.at("level").str, "error");
+    EXPECT_EQ(r.at("message").at("text").str, findings[i].message);
+    const Json& loc = r.at("locations").at(0).at("physicalLocation");
+    EXPECT_EQ(loc.at("artifactLocation").at("uri").str, findings[i].file);
+    EXPECT_EQ(static_cast<int>(loc.at("region").at("startLine").number),
+              findings[i].line);
+    EXPECT_EQ(r.at("suppressions").kind, Json::Kind::kNull);
+  }
+}
+
+TEST(NmcLintSarifTest, BaselinedResultsAreSuppressedNotes) {
+  const std::vector<Finding> findings = SampleFindings();
+  std::vector<bool> baselined = {false, true, false};
+  Json doc;
+  ASSERT_TRUE(JsonReader(SarifReport(findings, baselined)).Read(&doc));
+  const Json& results = doc.at("runs").at(0).at("results");
+  ASSERT_EQ(results.array.size(), 3u);
+  EXPECT_EQ(results.at(0).at("level").str, "error");
+  EXPECT_EQ(results.at(1).at("level").str, "note");
+  ASSERT_EQ(results.at(1).at("suppressions").array.size(), 1u);
+  EXPECT_EQ(results.at(1).at("suppressions").at(0).at("kind").str,
+            "external");
+  EXPECT_EQ(results.at(2).at("suppressions").kind, Json::Kind::kNull);
+}
+
+TEST(NmcLintSarifTest, OutputIsDeterministic) {
+  const std::vector<Finding> findings = SampleFindings();
+  const std::vector<bool> baselined = {true, false, false};
+  EXPECT_EQ(SarifReport(findings, baselined), SarifReport(findings, baselined));
+}
+
+}  // namespace
+}  // namespace nmc::lint

@@ -137,6 +137,27 @@ TEST(NmcLintTest, AllowAnnotationHygiene) {
   CheckFixture("allow_annotations.cc", "src/core/fixture.cc");
 }
 
+TEST(NmcLintTest, RawStringLiteralsAreInvisible) {
+  // Regression for the pre-lexer scanner, which closed R"x(...)x" at the
+  // first ')"' and mis-counted lines across multi-line raw strings.
+  CheckFixture("raw_string_literals.cc", "src/sim/fixture.cc");
+}
+
+TEST(NmcLintTest, RngSeedProvenance) {
+  CheckFixture("rng_provenance.cc", "src/core/fixture.cc");
+}
+
+TEST(NmcLintTest, RngFactoryFileIsExemptFromProvenance) {
+  // src/common/rng.{h,cc} implement the factory the rule points at; engine
+  // constructions there are the one sanctioned spelling. The banned-source
+  // half (random_device etc.) still applies — the fixture has none.
+  const std::string content = ReadFixture("rng_provenance.cc");
+  for (const lint::Finding& finding :
+       lint::LintContent("src/common/rng.cc", content)) {
+    EXPECT_EQ(finding.rule, "ALLOW_UNUSED") << lint::FormatFinding(finding);
+  }
+}
+
 TEST(NmcLintTest, NoPerUpdateTranscendentals) {
   CheckFixture("no_per_update_transcendentals.cc", "src/core/fixture.cc");
 }

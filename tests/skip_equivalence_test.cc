@@ -37,7 +37,7 @@ struct GapSample {
 // Runs single-site kSampled HYZ trials sized to stay inside the first
 // round (initial_total dominates, so the estimate never doubles and the
 // rate stays frozen) and pools the distances between consecutive reports.
-GapSample CollectHyzGaps(core::SamplerMode sampler, uint64_t seed_base) {
+GapSample CollectHyzGaps(common::SamplerMode sampler, uint64_t seed_base) {
   const int64_t kBase = 20000;
   const int64_t kPerTrial = 15000;  // < kBase: no collect can trigger
   const int kTrials = 80;
@@ -78,8 +78,8 @@ GapSample CollectHyzGaps(core::SamplerMode sampler, uint64_t seed_base) {
 }
 
 TEST(SkipEquivalenceTest, HyzFrozenRateGapHistogramsAgree) {
-  const GapSample legacy = CollectHyzGaps(core::SamplerMode::kLegacyCoins, 900);
-  const GapSample skip = CollectHyzGaps(core::SamplerMode::kGeometricSkip, 900);
+  const GapSample legacy = CollectHyzGaps(common::SamplerMode::kLegacyCoins, 900);
+  const GapSample skip = CollectHyzGaps(common::SamplerMode::kGeometricSkip, 900);
   ASSERT_EQ(legacy.rate, skip.rate);  // same options => same frozen rate
   ASSERT_GT(legacy.gaps.size(), 1000u);
   ASSERT_GT(skip.gaps.size(), 1000u);
@@ -138,7 +138,7 @@ TEST(SkipEquivalenceTest, DeterministicHyzTranscriptIdenticalAcrossSamplers) {
     int64_t u;
     bool operator==(const Sent&) const = default;
   };
-  auto run = [](core::SamplerMode sampler) {
+  auto run = [](common::SamplerMode sampler) {
     hyz::HyzOptions options;
     options.mode = hyz::HyzMode::kDeterministic;
     options.epsilon = 0.1;
@@ -156,8 +156,8 @@ TEST(SkipEquivalenceTest, DeterministicHyzTranscriptIdenticalAcrossSamplers) {
     }
     return transcript;
   };
-  const auto legacy = run(core::SamplerMode::kLegacyCoins);
-  const auto skip = run(core::SamplerMode::kGeometricSkip);
+  const auto legacy = run(common::SamplerMode::kLegacyCoins);
+  const auto skip = run(common::SamplerMode::kGeometricSkip);
   ASSERT_FALSE(legacy.empty());
   EXPECT_EQ(legacy, skip);
 }
@@ -190,7 +190,7 @@ void ExpectWithinBand(const Pooled& a, const Pooled& b) {
       << b.mean << " +- " << b.stderr_mean;
 }
 
-Pooled RunCounterTrials(core::SamplerMode sampler, int num_sites,
+Pooled RunCounterTrials(common::SamplerMode sampler, int num_sites,
                         double epsilon,
                         const std::function<std::vector<double>(int)>& stream,
                         int trials) {
@@ -219,9 +219,9 @@ TEST(SkipEquivalenceTest, MultisiteDriftMessageMeansAgree) {
                                     200 + static_cast<uint64_t>(trial));
   };
   const auto legacy =
-      RunCounterTrials(core::SamplerMode::kLegacyCoins, 8, 0.2, stream, 12);
+      RunCounterTrials(common::SamplerMode::kLegacyCoins, 8, 0.2, stream, 12);
   const auto skip =
-      RunCounterTrials(core::SamplerMode::kGeometricSkip, 8, 0.2, stream, 12);
+      RunCounterTrials(common::SamplerMode::kGeometricSkip, 8, 0.2, stream, 12);
   ExpectWithinBand(legacy, skip);
 }
 
@@ -230,9 +230,9 @@ TEST(SkipEquivalenceTest, AdversarialSawtoothMessageMeansAgree) {
   // the protocol's own coins.
   const auto stream = [](int) { return streams::SawtoothStream(1 << 13, 64); };
   const auto legacy =
-      RunCounterTrials(core::SamplerMode::kLegacyCoins, 4, 0.25, stream, 12);
+      RunCounterTrials(common::SamplerMode::kLegacyCoins, 4, 0.25, stream, 12);
   const auto skip =
-      RunCounterTrials(core::SamplerMode::kGeometricSkip, 4, 0.25, stream, 12);
+      RunCounterTrials(common::SamplerMode::kGeometricSkip, 4, 0.25, stream, 12);
   ExpectWithinBand(legacy, skip);
 }
 
@@ -240,7 +240,7 @@ TEST(SkipEquivalenceTest, MonotonicHyzMessageMeansAgree) {
   // E11-style: native HYZ (kSampled) on an all-ones stream.
   const int64_t n = 1 << 14;
   const std::vector<double> stream(static_cast<size_t>(n), 1.0);
-  auto run = [&](core::SamplerMode sampler) {
+  auto run = [&](common::SamplerMode sampler) {
     std::vector<double> messages;
     for (int trial = 0; trial < 12; ++trial) {
       hyz::HyzOptions options;
@@ -257,8 +257,8 @@ TEST(SkipEquivalenceTest, MonotonicHyzMessageMeansAgree) {
     }
     return Summarize(messages);
   };
-  ExpectWithinBand(run(core::SamplerMode::kLegacyCoins),
-                   run(core::SamplerMode::kGeometricSkip));
+  ExpectWithinBand(run(common::SamplerMode::kLegacyCoins),
+                   run(common::SamplerMode::kGeometricSkip));
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+#include "nmc_lint/include_graph.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+#include "nmc_lint/lexer.h"
+
+namespace nmc::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Normalize(const fs::path& p) {
+  return p.lexically_normal().generic_string();
+}
+
+/// First existing candidate, repo-relative; empty if the include names
+/// nothing inside the repo.
+std::string Resolve(const std::string& repo_root, const std::string& from,
+                    const std::string& inc) {
+  const fs::path from_dir = fs::path(from).parent_path();
+  const fs::path candidates[] = {from_dir / inc, fs::path("src") / inc,
+                                 fs::path("tools") / inc, fs::path(inc)};
+  for (const fs::path& rel : candidates) {
+    std::error_code ec;
+    if (fs::is_regular_file(fs::path(repo_root) / rel, ec)) {
+      return Normalize(rel);
+    }
+  }
+  return "";
+}
+
+bool PrefixMatches(const std::string& path, const std::string& prefix) {
+  return path == prefix ||
+         (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+          path[prefix.size()] == '/');
+}
+
+/// (rank, prefix) of the longest matching prefix; rank -1 if unlayered.
+std::pair<int, std::string> LayerOf(const LayerSpec& spec,
+                                    const std::string& path) {
+  int best_rank = -1;
+  std::string best_prefix;
+  for (size_t rank = 0; rank < spec.layers.size(); ++rank) {
+    for (const std::string& prefix : spec.layers[rank]) {
+      if (PrefixMatches(path, prefix) &&
+          prefix.size() > best_prefix.size()) {
+        best_rank = static_cast<int>(rank);
+        best_prefix = prefix;
+      }
+    }
+  }
+  return {best_rank, best_prefix};
+}
+
+void CheckLayering(const IncludeGraph& graph, const LayerSpec& spec,
+                   std::vector<Finding>* findings) {
+  for (const auto& [from, refs] : graph.edges) {
+    const auto [from_rank, from_prefix] = LayerOf(spec, from);
+    if (from_rank < 0) continue;
+    for (const IncludeRef& ref : refs) {
+      const auto [to_rank, to_prefix] = LayerOf(spec, ref.target);
+      if (to_rank < 0 || to_prefix == from_prefix) continue;
+      if (to_rank > from_rank) {
+        findings->push_back(
+            {from, ref.line, "LAYERING_VIOLATION",
+             "#include \"" + ref.target + "\" climbs the layer DAG: '" +
+                 from_prefix + "' (layer " + std::to_string(from_rank) +
+                 ") may not depend on '" + to_prefix + "' (layer " +
+                 std::to_string(to_rank) +
+                 "); re-home the dependency or amend the spec "
+                 "(tools/nmc_lint/layers.txt)"});
+      } else if (to_rank == from_rank) {
+        findings->push_back(
+            {from, ref.line, "LAYERING_VIOLATION",
+             "#include \"" + ref.target + "\" crosses between '" +
+                 from_prefix + "' and '" + to_prefix +
+                 "', declared side-by-side in layer " +
+                 std::to_string(from_rank) +
+                 "; order them in the spec or merge the modules"});
+      }
+    }
+  }
+}
+
+void CheckCycles(const IncludeGraph& graph, std::vector<Finding>* findings) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [file, refs] : graph.edges) color[file] = Color::kWhite;
+
+  std::vector<std::string> path;  // current DFS chain, for cycle reporting
+  std::function<void(const std::string&)> dfs = [&](const std::string& file) {
+    color[file] = Color::kGray;
+    path.push_back(file);
+    const auto it = graph.edges.find(file);
+    if (it != graph.edges.end()) {
+      for (const IncludeRef& ref : it->second) {
+        const auto target_color = color.find(ref.target);
+        if (target_color == color.end()) continue;  // outside the file set
+        if (target_color->second == Color::kGray) {
+          // Back edge: the cycle is the chain from ref.target to here.
+          std::string cycle;
+          const auto begin =
+              std::find(path.begin(), path.end(), ref.target);
+          for (auto p = begin; p != path.end(); ++p) cycle += *p + " -> ";
+          cycle += ref.target;
+          findings->push_back({file, ref.line, "NO_INCLUDE_CYCLES",
+                               "include cycle: " + cycle});
+          continue;
+        }
+        if (target_color->second == Color::kWhite) dfs(ref.target);
+      }
+    }
+    path.pop_back();
+    color[file] = Color::kBlack;
+  };
+  for (const auto& [file, refs] : graph.edges) {
+    if (color[file] == Color::kWhite) dfs(file);
+  }
+}
+
+void CheckDepth(const IncludeGraph& graph, const LayerSpec& spec,
+                std::vector<Finding>* findings) {
+  if (spec.depth_budget <= 0) return;
+  enum class State { kUnvisited, kInProgress, kDone };
+  struct Info {
+    State state = State::kUnvisited;
+    int depth = 0;                 // longest chain of repo includes below
+    const IncludeRef* via = nullptr;  // edge achieving that depth
+  };
+  std::map<std::string, Info> info;
+  std::function<int(const std::string&)> depth_of =
+      [&](const std::string& file) -> int {
+    Info& entry = info[file];
+    if (entry.state == State::kDone) return entry.depth;
+    if (entry.state == State::kInProgress) return 0;  // cycle: reported above
+    entry.state = State::kInProgress;
+    const auto it = graph.edges.find(file);
+    if (it != graph.edges.end()) {
+      for (const IncludeRef& ref : it->second) {
+        if (graph.edges.find(ref.target) == graph.edges.end()) continue;
+        const int d = 1 + depth_of(ref.target);
+        Info& self = info[file];  // depth_of may have rehashed the map
+        if (d > self.depth) {
+          self.depth = d;
+          self.via = &ref;
+        }
+      }
+    }
+    Info& self = info[file];
+    self.state = State::kDone;
+    return self.depth;
+  };
+
+  for (const auto& [file, refs] : graph.edges) {
+    const int depth = depth_of(file);
+    if (depth <= spec.depth_budget) continue;
+    // Reconstruct the deepest chain for the message.
+    std::string chain = file;
+    const IncludeRef* via = info[file].via;
+    std::string at = file;
+    while (via != nullptr) {
+      chain += " -> " + via->target;
+      at = via->target;
+      via = info[at].via;
+    }
+    findings->push_back(
+        {file, info[file].via->line, "INCLUDE_DEPTH",
+         "transitive include depth " + std::to_string(depth) +
+             " exceeds budget " + std::to_string(spec.depth_budget) +
+             " (tools/nmc_lint/layers.txt): " + chain});
+  }
+}
+
+}  // namespace
+
+IncludeGraph BuildIncludeGraph(const std::string& repo_root,
+                               const std::vector<std::string>& files) {
+  static const std::regex kIncludeRe(
+      R"(^#\s*include\s*["<]([^">]+)[">])");
+  IncludeGraph graph;
+  for (const std::string& file : files) {
+    std::ifstream in(fs::path(repo_root) / file, std::ios::binary);
+    if (!in) continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<IncludeRef>& refs = graph.edges[Normalize(file)];
+    for (const Token& token : Lex(buffer.str())) {
+      if (token.kind != TokenKind::kPpDirective) continue;
+      std::smatch match;
+      if (!std::regex_search(token.text, match, kIncludeRe)) continue;
+      const std::string resolved = Resolve(repo_root, file, match[1].str());
+      if (!resolved.empty()) refs.push_back({resolved, token.line});
+    }
+  }
+  return graph;
+}
+
+bool ParseLayerSpec(const std::string& content, LayerSpec* spec,
+                    std::string* error) {
+  *spec = LayerSpec{};
+  std::istringstream lines(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) continue;
+    if (keyword == "depth_budget") {
+      if (!(words >> spec->depth_budget) || spec->depth_budget < 1) {
+        *error = "line " + std::to_string(line_number) +
+                 ": depth_budget needs a positive integer";
+        return false;
+      }
+    } else if (keyword == "layer") {
+      std::vector<std::string> prefixes;
+      std::string prefix;
+      while (words >> prefix) {
+        // Normalize away a trailing slash so "src/common/" and "src/common"
+        // declare the same module.
+        if (prefix.size() > 1 && prefix.back() == '/') prefix.pop_back();
+        prefixes.push_back(prefix);
+      }
+      if (prefixes.empty()) {
+        *error = "line " + std::to_string(line_number) +
+                 ": layer declares no path prefixes";
+        return false;
+      }
+      spec->layers.push_back(std::move(prefixes));
+    } else {
+      *error = "line " + std::to_string(line_number) +
+               ": unknown directive '" + keyword + "'";
+      return false;
+    }
+  }
+  if (spec->layers.empty()) {
+    *error = "spec declares no layers";
+    return false;
+  }
+  return true;
+}
+
+bool LoadLayerSpec(const std::string& path, LayerSpec* spec,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLayerSpec(buffer.str(), spec, error);
+}
+
+std::vector<Finding> CheckIncludeGraph(const IncludeGraph& graph,
+                                       const LayerSpec& spec) {
+  std::vector<Finding> findings;
+  CheckLayering(graph, spec, &findings);
+  CheckCycles(graph, &findings);
+  CheckDepth(graph, spec, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace nmc::lint

@@ -1,0 +1,200 @@
+#include "nmc_lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace nmc::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-char punctuators, longest first so maximal munch works by scanning
+/// the table in order. ">>" stays a single token; consumers that balance
+/// template brackets must count it as two closers.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", ".*",
+};
+
+/// Phase-2 splice: removes backslash-newline pairs while recording the
+/// physical line of every surviving character.
+void Splice(const std::string& content, std::string* out,
+            std::vector<int>* line_of) {
+  const size_t n = content.size();
+  int line = 1;
+  out->reserve(n);
+  line_of->reserve(n);
+  for (size_t i = 0; i < n;) {
+    if (content[i] == '\\' && i + 1 < n &&
+        (content[i + 1] == '\n' ||
+         (content[i + 1] == '\r' && i + 2 < n && content[i + 2] == '\n'))) {
+      i += content[i + 1] == '\r' ? 3 : 2;
+      ++line;
+      continue;
+    }
+    out->push_back(content[i]);
+    line_of->push_back(line);
+    if (content[i] == '\n') ++line;
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& content) {
+  std::string s;
+  std::vector<int> line_of;
+  Splice(content, &s, &line_of);
+
+  std::vector<Token> tokens;
+  const size_t n = s.size();
+  size_t i = 0;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto emit = [&](TokenKind kind, size_t begin, size_t end) {
+    tokens.push_back({kind, s.substr(begin, end - begin), line_of[begin]});
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' with nothing but whitespace before it on
+    // the line owns everything through the (spliced) end of line.
+    if (c == '#' && at_line_start) {
+      const size_t begin = i;
+      while (i < n && s[i] != '\n') ++i;
+      emit(TokenKind::kPpDirective, begin, i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const size_t begin = i;
+      while (i < n && s[i] != '\n') ++i;
+      emit(TokenKind::kComment, begin, i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const size_t begin = i;
+      i += 2;
+      while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = i + 1 < n ? i + 2 : n;
+      emit(TokenKind::kComment, begin, i);
+      continue;
+    }
+
+    // Identifier — possibly a literal prefix (R"..., u8"..., L'...').
+    if (IsIdentStart(c)) {
+      const size_t begin = i;
+      while (i < n && IsIdentChar(s[i])) ++i;
+      const std::string ident = s.substr(begin, i - begin);
+      const bool raw_prefix = ident == "R" || ident == "u8R" ||
+                              ident == "uR" || ident == "LR" || ident == "UR";
+      const bool enc_prefix =
+          ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+      if (raw_prefix && i < n && s[i] == '"') {
+        // R"delim( ... )delim" — contents are verbatim, no escapes.
+        size_t j = i + 1;
+        std::string delim;
+        while (j < n && s[j] != '(' && s[j] != '\n' && delim.size() < 16) {
+          delim += s[j++];
+        }
+        if (j < n && s[j] == '(') {
+          const std::string closer = ")" + delim + "\"";
+          const size_t end = s.find(closer, j + 1);
+          i = end == std::string::npos ? n : end + closer.size();
+          emit(TokenKind::kRawString, begin, i);
+          continue;
+        }
+        // Malformed raw-string opener: fall through, treat as identifier +
+        // ordinary string so later tokens still lex.
+      }
+      if (enc_prefix && i < n && (s[i] == '"' || s[i] == '\'')) {
+        const char quote = s[i];
+        size_t j = i + 1;
+        while (j < n && s[j] != quote && s[j] != '\n') {
+          if (s[j] == '\\' && j + 1 < n) ++j;
+          ++j;
+        }
+        i = j < n && s[j] == quote ? j + 1 : j;
+        emit(quote == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
+             begin, i);
+        continue;
+      }
+      emit(TokenKind::kIdentifier, begin, i);
+      continue;
+    }
+
+    // Plain string / char literal.
+    if (c == '"' || c == '\'') {
+      const size_t begin = i;
+      size_t j = i + 1;
+      while (j < n && s[j] != c && s[j] != '\n') {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      i = j < n && s[j] == c ? j + 1 : j;
+      emit(c == '"' ? TokenKind::kString : TokenKind::kCharLiteral, begin, i);
+      continue;
+    }
+
+    // pp-number: starts with a digit, or '.' followed by a digit.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      const size_t begin = i;
+      ++i;
+      while (i < n) {
+        if (IsIdentChar(s[i]) || s[i] == '\'' || s[i] == '.') {
+          // Exponent signs belong to the number: 1e+9, 0x1p-3.
+          const char prev = s[i];
+          ++i;
+          if ((prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') &&
+              i < n && (s[i] == '+' || s[i] == '-')) {
+            ++i;
+          }
+          continue;
+        }
+        break;
+      }
+      emit(TokenKind::kNumber, begin, i);
+      continue;
+    }
+
+    // Punctuator: longest match from the multi-char table, else one char.
+    {
+      const size_t begin = i;
+      size_t len = 1;
+      for (const char* p : kPuncts) {
+        const size_t plen = std::char_traits<char>::length(p);
+        if (plen <= n - i && s.compare(i, plen, p) == 0) {
+          len = plen;
+          break;
+        }
+      }
+      i += len;
+      emit(TokenKind::kPunct, begin, i);
+    }
+  }
+  return tokens;
+}
+
+}  // namespace nmc::lint

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nmc::lint {
+
+/// Lexical class of a token. The linter's rules consume kIdentifier /
+/// kNumber / kPunct ("code" tokens) and kPpDirective; comment and literal
+/// tokens exist so that nothing inside them can ever look like code — the
+/// raw-string false positives of the line-stripping scanner are the
+/// regression class this lexer retires.
+enum class TokenKind {
+  kIdentifier,   ///< keywords included; the linter treats them uniformly
+  kNumber,       ///< pp-number: 0x1F, 1'000'000ULL, 1e-9, .5f, ...
+  kPunct,        ///< operator/punctuator; multi-char forms are one token
+  kString,       ///< "..." with escapes, including u8/u/U/L prefixes
+  kRawString,    ///< R"delim(...)delim", including encoding prefixes
+  kCharLiteral,  ///< '...' with escapes, including prefixes
+  kComment,      ///< one // comment or one /* */ comment (may span lines)
+  kPpDirective,  ///< a whole preprocessor directive, continuations spliced
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;  ///< spliced source text (directives: includes the '#')
+  int line = 0;      ///< 1-based physical line where the token starts
+
+  bool operator==(const Token&) const = default;
+};
+
+/// Tokenizes C++ source. Error-tolerant: unterminated literals close at the
+/// next newline (or EOF) instead of swallowing the rest of the file, so one
+/// stray quote cannot blind every later rule. Backslash-newline splices are
+/// removed (tokens carry the spliced text; line numbers stay physical).
+/// Limitation, documented rather than handled: a backslash at the very end
+/// of a line *inside a raw string* is treated as a splice too — reverting
+/// splices inside raw strings (standard phase 3) is not worth the machinery
+/// for a linter that only ever ignores raw-string contents.
+std::vector<Token> Lex(const std::string& content);
+
+}  // namespace nmc::lint

@@ -6,10 +6,13 @@
 #include <fstream>
 #include <map>
 #include <regex>
-#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "nmc_lint/include_graph.h"
+#include "nmc_lint/lexer.h"
 
 namespace nmc::lint {
 
@@ -54,45 +57,19 @@ bool InRepoCode(const std::string& path) {
          StartsWith(path, "tests/") || StartsWith(path, "tools/");
 }
 
-// ---- Rule table -----------------------------------------------------------
+/// The RNG implementation itself is the one place allowed to spell engine
+/// constructors — it *is* the factory the provenance rule points everyone at.
+bool IsRngFactory(const std::string& path) {
+  return path == "src/common/rng.h" || path == "src/common/rng.cc";
+}
 
-struct TokenRule {
-  const char* id;
-  bool (*in_scope)(const std::string& path);
-  const char* pattern;  // ECMAScript regex, word-boundary aware.
-  const char* message;
-};
-
-/// The pattern-match rules. Matching runs on comment- and string-stripped
-/// text, so `// calls rand()` and `"rand"` never fire; `\b` boundaries keep
-/// identifiers like resolution_time() or operand from matching time( / rand.
-const TokenRule kTokenRules[] = {
-    {"NO_UNSEEDED_RNG", InDeterminismScope,
-     R"(\brandom_device\b|\bsrand\b|\brand\s*\()",
-     "non-deterministic RNG source; use a seeded nmc::common::Rng"},
-    {"NO_WALLCLOCK_IN_SIM", InSimLibrary,
-     R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b)"
-     R"(|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b|\blocaltime\b|\bgmtime\b)",
-     "wall-clock read in simulator/protocol code; timing belongs in "
-     "src/bench"},
-    {"NO_MAP_IN_HOT_PATH", InHotPath,
-     R"(\bstd::map\s*<|\bstd::multimap\s*<|\bstd::deque\s*<)",
-     "node-based container in src/sim delivery path; use a flat "
-     "vector/array (see PR 1 regression class)"},
-    {"NO_IOSTREAM_IN_LIB", InSimLibrary,
-     R"(#\s*include\s*<iostream>|\bstd::cout\b|\bstd::cerr\b|\bprintf\s*\()",
-     "console output in library code; return data or use "
-     "fprintf(stderr, ...) at the binary layer"},
-};
-
-struct HygieneRule {
-  const char* id;
-  const char* summary;
-};
+// ---- Rule registry --------------------------------------------------------
 
 const std::vector<RuleInfo> kAllRules = {
     {"NO_UNSEEDED_RNG",
-     "no std::random_device / rand() / srand in src/, bench/, tools/"},
+     "no std::random_device / rand() / srand, and every engine construction "
+     "seeds from a parameter or a common/rng.h factory (src/, bench/, "
+     "tools/)"},
     {"NO_WALLCLOCK_IN_SIM",
      "no wall-clock reads in src/ outside src/bench timing code"},
     {"NO_UNORDERED_ITERATION_IN_PROTOCOL",
@@ -105,9 +82,18 @@ const std::vector<RuleInfo> kAllRules = {
     {"INCLUDE_HYGIENE",
      "no parent-relative #include \"../...\" and no <bits/...> headers"},
     {"PRAGMA_ONCE", "every header starts with #pragma once"},
+    {"LAYERING_VIOLATION",
+     "includes must follow the layer DAG in tools/nmc_lint/layers.txt"},
+    {"NO_INCLUDE_CYCLES", "the repo include graph must stay acyclic"},
+    {"INCLUDE_DEPTH",
+     "transitive include depth stays within the layers.txt budget"},
     {"ALLOW_MISSING_REASON", "nmc-lint: allow(...) must carry a reason"},
     {"ALLOW_UNKNOWN_RULE", "nmc-lint: allow(...) names a rule that exists"},
     {"ALLOW_UNUSED", "nmc-lint: allow(...) must suppress something"},
+    {"BASELINE_STALE",
+     "every baseline entry still matches a finding (tools/nmc_lint/"
+     "baseline.txt)"},
+    {"LINT_IO", "every linted file is readable"},
 };
 
 bool IsKnownRule(const std::string& id) {
@@ -117,7 +103,637 @@ bool IsKnownRule(const std::string& id) {
   return false;
 }
 
-// ---- Lexical preprocessing ------------------------------------------------
+// ---- Token utilities ------------------------------------------------------
+
+bool IsCodeToken(const Token& t) {
+  return t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+         t.kind == TokenKind::kPunct;
+}
+
+/// The rules walk "code" (identifiers/numbers/punctuation) and directives as
+/// two parallel streams; literal and comment tokens are dropped entirely —
+/// nothing inside them can match, which is the point of lexing.
+struct TokenStreams {
+  std::vector<Token> code;
+  std::vector<Token> directives;
+};
+
+TokenStreams SplitStreams(const std::vector<Token>& tokens) {
+  TokenStreams streams;
+  for (const Token& token : tokens) {
+    if (IsCodeToken(token)) {
+      streams.code.push_back(token);
+    } else if (token.kind == TokenKind::kPpDirective) {
+      streams.directives.push_back(token);
+    }
+  }
+  return streams;
+}
+
+bool Is(const std::vector<Token>& code, size_t i, TokenKind kind,
+        const char* text) {
+  return i < code.size() && code[i].kind == kind && code[i].text == text;
+}
+
+bool IsPunct(const std::vector<Token>& code, size_t i, const char* text) {
+  return Is(code, i, TokenKind::kPunct, text);
+}
+
+bool IsIdent(const std::vector<Token>& code, size_t i) {
+  return i < code.size() && code[i].kind == TokenKind::kIdentifier;
+}
+
+bool IsIdent(const std::vector<Token>& code, size_t i, const char* text) {
+  return Is(code, i, TokenKind::kIdentifier, text);
+}
+
+template <typename Container>
+bool IsIdentIn(const std::vector<Token>& code, size_t i,
+               const Container& names) {
+  if (!IsIdent(code, i)) return false;
+  for (const char* name : names) {
+    if (code[i].text == name) return true;
+  }
+  return false;
+}
+
+/// Steps a '<'-balanced scan: '<' opens, '>' closes, '>>' closes twice
+/// (the lexer keeps it one token).
+int AngleDelta(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return 0;
+  if (t.text == "<") return 1;
+  if (t.text == ">") return -1;
+  if (t.text == ">>") return -2;
+  return 0;
+}
+
+int ParenDelta(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return 0;
+  if (t.text == "(") return 1;
+  if (t.text == ")") return -1;
+  return 0;
+}
+
+// ---- Simple token-pattern rules -------------------------------------------
+
+constexpr const char* kWallclockBare[] = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "localtime",    "gmtime"};
+constexpr const char* kWallclockCalls[] = {"time", "clock"};
+constexpr const char* kMapLike[] = {"map", "multimap", "deque"};
+constexpr const char* kTranscendentals[] = {"log1p", "log2",  "log10", "log",
+                                            "exp2",  "expm1", "exp",   "pow"};
+constexpr const char* kPerUpdateEntryPoints[] = {
+    "OnLocalUpdate", "ProcessUpdate", "ProcessBatch", "ProcessRun",
+    "ConsumeRun"};
+
+void CheckWallclock(const std::string& path, const std::vector<Token>& code,
+                    std::vector<Finding>* findings) {
+  const char* message =
+      "wall-clock read in simulator/protocol code; timing belongs in "
+      "src/bench";
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdentIn(code, i, kWallclockBare)) {
+      findings->push_back({path, code[i].line, "NO_WALLCLOCK_IN_SIM", message});
+    } else if (IsIdentIn(code, i, kWallclockCalls) && IsPunct(code, i + 1, "(")) {
+      findings->push_back({path, code[i].line, "NO_WALLCLOCK_IN_SIM", message});
+    }
+  }
+}
+
+void CheckMapInHotPath(const std::string& path, const std::vector<Token>& code,
+                       std::vector<Finding>* findings) {
+  for (size_t i = 0; i + 3 < code.size(); ++i) {
+    if (IsIdent(code, i, "std") && IsPunct(code, i + 1, "::") &&
+        IsIdentIn(code, i + 2, kMapLike) && IsPunct(code, i + 3, "<")) {
+      findings->push_back(
+          {path, code[i].line, "NO_MAP_IN_HOT_PATH",
+           "node-based container in src/sim delivery path; use a flat "
+           "vector/array (see PR 1 regression class)"});
+    }
+  }
+}
+
+void CheckIostream(const std::string& path, const TokenStreams& streams,
+                   std::vector<Finding>* findings) {
+  const char* message =
+      "console output in library code; return data or use "
+      "fprintf(stderr, ...) at the binary layer";
+  static const std::regex kIostreamInclude(R"(^#\s*include\s*<iostream>)");
+  for (const Token& directive : streams.directives) {
+    if (std::regex_search(directive.text, kIostreamInclude)) {
+      findings->push_back(
+          {path, directive.line, "NO_IOSTREAM_IN_LIB", message});
+    }
+  }
+  const std::vector<Token>& code = streams.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code, i, "std") && IsPunct(code, i + 1, "::") &&
+        (IsIdent(code, i + 2, "cout") || IsIdent(code, i + 2, "cerr"))) {
+      findings->push_back({path, code[i].line, "NO_IOSTREAM_IN_LIB", message});
+    } else if (IsIdent(code, i, "printf") && IsPunct(code, i + 1, "(")) {
+      findings->push_back({path, code[i].line, "NO_IOSTREAM_IN_LIB", message});
+    }
+  }
+}
+
+void CheckIncludeHygiene(const std::string& path, const TokenStreams& streams,
+                         std::vector<Finding>* findings) {
+  static const std::regex kParentRe(R"(^#\s*include\s*\"\.\./)");
+  static const std::regex kBitsRe(R"(^#\s*include\s*<bits/)");
+  for (const Token& directive : streams.directives) {
+    if (std::regex_search(directive.text, kParentRe)) {
+      findings->push_back({path, directive.line, "INCLUDE_HYGIENE",
+                           "parent-relative #include; include repo-rooted "
+                           "paths (e.g. \"core/sampling.h\")"});
+    }
+    if (std::regex_search(directive.text, kBitsRe)) {
+      findings->push_back({path, directive.line, "INCLUDE_HYGIENE",
+                           "non-portable <bits/...> header"});
+    }
+  }
+}
+
+void CheckPragmaOnce(const std::string& path, const TokenStreams& streams,
+                     std::vector<Finding>* findings) {
+  static const std::regex kPragmaOnce(R"(^#\s*pragma\s+once\b)");
+  for (const Token& directive : streams.directives) {
+    if (std::regex_search(directive.text, kPragmaOnce)) return;
+  }
+  findings->push_back({path, 1, "PRAGMA_ONCE",
+                       "header lacks #pragma once (repo convention; "
+                       "#ifndef guards were retired in PR 2)"});
+}
+
+// ---- NO_UNSEEDED_RNG: banned sources + seed provenance --------------------
+
+/// Engines whose construction demands a traceable seed.
+constexpr const char* kStdEngines[] = {
+    "mt19937",       "mt19937_64",   "minstd_rand",   "minstd_rand0",
+    "default_random_engine",         "knuth_b",       "ranlux24",
+    "ranlux48",      "ranlux24_base", "ranlux48_base"};
+
+/// Identifiers that taint a seed expression outright.
+constexpr const char* kTaintedSources[] = {"random_device", "rand", "srand",
+                                           "time", "clock", "getpid"};
+
+/// common/rng.h methods that yield derived, provenance-clean seeds or
+/// engines when called on an already-clean Rng.
+constexpr const char* kRngFactoryMethods[] = {"Fork", "NextU64", "UniformInt"};
+
+/// Type-ish leading tokens that mark a parenthesized list as a parameter
+/// list (a declaration), not a seed expression.
+constexpr const char* kTypeKeywords[] = {
+    "const",  "unsigned", "signed", "uint64_t", "uint32_t", "int64_t",
+    "int32_t", "size_t",  "int",    "long",     "short",    "double",
+    "float",  "bool",     "char",   "auto",     "void",     "uint8_t",
+    "int8_t", "uint16_t", "int16_t"};
+
+/// Scope-tracking provenance checker. One forward pass maintains a stack of
+/// function scopes (parameter names harvested from definition headers,
+/// locals classified as they are assigned) and, at every engine
+/// construction, classifies the seed expression:
+///   clean  — every leaf identifier is a parameter, a clean local, a member
+///            (trailing '_', repo convention), or a method call on a clean
+///            object (the common/rng.h factories); literals may mix in
+///            (the `seed ^ kSalt` pattern);
+///   dirty  — a leaf resolves to none of those (an unseeded global, an
+///            entropy source, an unknown free function);
+///   literal-only — a hard-coded seed: deterministic, but untraceable to
+///            any caller, so trials cannot be varied or decorrelated.
+/// Deliberately lexical: constructor *member-init lists* are not analyzed
+/// (the member's value was classified where it was computed), and helper
+/// functions are not traced across files — the seed must be clean at the
+/// construction site's own scope, which is exactly what a reviewer sees.
+class RngProvenanceChecker {
+ public:
+  RngProvenanceChecker(const std::string& path,
+                       const std::vector<Token>& code,
+                       std::vector<Finding>* findings)
+      : path_(path), code_(code), findings_(findings) {}
+
+  void Run() {
+    for (size_t i = 0; i < code_.size(); ++i) {
+      MaintainScopes(i);
+      TrackAssignment(i);
+      CheckConstruction(i);
+    }
+  }
+
+ private:
+  struct Scope {
+    int entry_depth = 0;  // brace depth the scope's body lives at
+    std::vector<std::string> params;
+    std::map<std::string, bool> locals;  // name -> provenance-clean
+  };
+
+  void MaintainScopes(size_t i) {
+    if (IsPunct(code_, i, "{")) {
+      ++depth_;
+      if (pending_params_ && pending_brace_index_ == i) {
+        scopes_.push_back({depth_, std::move(pending_names_), {}});
+        pending_params_ = false;
+      }
+      return;
+    }
+    if (IsPunct(code_, i, "}")) {
+      if (!scopes_.empty() && scopes_.back().entry_depth == depth_) {
+        scopes_.pop_back();
+      }
+      --depth_;
+      return;
+    }
+    // Function-definition header: `name ( params ) [qualifiers] {` — also
+    // lambda headers `] ( params ) ... {`. Harvest parameter names so the
+    // body can resolve them.
+    const bool header_start =
+        (IsIdent(code_, i) || IsPunct(code_, i, "]")) &&
+        IsPunct(code_, i + 1, "(");
+    if (!header_start) return;
+    int paren_depth = 0;
+    size_t j = i + 1;
+    std::vector<std::string> names;
+    for (; j < code_.size(); ++j) {
+      paren_depth += ParenDelta(code_[j]);
+      if (paren_depth == 0) break;
+      if (paren_depth == 1 && IsIdent(code_, j) &&
+          (IsPunct(code_, j + 1, ",") || IsPunct(code_, j + 1, ")") ||
+           IsPunct(code_, j + 1, "="))) {
+        names.push_back(code_[j].text);
+      }
+    }
+    if (j >= code_.size() || names.empty()) return;
+    // Skip trailing qualifiers; a ctor init list runs to the body brace.
+    size_t k = j + 1;
+    while (k < code_.size() &&
+           (IsIdent(code_, k, "const") || IsIdent(code_, k, "noexcept") ||
+            IsIdent(code_, k, "override") || IsIdent(code_, k, "final"))) {
+      ++k;
+    }
+    if (IsPunct(code_, k, ":")) {
+      int d = 0;
+      for (; k < code_.size(); ++k) {
+        d += ParenDelta(code_[k]);
+        if (d == 0 && IsPunct(code_, k, "{")) break;
+        if (d == 0 && IsPunct(code_, k, ";")) return;  // not a definition
+      }
+    }
+    if (!IsPunct(code_, k, "{")) return;
+    // The last entry of a ctor member-init list (`..., network_(n) {`) also
+    // looks like a header ending at the body brace; the real header claimed
+    // that brace first and keeps it.
+    if (pending_params_ && pending_brace_index_ == k) return;
+    pending_params_ = true;
+    pending_brace_index_ = k;
+    pending_names_ = std::move(names);
+  }
+
+  void TrackAssignment(size_t i) {
+    if (scopes_.empty() || !IsIdent(code_, i) || !IsPunct(code_, i + 1, "=")) {
+      return;
+    }
+    // `name = expr ;` — record whether expr is provenance-clean. Statement
+    // ends at the first ';' outside parentheses.
+    size_t end = i + 2;
+    int paren_depth = 0;
+    while (end < code_.size()) {
+      paren_depth += ParenDelta(code_[end]);
+      if (paren_depth == 0 && IsPunct(code_, end, ";")) break;
+      ++end;
+    }
+    const Verdict v = Classify(i + 2, end);
+    scopes_.back().locals[code_[i].text] = v == Verdict::kClean;
+  }
+
+  void CheckConstruction(size_t i) {
+    if (!IsIdent(code_, i)) return;
+    const bool is_std_engine = IsIdentIn(code_, i, kStdEngines);
+    const bool is_rng = code_[i].text == "Rng";
+    if (!is_std_engine && !is_rng) return;
+    // Qualification: `std::mt19937` / `common::Rng` / bare `Rng`.
+    if (i >= 2 && IsPunct(code_, i - 1, "::")) {
+      const std::string& qual = code_[i - 2].text;
+      if (is_std_engine && qual != "std") return;
+      if (is_rng && qual != "common") return;
+    }
+    size_t args_open;  // index of '(' or '{' carrying the seed expression
+    if (IsPunct(code_, i + 1, "(")) {
+      args_open = i + 1;  // temporary: Rng(expr)
+    } else if (IsIdent(code_, i + 1) &&
+               (IsPunct(code_, i + 2, "(") || IsPunct(code_, i + 2, "{"))) {
+      args_open = i + 2;  // named: Rng name(expr) / Rng name{expr}
+    } else if (is_std_engine && IsIdent(code_, i + 1) &&
+               IsPunct(code_, i + 2, ";")) {
+      findings_->push_back(
+          {path_, code_[i].line, "NO_UNSEEDED_RNG",
+           "default-constructed " + code_[i].text +
+               " uses the implementation's fixed default seed; seed it from "
+               "a parameter or a common/rng.h factory"});
+      return;
+    } else {
+      return;  // reference/pointer/template-argument position, not a ctor
+    }
+    const char open = code_[args_open].text[0];
+    const char close = open == '(' ? ')' : '}';
+    size_t end = args_open + 1;
+    int group_depth = 1;
+    while (end < code_.size() && group_depth > 0) {
+      if (code_[end].kind == TokenKind::kPunct) {
+        if (code_[end].text[0] == open && code_[end].text.size() == 1) {
+          ++group_depth;
+        } else if (code_[end].text[0] == close &&
+                   code_[end].text.size() == 1) {
+          --group_depth;
+        }
+      }
+      if (group_depth == 0) break;
+      ++end;
+    }
+    if (end >= code_.size()) return;
+    const size_t args_begin = args_open + 1;
+    if (args_begin == end) {
+      // `Rng Fork()` is a function declaration; `std::mt19937 gen()` is the
+      // most vexing parse. Only braced `std::mt19937 gen{}` is a real
+      // (default, unseeded) construction.
+      if (is_std_engine && open == '{') {
+        findings_->push_back(
+            {path_, code_[i].line, "NO_UNSEEDED_RNG",
+             "default-constructed " + code_[i].text +
+                 " uses the implementation's fixed default seed; seed it "
+                 "from a parameter or a common/rng.h factory"});
+      }
+      return;
+    }
+    if (IsIdentIn(code_, args_begin, kTypeKeywords) ||
+        (IsIdent(code_, args_begin) && IsIdent(code_, args_begin + 1))) {
+      return;  // parameter list: `explicit Rng(uint64_t seed)` etc.
+    }
+    const Verdict verdict = Classify(args_begin, end);
+    // A named construction declares a local whose own provenance downstream
+    // code may lean on: `Rng seeder(options.seed); Rng rng(seeder.NextU64());`
+    if (args_open == i + 2 && !scopes_.empty()) {
+      scopes_.back().locals[code_[i + 1].text] = verdict == Verdict::kClean;
+    }
+    switch (verdict) {
+      case Verdict::kClean:
+        return;
+      case Verdict::kDirty:
+        findings_->push_back(
+            {path_, code_[i].line, "NO_UNSEEDED_RNG",
+             "seed of this " + code_[i].text +
+                 " does not trace to a function/ctor parameter or a "
+                 "common/rng.h factory ('" + dirty_leaf_ + "')"});
+        return;
+      case Verdict::kLiteralOnly:
+        findings_->push_back(
+            {path_, code_[i].line, "NO_UNSEEDED_RNG",
+             "hard-coded seed for this " + code_[i].text +
+                 "; thread the seed in from the caller (function/ctor "
+                 "parameter or common/rng.h factory) so trials can vary it"});
+        return;
+    }
+  }
+
+  enum class Verdict { kClean, kDirty, kLiteralOnly };
+
+  /// Classifies the expression spanning code tokens [begin, end).
+  Verdict Classify(size_t begin, size_t end) {
+    bool saw_clean = false;
+    for (size_t i = begin; i < end; ++i) {
+      if (!IsIdent(code_, i)) continue;
+      const std::string& name = code_[i].text;
+      if (IsIdentIn(code_, i, kTaintedSources)) {
+        dirty_leaf_ = name;
+        return Verdict::kDirty;
+      }
+      // Engine type names inside the expression (`rng = Rng(seed)`) are not
+      // leaves; the nested construction is judged by CheckConstruction.
+      if (name == "Rng" || IsIdentIn(code_, i, kStdEngines)) continue;
+      if (name == "static_cast" || name == "sizeof" || name == "nullptr" ||
+          name == "true" || name == "false" || name == "this" ||
+          IsIdentIn(code_, i, kTypeKeywords)) {
+        if (name == "this") saw_clean = true;
+        continue;
+      }
+      // Member/method position: `base.name` — provenance rides on `base`.
+      if (i > begin && (IsPunct(code_, i - 1, ".") ||
+                        IsPunct(code_, i - 1, "->"))) {
+        continue;
+      }
+      // Qualifier position: `ns::name` — judge the full qualified leaf.
+      if (IsPunct(code_, i + 1, "::")) continue;
+      if (i > begin && IsPunct(code_, i - 1, "::")) {
+        dirty_leaf_ = code_[i - 2].text + "::" + name;
+        return Verdict::kDirty;  // qualified globals have no local provenance
+      }
+      // Free-function call: not a factory we know.
+      if (IsPunct(code_, i + 1, "(")) {
+        bool factory = IsIdentIn(code_, i, kRngFactoryMethods);
+        if (!factory) {
+          dirty_leaf_ = name + "()";
+          return Verdict::kDirty;
+        }
+        saw_clean = true;
+        continue;
+      }
+      if (ResolvesClean(name)) {
+        saw_clean = true;
+        continue;
+      }
+      dirty_leaf_ = name;
+      return Verdict::kDirty;
+    }
+    return saw_clean ? Verdict::kClean : Verdict::kLiteralOnly;
+  }
+
+  bool ResolvesClean(const std::string& name) {
+    if (!name.empty() && name.back() == '_') return true;  // member, by style
+    // A ctor's member-init list runs before its body scope is pushed; the
+    // parameters harvested from the header are already pending.
+    if (pending_params_ &&
+        std::find(pending_names_.begin(), pending_names_.end(), name) !=
+            pending_names_.end()) {
+      return true;
+    }
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      const auto local = scope->locals.find(name);
+      if (local != scope->locals.end()) return local->second;
+      if (std::find(scope->params.begin(), scope->params.end(), name) !=
+          scope->params.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& code_;
+  std::vector<Finding>* findings_;
+  int depth_ = 0;
+  std::vector<Scope> scopes_;
+  bool pending_params_ = false;
+  size_t pending_brace_index_ = 0;
+  std::vector<std::string> pending_names_;
+  std::string dirty_leaf_;
+};
+
+void CheckUnseededRng(const std::string& path, const std::vector<Token>& code,
+                      std::vector<Finding>* findings) {
+  const char* message =
+      "non-deterministic RNG source; use a seeded nmc::common::Rng";
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code, i, "random_device") || IsIdent(code, i, "srand")) {
+      findings->push_back({path, code[i].line, "NO_UNSEEDED_RNG", message});
+    } else if (IsIdent(code, i, "rand") && IsPunct(code, i + 1, "(")) {
+      findings->push_back({path, code[i].line, "NO_UNSEEDED_RNG", message});
+    }
+  }
+  if (!IsRngFactory(path)) {
+    RngProvenanceChecker(path, code, findings).Run();
+  }
+}
+
+// ---- NO_UNORDERED_ITERATION_IN_PROTOCOL -----------------------------------
+
+constexpr const char* kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+constexpr const char* kBeginFamily[] = {"begin", "cbegin", "rbegin", "crbegin"};
+
+/// Names declared in this file with an unordered container type: after
+/// `unordered_*` the template argument list is balanced (across lines —
+/// the token stream has no line seams), then the declared identifier is
+/// taken, skipping function declarations (identifier followed by '(').
+std::vector<std::string> CollectUnorderedNames(const std::vector<Token>& code) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdentIn(code, i, kUnorderedContainers) ||
+        !IsPunct(code, i + 1, "<")) {
+      continue;
+    }
+    size_t j = i + 1;
+    int depth = 0;
+    for (; j < code.size(); ++j) {
+      depth += AngleDelta(code[j]);
+      if (depth <= 0) break;
+    }
+    if (j >= code.size()) continue;
+    ++j;
+    while (IsPunct(code, j, "&") || IsPunct(code, j, "*") ||
+           IsPunct(code, j, "&&")) {
+      ++j;
+    }
+    if (!IsIdent(code, j) || IsPunct(code, j + 1, "(")) continue;
+    names.push_back(code[j].text);
+  }
+  return names;
+}
+
+void CheckUnorderedIteration(const std::string& path,
+                             const std::vector<Token>& code,
+                             std::vector<Finding>* findings) {
+  const std::vector<std::string> names = CollectUnorderedNames(code);
+  if (names.empty()) return;
+  auto is_unordered = [&](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  auto report = [&](int line, const std::string& name) {
+    findings->push_back(
+        {path, line, "NO_UNORDERED_ITERATION_IN_PROTOCOL",
+         "iteration over unordered container '" + name +
+             "' — hash-order leaks into the message schedule; iterate "
+             "a sorted/indexed structure instead"});
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    // Range-for: `for ( decl : name )`.
+    if (IsIdent(code, i, "for") && IsPunct(code, i + 1, "(")) {
+      size_t j = i + 2;
+      int depth = 1;
+      for (; j < code.size(); ++j) {
+        depth += ParenDelta(code[j]);
+        if (depth == 0) break;                            // plain for-loop
+        if (depth == 1 && IsPunct(code, j, ";")) break;   // classic for
+        if (depth == 1 && IsPunct(code, j, ":")) {
+          if (IsIdent(code, j + 1) && IsPunct(code, j + 2, ")") &&
+              is_unordered(code[j + 1].text)) {
+            report(code[i].line, code[j + 1].text);
+          }
+          break;
+        }
+      }
+    }
+    // Sweep start: `name.begin()` / `name->cbegin()`.
+    if (IsIdent(code, i) &&
+        (IsPunct(code, i + 1, ".") || IsPunct(code, i + 1, "->")) &&
+        IsIdentIn(code, i + 2, kBeginFamily) && IsPunct(code, i + 3, "(") &&
+        is_unordered(code[i].text)) {
+      report(code[i].line, code[i].text);
+    }
+  }
+}
+
+// ---- NO_PER_UPDATE_TRANSCENDENTALS ----------------------------------------
+
+/// Brace-tracks the *definitions* of the per-update entry points (a name
+/// followed by `;` before any `{` is a declaration and is skipped) and
+/// flags direct transcendental calls inside their bodies. A transcendental
+/// here is paid O(n) times per trial — the exact cost class the geometric
+/// skip sampler and RateCache exist to remove. Lexical by design: a helper
+/// called from the body is not traced — the rule polices the hot loop's own
+/// text, the layer where these costs have actually crept in.
+void CheckPerUpdateTranscendentals(const std::string& path,
+                                   const std::vector<Token>& code,
+                                   std::vector<Finding>* findings) {
+  enum class Mode { kOutside, kSeeking, kInside };
+  Mode mode = Mode::kOutside;
+  int depth = 0;
+  std::string entry;
+  for (size_t i = 0; i < code.size(); ++i) {
+    switch (mode) {
+      case Mode::kOutside:
+        if (IsIdentIn(code, i, kPerUpdateEntryPoints) &&
+            IsPunct(code, i + 1, "(")) {
+          mode = Mode::kSeeking;
+          entry = code[i].text;
+          ++i;  // skip the '('; a ';' before '{' still aborts below
+        }
+        break;
+      case Mode::kSeeking:
+        if (IsPunct(code, i, ";")) {
+          mode = Mode::kOutside;  // declaration (or call), not a body
+        } else if (IsPunct(code, i, "{")) {
+          mode = Mode::kInside;
+          depth = 1;
+        }
+        break;
+      case Mode::kInside:
+        if (IsPunct(code, i, "{")) {
+          ++depth;
+        } else if (IsPunct(code, i, "}")) {
+          if (--depth == 0) mode = Mode::kOutside;
+        } else if (IsIdentIn(code, i, kTranscendentals) &&
+                   IsPunct(code, i + 1, "(")) {
+          findings->push_back(
+              {path, code[i].line, "NO_PER_UPDATE_TRANSCENDENTALS",
+               "'" + code[i].text + "' call inside " + entry +
+                   "() runs once per update; hoist it into a rate helper, "
+                   "cache it (core::RateCache), or fast-forward with the "
+                   "skip sampler"});
+        }
+        break;
+    }
+  }
+}
+
+// ---- Allow annotations ----------------------------------------------------
+
+struct Allowance {
+  int line = 0;         // line the allowance was written on (1-based)
+  int target_line = 0;  // line it suppresses
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+};
 
 std::vector<std::string> SplitLines(const std::string& content) {
   std::vector<std::string> lines;
@@ -133,70 +749,6 @@ std::vector<std::string> SplitLines(const std::string& content) {
   if (!current.empty()) lines.push_back(current);
   return lines;
 }
-
-/// Blanks comments and string/character literals (preserving length and
-/// line structure) so token rules only ever match real code. Handles //,
-/// /* */, "..." with escapes, '...', and R"( ... )" raw strings with
-/// optional delimiters.
-std::string StripCommentsAndStrings(const std::string& content) {
-  std::string out = content;
-  const size_t n = content.size();
-  size_t i = 0;
-  auto blank = [&](size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < n) {
-    const char c = content[i];
-    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-      while (i < n && content[i] != '\n') blank(i++);
-    } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
-      blank(i++);
-      blank(i++);
-      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
-        blank(i++);
-      }
-      if (i + 1 < n) {
-        blank(i++);
-        blank(i++);
-      } else if (i < n) {
-        blank(i++);
-      }
-    } else if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                               content[i - 1])) &&
-                           content[i - 1] != '_'))) {
-      // Raw string: R"delim( ... )delim"
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && content[j] != '(') delim += content[j++];
-      const std::string closer = ")" + delim + "\"";
-      const size_t end = content.find(closer, j);
-      const size_t stop = end == std::string::npos ? n : end + closer.size();
-      while (i < stop) blank(i++);
-    } else if (c == '"' || c == '\'') {
-      const char quote = c;
-      blank(i++);
-      while (i < n && content[i] != quote && content[i] != '\n') {
-        if (content[i] == '\\' && i + 1 < n) blank(i++);
-        blank(i++);
-      }
-      if (i < n && content[i] == quote) blank(i++);
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-// ---- Allow annotations ----------------------------------------------------
-
-struct Allowance {
-  int line = 0;           // line the allowance was written on (1-based)
-  int target_line = 0;    // line it suppresses
-  std::string rule;
-  bool has_reason = false;
-  bool used = false;
-};
 
 /// Parses allow annotations — the "nmc-lint:" marker followed by a
 /// parenthesized comma-separated rule list and a free-text reason — from
@@ -228,224 +780,56 @@ std::vector<Allowance> ParseAllowances(const std::vector<std::string>& lines) {
   return allowances;
 }
 
-// ---- NO_UNORDERED_ITERATION_IN_PROTOCOL -----------------------------------
+// ---- Per-file pipeline ----------------------------------------------------
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+/// Pre-suppression analysis of one file: every single-file rule, findings
+/// deduplicated to one per (line, rule) to match the historic
+/// one-finding-per-line regex behavior.
+struct FileAnalysis {
+  std::vector<Finding> findings;  // pre-suppression
+  std::vector<Allowance> allowances;
+};
 
-/// Names declared in this file with an unordered container type. Lexical
-/// heuristic: find `unordered_{map,set,...} < ... >` (brackets balanced
-/// within the line) and take the identifier that follows, skipping
-/// function declarations (identifier followed by '(').
-std::set<std::string> CollectUnorderedNames(
-    const std::vector<std::string>& stripped) {
-  static const std::regex kDeclRe(
-      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
-  std::set<std::string> names;
-  for (const std::string& line : stripped) {
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kDeclRe);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t pos = static_cast<size_t>(it->position()) + it->length() - 1;
-      int depth = 0;
-      while (pos < line.size()) {
-        if (line[pos] == '<') ++depth;
-        if (line[pos] == '>') {
-          --depth;
-          if (depth == 0) break;
-        }
-        ++pos;
-      }
-      if (pos >= line.size()) continue;  // declaration spans lines: skip
-      ++pos;
-      while (pos < line.size() &&
-             (line[pos] == ' ' || line[pos] == '&' || line[pos] == '*')) {
-        ++pos;
-      }
-      std::string name;
-      while (pos < line.size() && IsIdentChar(line[pos])) name += line[pos++];
-      while (pos < line.size() && line[pos] == ' ') ++pos;
-      const bool is_function = pos < line.size() && line[pos] == '(';
-      if (!name.empty() && !is_function) names.insert(name);
-    }
+FileAnalysis AnalyzeFile(const std::string& path, const std::string& content) {
+  FileAnalysis analysis;
+  if (!InRepoCode(path)) return analysis;
+
+  const TokenStreams streams = SplitStreams(Lex(content));
+  analysis.allowances = ParseAllowances(SplitLines(content));
+
+  std::vector<Finding>* findings = &analysis.findings;
+  if (InDeterminismScope(path)) CheckUnseededRng(path, streams.code, findings);
+  if (InSimLibrary(path)) {
+    CheckWallclock(path, streams.code, findings);
+    CheckIostream(path, streams, findings);
   }
-  return names;
-}
-
-void CheckUnorderedIteration(const std::string& path,
-                             const std::vector<std::string>& stripped,
-                             std::vector<Finding>* findings) {
-  const std::set<std::string> names = CollectUnorderedNames(stripped);
-  if (names.empty()) return;
-  static const std::regex kRangeForRe(
-      R"(\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)\s*\))");
-  // Only the begin() family starts an iteration; `x.find(k) != x.end()` is
-  // the standard membership probe and must not fire.
-  static const std::regex kBeginRe(
-      R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?r?begin\s*\()");
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    const std::string& line = stripped[i];
-    for (const std::regex* re : {&kRangeForRe, &kBeginRe}) {
-      for (auto it = std::sregex_iterator(line.begin(), line.end(), *re);
-           it != std::sregex_iterator(); ++it) {
-        if (names.count((*it)[1].str()) == 0) continue;
-        findings->push_back(
-            {path, static_cast<int>(i) + 1,
-             "NO_UNORDERED_ITERATION_IN_PROTOCOL",
-             "iteration over unordered container '" + (*it)[1].str() +
-                 "' — hash-order leaks into the message schedule; iterate "
-                 "a sorted/indexed structure instead"});
-      }
-    }
-  }
-}
-
-// ---- NO_PER_UPDATE_TRANSCENDENTALS ----------------------------------------
-
-/// Entry points the harness calls once per stream item (or per consumed
-/// run). A transcendental evaluated here is paid O(n) times per trial —
-/// the exact cost class the geometric skip sampler and RateCache exist to
-/// remove. Rate math belongs in a helper the body calls only on the slow
-/// path, or behind a cache keyed on its inputs.
-constexpr const char* kPerUpdateEntryPoints =
-    R"(\b(OnLocalUpdate|ProcessUpdate|ProcessBatch|ProcessRun|ConsumeRun)\s*\()";
-
-/// Brace-tracks the *definitions* of the per-update entry points (a name
-/// followed by `;` before any `{` is a declaration and is skipped) and
-/// flags direct transcendental calls inside their bodies. Lexical, like
-/// every other rule here: a helper called from the body is not traced —
-/// the rule polices the hot loop's own text, the layer where these costs
-/// have actually crept in.
-void CheckPerUpdateTranscendentals(const std::string& path,
-                                   const std::vector<std::string>& stripped,
-                                   std::vector<Finding>* findings) {
-  static const std::regex kEntryRe(kPerUpdateEntryPoints);
-  static const std::regex kTransRe(
-      R"(\b(?:std\s*::\s*)?(log1p|log2|log10|log|exp2|expm1|exp|pow)\s*\()");
-  enum class Mode { kOutside, kSeeking, kInside };
-  Mode mode = Mode::kOutside;
-  int depth = 0;
-  std::string entry;
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    const std::string& line = stripped[i];
-    size_t pos = 0;
-    if (mode == Mode::kOutside) {
-      std::smatch match;
-      if (!std::regex_search(line, match, kEntryRe)) continue;
-      mode = Mode::kSeeking;
-      entry = match[1].str();
-      pos = static_cast<size_t>(match.position()) +
-            static_cast<size_t>(match.length());
-    }
-    bool line_in_body = mode == Mode::kInside;
-    for (; pos < line.size(); ++pos) {
-      const char c = line[pos];
-      if (mode == Mode::kSeeking) {
-        if (c == ';') {  // declaration (or call expression), not a body
-          mode = Mode::kOutside;
-          break;
-        }
-        if (c == '{') {
-          mode = Mode::kInside;
-          depth = 1;
-          line_in_body = true;
-        }
-      } else if (mode == Mode::kInside) {
-        if (c == '{') {
-          ++depth;
-        } else if (c == '}' && --depth == 0) {
-          mode = Mode::kOutside;
-          break;
-        }
-      }
-    }
-    if (!line_in_body) continue;
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kTransRe);
-         it != std::sregex_iterator(); ++it) {
-      findings->push_back(
-          {path, static_cast<int>(i) + 1, "NO_PER_UPDATE_TRANSCENDENTALS",
-           "'" + (*it)[1].str() + "' call inside " + entry +
-               "() runs once per update; hoist it into a rate helper, "
-               "cache it (core::RateCache), or fast-forward with the skip "
-               "sampler"});
-    }
-  }
-}
-
-// ---- INCLUDE_HYGIENE / PRAGMA_ONCE ----------------------------------------
-
-void CheckIncludeHygiene(const std::string& path,
-                         const std::vector<std::string>& raw,
-                         std::vector<Finding>* findings) {
-  // Anchored to line start: include directives cannot be indented behind
-  // code, and the anchor keeps commented-out includes from firing (this
-  // check runs on raw lines because the string stripper blanks the
-  // "../path" literal itself).
-  static const std::regex kParentRe(R"(^\s*#\s*include\s*\"\.\./)");
-  static const std::regex kBitsRe(R"(^\s*#\s*include\s*<bits/)");
-  for (size_t i = 0; i < raw.size(); ++i) {
-    if (std::regex_search(raw[i], kParentRe)) {
-      findings->push_back({path, static_cast<int>(i) + 1, "INCLUDE_HYGIENE",
-                           "parent-relative #include; include repo-rooted "
-                           "paths (e.g. \"core/sampling.h\")"});
-    }
-    if (std::regex_search(raw[i], kBitsRe)) {
-      findings->push_back({path, static_cast<int>(i) + 1, "INCLUDE_HYGIENE",
-                           "non-portable <bits/...> header"});
-    }
-  }
-}
-
-void CheckPragmaOnce(const std::string& path,
-                     const std::vector<std::string>& raw,
-                     std::vector<Finding>* findings) {
-  for (const std::string& line : raw) {
-    const size_t begin = line.find_first_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    if (line.compare(begin, 12, "#pragma once") == 0) return;
-  }
-  findings->push_back({path, 1, "PRAGMA_ONCE",
-                       "header lacks #pragma once (repo convention; "
-                       "#ifndef guards were retired in PR 2)"});
-}
-
-}  // namespace
-
-// ---- Public API -----------------------------------------------------------
-
-const std::vector<RuleInfo>& Rules() { return kAllRules; }
-
-std::vector<Finding> LintContent(const std::string& path,
-                                 const std::string& content) {
-  std::vector<Finding> findings;
-  if (!InRepoCode(path)) return findings;
-
-  const std::vector<std::string> raw = SplitLines(content);
-  const std::vector<std::string> stripped =
-      SplitLines(StripCommentsAndStrings(content));
-  std::vector<Allowance> allowances = ParseAllowances(raw);
-
-  // Pattern rules on stripped text.
-  for (const TokenRule& rule : kTokenRules) {
-    if (!rule.in_scope(path)) continue;
-    const std::regex re(rule.pattern);
-    for (size_t i = 0; i < stripped.size(); ++i) {
-      if (std::regex_search(stripped[i], re)) {
-        findings.push_back(
-            {path, static_cast<int>(i) + 1, rule.id, rule.message});
-      }
-    }
-  }
-
+  if (InHotPath(path)) CheckMapInHotPath(path, streams.code, findings);
   if (InProtocolCode(path)) {
-    CheckUnorderedIteration(path, stripped, &findings);
-    CheckPerUpdateTranscendentals(path, stripped, &findings);
+    CheckUnorderedIteration(path, streams.code, findings);
+    CheckPerUpdateTranscendentals(path, streams.code, findings);
   }
-  CheckIncludeHygiene(path, raw, &findings);
-  if (IsHeader(path)) CheckPragmaOnce(path, raw, &findings);
+  CheckIncludeHygiene(path, streams, findings);
+  if (IsHeader(path)) CheckPragmaOnce(path, streams, findings);
 
-  // Apply allowances: a finding on an annotated line (with the matching
-  // rule) is suppressed and marks the allowance used.
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  findings->erase(std::unique(findings->begin(), findings->end(),
+                              [](const Finding& a, const Finding& b) {
+                                return a.line == b.line && a.rule == b.rule;
+                              }),
+                  findings->end());
+  return analysis;
+}
+
+/// Applies allowances to the (possibly graph-rule-augmented) findings and
+/// appends the annotation-hygiene findings. These are not themselves
+/// suppressible — the annotation layer must stay honest.
+std::vector<Finding> ApplyAllowances(const std::string& path,
+                                     std::vector<Finding> findings,
+                                     std::vector<Allowance> allowances) {
   std::vector<Finding> kept;
   for (const Finding& finding : findings) {
     bool suppressed = false;
@@ -458,9 +842,6 @@ std::vector<Finding> LintContent(const std::string& path,
     }
     if (!suppressed) kept.push_back(finding);
   }
-
-  // Annotation hygiene. These findings are not themselves suppressible —
-  // the annotation layer must stay honest.
   for (const Allowance& allowance : allowances) {
     if (!IsKnownRule(allowance.rule)) {
       kept.push_back({path, allowance.line, "ALLOW_UNKNOWN_RULE",
@@ -481,11 +862,43 @@ std::vector<Finding> LintContent(const std::string& path,
                           "; delete the stale annotation"});
     }
   }
-
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
   });
   return kept;
+}
+
+std::string ReadFileOr(const std::filesystem::path& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *ok = true;
+  return buffer.str();
+}
+
+void SortByFileLineRule(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+}
+
+}  // namespace
+
+// ---- Public API -----------------------------------------------------------
+
+const std::vector<RuleInfo>& Rules() { return kAllRules; }
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  FileAnalysis analysis = AnalyzeFile(path, content);
+  return ApplyAllowances(path, std::move(analysis.findings),
+                         std::move(analysis.allowances));
 }
 
 std::vector<Finding> LintFiles(const std::string& repo_root,
@@ -493,29 +906,74 @@ std::vector<Finding> LintFiles(const std::string& repo_root,
   namespace fs = std::filesystem;
   std::vector<Finding> findings;
   for (const std::string& path : paths) {
-    const fs::path abs =
-        fs::path(path).is_absolute() ? fs::path(path) : fs::path(repo_root) / path;
-    const std::string rel =
-        fs::path(path).is_absolute()
-            ? fs::relative(abs, repo_root).generic_string()
-            : path;
-    std::ifstream in(abs, std::ios::binary);
-    if (!in) {
+    const fs::path abs = fs::path(path).is_absolute()
+                             ? fs::path(path)
+                             : fs::path(repo_root) / path;
+    const std::string rel = fs::path(path).is_absolute()
+                                ? fs::relative(abs, repo_root).generic_string()
+                                : path;
+    bool ok = false;
+    const std::string content = ReadFileOr(abs, &ok);
+    if (!ok) {
       findings.push_back({rel, 0, "LINT_IO", "cannot read file"});
       continue;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    std::vector<Finding> file_findings = LintContent(rel, buffer.str());
+    std::vector<Finding> file_findings = LintContent(rel, content);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
+  SortByFileLineRule(&findings);
   return findings;
+}
+
+std::vector<Finding> LintRepo(const RepoLintOptions& options,
+                              size_t* files_linted) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> files = CollectFiles(
+      options.repo_root, options.compile_commands, options.roots);
+  if (files_linted != nullptr) *files_linted = files.size();
+
+  std::vector<Finding> all;
+  std::map<std::string, FileAnalysis> analyses;
+  for (const std::string& file : files) {
+    bool ok = false;
+    const std::string content =
+        ReadFileOr(fs::path(options.repo_root) / file, &ok);
+    if (!ok) {
+      all.push_back({file, 0, "LINT_IO", "cannot read file"});
+      continue;
+    }
+    analyses.emplace(file, AnalyzeFile(file, content));
+  }
+
+  // Cross-file rules: merged into the per-file lists *before* allowance
+  // application so an inline allow() on the offending #include works.
+  if (!options.layers_path.empty()) {
+    LayerSpec spec;
+    std::string error;
+    if (!LoadLayerSpec(options.layers_path, &spec, &error)) {
+      all.push_back({options.layers_path, 0, "LINT_IO",
+                     "layer spec rejected: " + error});
+    } else {
+      const IncludeGraph graph = BuildIncludeGraph(options.repo_root, files);
+      for (Finding& finding : CheckIncludeGraph(graph, spec)) {
+        const auto it = analyses.find(finding.file);
+        if (it != analyses.end()) {
+          it->second.findings.push_back(std::move(finding));
+        } else {
+          all.push_back(std::move(finding));
+        }
+      }
+    }
+  }
+
+  for (auto& [file, analysis] : analyses) {
+    std::vector<Finding> kept = ApplyAllowances(
+        file, std::move(analysis.findings), std::move(analysis.allowances));
+    all.insert(all.end(), kept.begin(), kept.end());
+  }
+  SortByFileLineRule(&all);
+  return all;
 }
 
 std::vector<std::string> CollectFiles(const std::string& repo_root,
@@ -568,6 +1026,54 @@ std::vector<std::string> CollectFiles(const std::string& repo_root,
     }
   }
   return {files.begin(), files.end()};
+}
+
+Baseline ParseBaseline(const std::string& content) {
+  Baseline baseline;
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::string file, rule;
+    if (words >> file >> rule) baseline.entries.insert({file, rule});
+  }
+  return baseline;
+}
+
+bool LoadBaseline(const std::string& path, Baseline* baseline) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *baseline = ParseBaseline(buffer.str());
+  return true;
+}
+
+bool IsBaselined(const Baseline& baseline, const Finding& finding) {
+  if (StartsWith(finding.rule, "ALLOW_") || finding.rule == "BASELINE_STALE") {
+    return false;
+  }
+  return baseline.entries.count({finding.file, finding.rule}) > 0;
+}
+
+std::vector<Finding> StaleBaselineEntries(
+    const Baseline& baseline, const std::vector<Finding>& findings) {
+  std::vector<Finding> stale;
+  for (const auto& [file, rule] : baseline.entries) {
+    const bool matched =
+        std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+          return f.file == file && f.rule == rule;
+        });
+    if (!matched) {
+      stale.push_back({file, 0, "BASELINE_STALE",
+                       "baseline entry (" + file + ", " + rule +
+                           ") matches no current finding; delete it from "
+                           "the baseline file"});
+    }
+  }
+  return stale;
 }
 
 std::string FormatFinding(const Finding& finding) {

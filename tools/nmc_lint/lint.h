@@ -1,6 +1,8 @@
 #pragma once
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nmc::lint {
@@ -20,22 +22,38 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Every rule the linter can emit, in stable order (for --list-rules and
-/// for validating allow() annotations).
+/// Every rule the linter can emit, in stable order (for --list-rules, the
+/// SARIF rules table, and for validating allow() annotations).
 const std::vector<RuleInfo>& Rules();
 
-/// Lints `content` as if it lived at repo-relative `path`. Scope decisions
-/// (which rules apply) use only the path prefix, so fixture tests can lint
-/// a testdata file "as if" it were in src/sim/. Findings are sorted by
-/// (line, rule).
+/// Lints `content` as if it lived at repo-relative `path`, running every
+/// single-file rule. Scope decisions (which rules apply) use only the path
+/// prefix, so fixture tests can lint a testdata file "as if" it were in
+/// src/sim/. Cross-file rules (layering, cycles, depth) need the include
+/// graph and run only through LintRepo. Findings are sorted by (line, rule).
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content);
 
-/// Reads and lints each file. Paths may be absolute or repo_root-relative;
-/// rule scopes are decided on the repo_root-relative form. Unreadable files
-/// produce a LINT_IO finding. Findings are sorted by (file, line, rule).
+/// Reads and lints each file (single-file rules only). Paths may be absolute
+/// or repo_root-relative; rule scopes are decided on the repo_root-relative
+/// form. Unreadable files produce a LINT_IO finding. Findings are sorted by
+/// (file, line, rule).
 std::vector<Finding> LintFiles(const std::string& repo_root,
                                const std::vector<std::string>& paths);
+
+/// Full repo run: single-file rules over every collected file plus the
+/// include-graph rules (LAYERING_VIOLATION, NO_INCLUDE_CYCLES,
+/// INCLUDE_DEPTH) against the layer spec. Graph findings attach to the
+/// offending #include line and are suppressible by the same inline
+/// allow annotations as everything else.
+struct RepoLintOptions {
+  std::string repo_root;
+  std::string compile_commands;     ///< empty = no compile database
+  std::vector<std::string> roots;   ///< repo-relative directories
+  std::string layers_path;          ///< empty = skip include-graph rules
+};
+std::vector<Finding> LintRepo(const RepoLintOptions& options,
+                              size_t* files_linted = nullptr);
 
 /// Builds the file list for a repo lint run: every *.h/*.hpp/*.cc/*.cpp
 /// found under `roots` (repo_root-relative directories), unioned with the
@@ -46,6 +64,27 @@ std::vector<Finding> LintFiles(const std::string& repo_root,
 std::vector<std::string> CollectFiles(const std::string& repo_root,
                                       const std::string& compile_commands_path,
                                       const std::vector<std::string>& roots);
+
+/// Baseline suppressions: grandfathered (file, rule) pairs that report but
+/// do not gate. The file format is one `path RULE` pair per line;
+/// '#' starts a comment. Line numbers are deliberately not part of the key
+/// — they drift with every edit, and a baseline that needs constant
+/// re-recording is a baseline nobody trusts.
+struct Baseline {
+  std::set<std::pair<std::string, std::string>> entries;
+};
+Baseline ParseBaseline(const std::string& content);
+bool LoadBaseline(const std::string& path, Baseline* baseline);
+
+/// True if the finding matches a baseline entry. BASELINE_STALE and the
+/// annotation-hygiene rules are never baselinable — the suppression layers
+/// must stay honest.
+bool IsBaselined(const Baseline& baseline, const Finding& finding);
+
+/// Stale-entry findings (rule BASELINE_STALE) for baseline entries that no
+/// current finding matches; `findings` must be the full pre-partition list.
+std::vector<Finding> StaleBaselineEntries(const Baseline& baseline,
+                                          const std::vector<Finding>& findings);
 
 /// "path:line: RULE: message" — the stable output format.
 std::string FormatFinding(const Finding& finding);

@@ -1,18 +1,31 @@
 // nmc_lint — determinism-invariant static analysis gate for this repo.
 //
 // Usage:
-//   nmc_lint [--root=DIR] [--compile-commands=PATH] [--list-rules] [roots...]
+//   nmc_lint [flags] [roots-or-files...]
 //
 //   --root=DIR              repo root for scope decisions (default: cwd)
 //   --compile-commands=PATH CMake compile database; its translation units
 //                           are unioned with the directory scan so every
 //                           built TU is covered (default:
 //                           <root>/build/compile_commands.json if present)
+//   --layers=PATH           layer spec for the include-graph rules
+//                           (default: <root>/tools/nmc_lint/layers.txt if
+//                           present); --no-layers disables them
+//   --baseline=PATH         baseline suppression file; baselined findings
+//                           are reported but do not gate (default:
+//                           <root>/tools/nmc_lint/baseline.txt if present);
+//                           --no-baseline disables it
+//   --format=text|sarif     output format (default: text); sarif emits a
+//                           SARIF 2.1.0 log on stdout
 //   --list-rules            print rule IDs + summaries and exit
-//   roots...                repo-relative directories to lint
-//                           (default: src bench tests tools)
+//   roots-or-files...       repo-relative directories to lint as a repo run
+//                           (default: src bench tests tools), or individual
+//                           files — file arguments run the single-file rules
+//                           only (no include-graph pass), which is what the
+//                           pre-commit hook wants
 //
-// Exit codes: 0 = clean, 1 = findings printed, 2 = usage or I/O error.
+// Exit codes: 0 = clean (baselined findings may still be reported),
+//             1 = gating findings printed, 2 = usage or I/O error.
 
 #include <cstdio>
 #include <filesystem>
@@ -20,13 +33,22 @@
 #include <vector>
 
 #include "nmc_lint/lint.h"
+#include "nmc_lint/sarif.h"
 
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   std::string root = fs::current_path().string();
   std::string compile_commands;
   bool compile_commands_set = false;
+  std::string layers;
+  bool layers_set = false;
+  bool no_layers = false;
+  std::string baseline_path;
+  bool baseline_set = false;
+  bool no_baseline = false;
+  std::string format = "text";
   std::vector<std::string> roots;
+  std::vector<std::string> file_args;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,36 +63,107 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--compile-commands=", 0) == 0) {
       compile_commands = arg.substr(19);
       compile_commands_set = true;
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers = arg.substr(9);
+      layers_set = true;
+    } else if (arg == "--no-layers") {
+      no_layers = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      baseline_set = true;
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "nmc_lint: --format must be text or sarif\n");
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "nmc_lint: unknown flag %s\n", arg.c_str());
       return 2;
-    } else {
+    } else if (fs::is_directory(fs::path(root) / arg) ||
+               fs::is_directory(arg)) {
       roots.push_back(arg);
+    } else {
+      file_args.push_back(arg);
     }
   }
-  if (roots.empty()) roots = {"src", "bench", "tests", "tools"};
   if (!compile_commands_set) {
     const fs::path fallback = fs::path(root) / "build/compile_commands.json";
     if (fs::exists(fallback)) compile_commands = fallback.string();
   }
+  if (!layers_set && !no_layers) {
+    const fs::path fallback = fs::path(root) / "tools/nmc_lint/layers.txt";
+    if (fs::exists(fallback)) layers = fallback.string();
+  }
+  if (no_layers) layers.clear();
+  if (!baseline_set && !no_baseline) {
+    const fs::path fallback = fs::path(root) / "tools/nmc_lint/baseline.txt";
+    if (fs::exists(fallback)) baseline_path = fallback.string();
+  }
+  if (no_baseline) baseline_path.clear();
 
-  const std::vector<std::string> files =
-      nmc::lint::CollectFiles(root, compile_commands, roots);
-  if (files.empty()) {
-    std::fprintf(stderr, "nmc_lint: no files found under --root=%s\n",
-                 root.c_str());
-    return 2;
+  std::vector<nmc::lint::Finding> findings;
+  size_t files_linted = file_args.size();
+  if (!file_args.empty()) {
+    // Explicit files: single-file rules only — the include-graph pass needs
+    // the whole repo to mean anything.
+    findings = nmc::lint::LintFiles(root, file_args);
+    if (!roots.empty()) {
+      std::fprintf(stderr,
+                   "nmc_lint: cannot mix directory and file arguments\n");
+      return 2;
+    }
+  } else {
+    if (roots.empty()) roots = {"src", "bench", "tests", "tools"};
+    nmc::lint::RepoLintOptions options;
+    options.repo_root = root;
+    options.compile_commands = compile_commands;
+    options.roots = roots;
+    options.layers_path = layers;
+    findings = nmc::lint::LintRepo(options, &files_linted);
+    if (files_linted == 0) {
+      std::fprintf(stderr, "nmc_lint: no files found under --root=%s\n",
+                   root.c_str());
+      return 2;
+    }
   }
-  const std::vector<nmc::lint::Finding> findings =
-      nmc::lint::LintFiles(root, files);
-  for (const nmc::lint::Finding& finding : findings) {
-    std::printf("%s\n", nmc::lint::FormatFinding(finding).c_str());
+
+  nmc::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    if (!nmc::lint::LoadBaseline(baseline_path, &baseline)) {
+      std::fprintf(stderr, "nmc_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    // Stale entries gate: a baseline that outlives its findings is rot.
+    std::vector<nmc::lint::Finding> stale =
+        nmc::lint::StaleBaselineEntries(baseline, findings);
+    findings.insert(findings.end(), stale.begin(), stale.end());
   }
-  if (findings.empty()) {
-    std::fprintf(stderr, "nmc_lint: %zu files clean\n", files.size());
+
+  std::vector<bool> baselined(findings.size(), false);
+  size_t gating = 0;
+  for (size_t i = 0; i < findings.size(); ++i) {
+    baselined[i] = nmc::lint::IsBaselined(baseline, findings[i]);
+    if (!baselined[i]) ++gating;
+  }
+
+  if (format == "sarif") {
+    std::printf("%s", nmc::lint::SarifReport(findings, baselined).c_str());
+  } else {
+    for (size_t i = 0; i < findings.size(); ++i) {
+      std::printf("%s%s\n", nmc::lint::FormatFinding(findings[i]).c_str(),
+                  baselined[i] ? " [baselined]" : "");
+    }
+  }
+  if (gating == 0) {
+    std::fprintf(stderr, "nmc_lint: %zu files clean (%zu baselined)\n",
+                 files_linted, findings.size() - gating);
     return 0;
   }
-  std::fprintf(stderr, "nmc_lint: %zu findings in %zu files\n",
-               findings.size(), files.size());
+  std::fprintf(stderr, "nmc_lint: %zu gating findings in %zu files\n", gating,
+               files_linted);
   return 1;
 }

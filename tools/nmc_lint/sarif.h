@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nmc_lint/lint.h"
+
+namespace nmc::lint {
+
+/// Renders findings as a SARIF 2.1.0 log with a single run. The tool driver
+/// carries the full rule registry (Rules()) so viewers can show rule help
+/// even for rules with no current results. `baselined` parallels `findings`;
+/// baselined results are emitted at level "note" with an external
+/// suppression, everything else at level "error". Output is deterministic:
+/// same findings, byte-identical JSON.
+std::string SarifReport(const std::vector<Finding>& findings,
+                        const std::vector<bool>& baselined);
+
+}  // namespace nmc::lint

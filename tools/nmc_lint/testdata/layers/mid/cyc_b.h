@@ -1,0 +1,3 @@
+#pragma once
+
+#include "mid/cyc_a.h"

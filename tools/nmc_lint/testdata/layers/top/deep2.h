@@ -1,0 +1,3 @@
+#pragma once
+
+#include "top/deep3.h"

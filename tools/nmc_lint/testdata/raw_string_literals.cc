@@ -1,0 +1,32 @@
+// Regression fixture for raw-string scanning. The pre-lexer line scanner
+// closed R"x(...)x" at the first ')"' regardless of the delimiter,
+// resurrecting the tail of the literal as "code"; and it dropped the line
+// accounting of multi-line raw strings. Nothing inside any literal below
+// may fire a rule, and the one real violation at the end must land on its
+// exact line.
+#include <string>
+
+namespace nmc::sim {
+
+const char* kQueries[] = {
+    R"(select time( from logs)",
+    R"(std::map<int, int> rendered as prose)",
+    R"x(rand() and a tricky )" inside the delimited text)x",
+};
+
+const char* kReport = R"sql(
+  time(nullptr);
+  std::cout << "not a real stream insertion";
+  std::deque<int> still_prose;
+  rand();
+)sql";
+
+// A '"' inside a char literal must not open a string that swallows the
+// rest of the file.
+constexpr char kQuote = '"';
+constexpr char kApostrophe = '\'';
+
+// EXPECT-NEXT: NO_WALLCLOCK_IN_SIM
+long AfterTheLiterals() { return time(nullptr); }
+
+}  // namespace nmc::sim

@@ -1,0 +1,49 @@
+// Fixture for the provenance half of NO_UNSEEDED_RNG: an engine
+// construction is clean only when its seed expression traces to a
+// function/ctor parameter, a member, or a common/rng.h factory call on an
+// already-clean generator — all judged at the construction site.
+#include "common/rng.h"
+
+namespace nmc::core {
+
+struct Options {
+  unsigned long long seed = 0;
+};
+
+class Widget {
+ public:
+  explicit Widget(const Options& options) : options_(options) {}
+
+  void CleanCases(unsigned long long seed, const Options& options) {
+    common::Rng direct(seed);
+    common::Rng from_member(options_.seed);
+    common::Rng salted(options.seed ^ 0x9e3779b97f4a7c15ULL);
+    common::Rng seeder(options.seed);
+    common::Rng forked = seeder.Fork();
+    common::Rng derived(seeder.NextU64());
+    std::mt19937 std_ok(static_cast<unsigned>(seed));
+  }
+
+  void DirtyCases(unsigned long long seed) {
+    // EXPECT-NEXT: NO_UNSEEDED_RNG
+    common::Rng fixed(12345);
+    // EXPECT-NEXT: NO_UNSEEDED_RNG
+    common::Rng from_global(kFileScopeSeed);
+    // EXPECT-NEXT: NO_UNSEEDED_RNG
+    std::mt19937 defaulted;
+    // EXPECT-NEXT: NO_UNSEEDED_RNG
+    common::Rng from_helper(MakeSeed());
+    // A dirty local stays dirty through an assignment.
+    unsigned long long laundered = MakeSeed();
+    // EXPECT-NEXT: NO_UNSEEDED_RNG
+    common::Rng still_dirty(laundered);
+    // The annotation escape hatch, with its mandatory reason:
+    // nmc-lint: allow(NO_UNSEEDED_RNG) fixture demonstrates a justified fixed seed
+    common::Rng annotated(99);
+  }
+
+ private:
+  Options options_;
+};
+
+}  // namespace nmc::core
