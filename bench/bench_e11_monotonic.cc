@@ -19,6 +19,7 @@ namespace {
 using nmc::bench::Banner;
 using nmc::bench::CounterFactory;
 using nmc::bench::HyzFactory;
+using nmc::bench::RegistryFactory;
 using nmc::bench::Repeat;
 using nmc::common::Format;
 
@@ -95,18 +96,17 @@ void SampledVsDeterministic() {
   const int64_t n = 1 << 17;
   nmc::common::Table table({"k", "sampled", "deterministic", "violations"});
   for (int k : {1, 4, 16, 64, 256}) {
-    auto make = [k](nmc::hyz::HyzMode mode) {
-      nmc::hyz::HyzOptions options;
-      options.mode = mode;
-      options.epsilon = 0.1;
-      options.delta = 1e-6;
-      options.seed = 4700;
-      return HyzFactory(k, options);
+    auto make = [k](const char* name) {
+      nmc::sim::ProtocolParams params;
+      params.epsilon = 0.1;
+      params.delta = 1e-6;
+      params.seed = 4700;
+      // seed_stride 1 replays HyzFactory's per-trial reseeding exactly.
+      return RegistryFactory(name, k, params, /*seed_stride=*/1);
     };
-    const auto sampled =
-        Repeat(2, k, 0.1, OnesStream(n), make(nmc::hyz::HyzMode::kSampled));
-    const auto det = Repeat(2, k, 0.1, OnesStream(n),
-                            make(nmc::hyz::HyzMode::kDeterministic));
+    const auto sampled = Repeat(2, k, 0.1, OnesStream(n), make("hyz"));
+    const auto det =
+        Repeat(2, k, 0.1, OnesStream(n), make("hyz_deterministic"));
     table.AddRow({Format(static_cast<int64_t>(k)),
                   Format(sampled.mean_messages, 0),
                   Format(det.mean_messages, 0),

@@ -7,7 +7,6 @@
 #include <cmath>
 #include <cstdio>
 
-#include "baselines/exact_sync.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "streams/permutation.h"
@@ -16,6 +15,7 @@ namespace {
 
 using nmc::bench::Banner;
 using nmc::bench::CounterFactory;
+using nmc::bench::RegistryFactory;
 using nmc::bench::Repeat;
 using nmc::common::Format;
 
@@ -81,7 +81,7 @@ void VsExactSync() {
               nmc::streams::SignMultiset(n, 0.5),
               800 + static_cast<uint64_t>(trial));
         },
-        [k](int) { return std::make_unique<nmc::baselines::ExactSyncProtocol>(k); });
+        RegistryFactory("exact_sync", k));
     table.AddRow({Format(n), Format(counter_summary.mean_messages, 0),
                   Format(exact_summary.mean_messages, 0),
                   Format(exact_summary.mean_messages /

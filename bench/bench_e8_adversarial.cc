@@ -7,8 +7,6 @@
 
 #include <cstdio>
 
-#include "baselines/exact_sync.h"
-#include "baselines/periodic_sync.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "streams/adversarial.h"
@@ -18,6 +16,7 @@ namespace {
 
 using nmc::bench::Banner;
 using nmc::bench::CounterFactory;
+using nmc::bench::RegistryFactory;
 using nmc::bench::Repeat;
 using nmc::common::Format;
 
@@ -101,17 +100,17 @@ void BaselineComparison() {
                   "correct; ~2/update (straight stage)"});
   }
   {
-    const auto r = Repeat(1, k, 0.25, stream_factory, [k](int) {
-      return std::make_unique<nmc::baselines::ExactSyncProtocol>(k);
-    });
+    const auto r =
+        Repeat(1, k, 0.25, stream_factory, RegistryFactory("exact_sync", k));
     table.AddRow({"exact_sync", Format(r.mean_messages, 0),
                   Format(static_cast<int64_t>(r.trials_with_violation)),
                   "correct; 1/update"});
   }
   for (int64_t period : {2, 16}) {
-    const auto r = Repeat(1, k, 0.25, stream_factory, [k, period](int) {
-      return std::make_unique<nmc::baselines::PeriodicSyncProtocol>(k, period);
-    });
+    nmc::sim::ProtocolParams params;
+    params.period = period;
+    const auto r = Repeat(1, k, 0.25, stream_factory,
+                          RegistryFactory("periodic_sync", k, params));
     table.AddRow({"periodic_sync(T=" + std::to_string(period) + ")",
                   Format(r.mean_messages, 0),
                   Format(static_cast<int64_t>(r.trials_with_violation)),

@@ -16,8 +16,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "common/geometric_skip.h"
 #include "common/rng.h"
 #include "core/nonmonotonic_counter.h"
@@ -295,32 +297,26 @@ BENCHMARK(BM_AmsUpdate);
 }  // namespace
 
 /// Custom main instead of BENCHMARK_MAIN: peels off the repo's shared
-/// bench flags (--json_out, --batch, --legacy_pump) before handing the
-/// rest to google-benchmark, so run_benches.sh and the CI bench-smoke job
-/// can drive every bench binary with one flag vocabulary. Unknown flags
-/// exit 2, matching the InitBench-based binaries (and the
+/// bench flags (declared once in bench_json.cc's flag table) before
+/// handing the rest to google-benchmark, so run_benches.sh and the CI
+/// bench-smoke job can drive every bench binary with one flag vocabulary.
+/// Unknown flags exit 2, matching the InitBench-based binaries (and the
 /// rejects-unknown-flag smoke test).
 int main(int argc, char** argv) {
+  nmc::bench::BenchFlagValues values;
+  std::vector<std::string> rest;
+  nmc::bench::PeelBenchFlags(argc, argv, "bench_micro", &values, &rest);
+  if (values.batch > 0) g_batch = values.batch;
+  g_legacy_pump = values.legacy_pump;
+
   std::vector<std::string> args;
-  args.reserve(static_cast<size_t>(argc) + 1);
+  args.reserve(rest.size() + 3);
   args.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json_out=", 0) == 0) {
-      args.push_back("--benchmark_out=" + arg.substr(std::strlen("--json_out=")));
-      args.push_back("--benchmark_out_format=json");
-    } else if (arg.rfind("--batch=", 0) == 0) {
-      g_batch = std::atoi(arg.c_str() + std::strlen("--batch="));
-      if (g_batch < 1) {
-        std::fprintf(stderr, "bench_micro: --batch expects a positive int\n");
-        return 2;
-      }
-    } else if (arg == "--legacy_pump" || arg == "--legacy_pump=true") {
-      g_legacy_pump = true;
-    } else {
-      args.push_back(arg);
-    }
+  if (!values.json_out.empty()) {
+    args.push_back("--benchmark_out=" + values.json_out);
+    args.push_back("--benchmark_out_format=json");
   }
+  for (std::string& token : rest) args.push_back(std::move(token));
   std::vector<char*> argv_out;
   argv_out.reserve(args.size());
   for (std::string& s : args) argv_out.push_back(s.data());

@@ -11,8 +11,10 @@
 #include "common/statistics.h"
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
+#include "registry/builtin.h"
 #include "sim/assignment.h"
 #include "sim/harness.h"
+#include "sim/registry.h"
 
 namespace nmc::bench {
 
@@ -53,27 +55,63 @@ inline RunSummary Repeat(
 /// Convenience: the Non-monotonic Counter with the given options (seed is
 /// offset per trial). Under --legacy_pump the sampler is forced to
 /// kLegacyCoins so the whole run replays the pre-batching per-coin
-/// execution.
+/// execution. A faulty --channel=... session config overrides
+/// options.channel (perfect stays whatever the caller set, i.e. the
+/// default), with the channel seed offset per trial like the protocol
+/// seed.
 inline std::function<std::unique_ptr<sim::Protocol>(int)> CounterFactory(
     int num_sites, core::CounterOptions options) {
   if (BenchLegacyPump()) options.sampler = common::SamplerMode::kLegacyCoins;
+  if (BenchChannel().faulty()) options.channel = BenchChannel();
   return [num_sites, options](int trial) {
     core::CounterOptions per_trial = options;
     per_trial.seed = options.seed + static_cast<uint64_t>(trial) * 7919;
+    if (per_trial.channel.faulty()) {
+      per_trial.channel.seed =
+          options.channel.seed + static_cast<uint64_t>(trial) * 7919;
+    }
     return std::make_unique<core::NonMonotonicCounter>(num_sites, per_trial);
   };
 }
 
 /// Convenience: the HYZ monotonic counter with the given options (seed is
 /// offset per trial; sampler forced to kLegacyCoins under --legacy_pump,
-/// mirroring CounterFactory).
+/// channel handling mirroring CounterFactory).
 inline std::function<std::unique_ptr<sim::Protocol>(int)> HyzFactory(
     int num_sites, hyz::HyzOptions options) {
   if (BenchLegacyPump()) options.sampler = common::SamplerMode::kLegacyCoins;
+  if (BenchChannel().faulty()) options.channel = BenchChannel();
   return [num_sites, options](int trial) {
     hyz::HyzOptions per_trial = options;
     per_trial.seed = options.seed + static_cast<uint64_t>(trial);
+    if (per_trial.channel.faulty()) {
+      per_trial.channel.seed =
+          options.channel.seed + static_cast<uint64_t>(trial);
+    }
     return std::make_unique<hyz::HyzProtocol>(num_sites, per_trial);
+  };
+}
+
+/// Convenience: a protocol built by name through sim::ProtocolRegistry
+/// (builtins are registered on first use). Session-wide --legacy_pump and
+/// a faulty --channel config fold into the params exactly as in
+/// CounterFactory / HyzFactory. `seed_stride` is the per-trial seed
+/// offset and mirrors whichever factory a call site replaces:
+/// CounterFactory reseeds by 7919 per trial, HyzFactory by 1.
+inline std::function<std::unique_ptr<sim::Protocol>(int)> RegistryFactory(
+    const std::string& name, int num_sites, sim::ProtocolParams params = {},
+    uint64_t seed_stride = 7919) {
+  registry::RegisterBuiltinProtocols();
+  if (BenchLegacyPump()) params.legacy_coins = true;
+  if (BenchChannel().faulty()) params.channel = BenchChannel();
+  return [name, num_sites, params, seed_stride](int trial) {
+    sim::ProtocolParams per_trial = params;
+    per_trial.seed = params.seed + static_cast<uint64_t>(trial) * seed_stride;
+    if (per_trial.channel.faulty()) {
+      per_trial.channel.seed =
+          params.channel.seed + static_cast<uint64_t>(trial) * seed_stride;
+    }
+    return sim::ProtocolRegistry::Global().Create(name, num_sites, per_trial);
   };
 }
 

@@ -51,9 +51,11 @@ echo "== micro benchmarks (simulator hot path) =="
     --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate|SkipSampler|BatchedPump'
 
 # One fast representative per bench family: counter scaling (E2), the
-# monotonic special case / HYZ family (E11), and the adversarial-order
-# family (E8). Each writes its own BENCH_<name>.json alongside the table.
-TRACKED_BENCHES=(bench_e2_multisite bench_e11_monotonic bench_e8_adversarial)
+# monotonic special case / HYZ family (E11), the adversarial-order family
+# (E8), and fault injection (E14). Each writes its own BENCH_<name>.json
+# alongside the table.
+TRACKED_BENCHES=(bench_e2_multisite bench_e11_monotonic bench_e8_adversarial
+                 bench_e14_fault_tolerance)
 for bench in "${TRACKED_BENCHES[@]}"; do
   echo "== ${bench} (threads=${THREADS}) =="
   "${BUILD_DIR}/bench/${bench}" \

@@ -42,7 +42,10 @@ class ExactSyncProtocol::Coordinator : public sim::CoordinatorNode {
   double sum_ = 0.0;
 };
 
-ExactSyncProtocol::ExactSyncProtocol(int num_sites) : network_(num_sites) {
+ExactSyncProtocol::ExactSyncProtocol(int num_sites,
+                                     const sim::ChannelConfig& channel)
+    : network_(num_sites) {
+  network_.SetChannel(sim::MakeChannel(channel));
   coordinator_ = std::make_unique<Coordinator>();
   network_.AttachCoordinator(coordinator_.get());
   sites_.reserve(static_cast<size_t>(num_sites));
@@ -59,6 +62,7 @@ int ExactSyncProtocol::num_sites() const { return network_.num_sites(); }
 void ExactSyncProtocol::ProcessUpdate(int site_id, double value) {
   NMC_CHECK_GE(site_id, 0);
   NMC_CHECK_LT(site_id, num_sites());
+  network_.BeginTick();
   sites_[static_cast<size_t>(site_id)]->OnLocalUpdate(value);
   network_.DeliverAll();
 }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -13,9 +14,15 @@ namespace nmc::baselines {
 /// the only correct strategy for fully adversarial non-monotonic input
 /// (Section 1.1's Omega(n) argument) and the yardstick the sublinear
 /// algorithms are measured against.
+///
+/// Under a faulty channel it degrades unrecoverably: each message carries
+/// one raw value (not a cumulative total), so a dropped message is lost
+/// state no resync can rebuild — Resync() stays false. E14 uses this as
+/// the contrast case for the self-healing protocols.
 class ExactSyncProtocol : public sim::Protocol {
  public:
-  explicit ExactSyncProtocol(int num_sites);
+  explicit ExactSyncProtocol(int num_sites,
+                             const sim::ChannelConfig& channel = {});
   ~ExactSyncProtocol() override;
 
   int num_sites() const override;
@@ -33,4 +40,3 @@ class ExactSyncProtocol : public sim::Protocol {
 };
 
 }  // namespace nmc::baselines
-

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -15,15 +16,21 @@ namespace nmc::baselines {
 /// arbitrarily stale relative to a small |S| — and the benches use it to
 /// show that fixed-rate reporting cannot buy relative accuracy on
 /// non-monotonic streams no matter how the period is tuned.
+///
+/// Pushes carry cumulative totals, so under a faulty channel a lost push
+/// is repaired by the next one; Resync() broadcasts a probe that makes
+/// every site push immediately (2k messages).
 class PeriodicSyncProtocol : public sim::Protocol {
  public:
-  PeriodicSyncProtocol(int num_sites, int64_t period);
+  PeriodicSyncProtocol(int num_sites, int64_t period,
+                       const sim::ChannelConfig& channel = {});
   ~PeriodicSyncProtocol() override;
 
   int num_sites() const override;
   void ProcessUpdate(int site_id, double value) override;
   double Estimate() const override;
   const sim::MessageStats& stats() const override;
+  bool Resync() override;
 
  private:
   class Site;
@@ -35,4 +42,3 @@ class PeriodicSyncProtocol : public sim::Protocol {
 };
 
 }  // namespace nmc::baselines
-

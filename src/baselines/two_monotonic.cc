@@ -8,14 +8,20 @@
 namespace nmc::baselines {
 
 TwoMonotonicProtocol::TwoMonotonicProtocol(int num_sites, double epsilon,
-                                           double delta, uint64_t seed) {
+                                           double delta, uint64_t seed,
+                                           const sim::ChannelConfig& channel) {
   common::Rng seeder(seed);
   hyz::HyzOptions options;
   options.epsilon = epsilon;
   options.delta = delta;
+  // Each counter runs its own star network; distinct channel seeds keep
+  // the two fault patterns independent (unused on the perfect default).
+  options.channel = channel;
   options.seed = seeder.NextU64();
+  options.channel.seed = channel.seed + 1;
   positive_ = std::make_unique<hyz::HyzProtocol>(num_sites, options);
   options.seed = seeder.NextU64();
+  options.channel.seed = channel.seed + 2;
   negative_ = std::make_unique<hyz::HyzProtocol>(num_sites, options);
 }
 
@@ -38,6 +44,12 @@ const sim::MessageStats& TwoMonotonicProtocol::stats() const {
   combined_stats_ = positive_->stats();
   combined_stats_ += negative_->stats();
   return combined_stats_;
+}
+
+bool TwoMonotonicProtocol::Resync() {
+  const bool positive_ok = positive_->Resync();
+  const bool negative_ok = negative_->Resync();
+  return positive_ok && negative_ok;
 }
 
 }  // namespace nmc::baselines

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "hyz/hyz_counter.h"
+#include "sim/channel.h"
 #include "sim/protocol.h"
 
 namespace nmc::baselines {
@@ -19,12 +20,14 @@ namespace nmc::baselines {
 class TwoMonotonicProtocol : public sim::Protocol {
  public:
   TwoMonotonicProtocol(int num_sites, double epsilon, double delta,
-                       uint64_t seed);
+                       uint64_t seed,
+                       const sim::ChannelConfig& channel = {});
 
   int num_sites() const override;
   void ProcessUpdate(int site_id, double value) override;
   double Estimate() const override;
   const sim::MessageStats& stats() const override;
+  bool Resync() override;
 
  private:
   std::unique_ptr<hyz::HyzProtocol> positive_;
@@ -33,4 +36,3 @@ class TwoMonotonicProtocol : public sim::Protocol {
 };
 
 }  // namespace nmc::baselines
-

@@ -142,6 +142,7 @@ struct BenchSession {
   int run_counter = 0;
   int batch = 0;
   bool legacy_pump = false;
+  sim::ChannelConfig channel;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -150,7 +151,113 @@ BenchSession& Session() {
   return session;
 }
 
+/// The single declaration of the shared bench flag vocabulary. Adding a
+/// flag here makes every bench binary (InitBench-based and bench_micro's
+/// peeler alike) accept it and mention it in unknown-flag errors.
+struct BenchFlagSpec {
+  const char* name;   // flag key, without the leading "--"
+  const char* usage;  // how it renders in the help string
+};
+
+constexpr BenchFlagSpec kBenchFlags[] = {
+    {"threads", "--threads=N"},
+    {"json_out", "--json_out=PATH"},
+    {"batch", "--batch=N"},
+    {"legacy_pump", "--legacy_pump"},
+    {"channel", "--channel=perfect|loss|delay"},
+    {"loss", "--loss=P"},
+    {"dup", "--dup=P"},
+    {"delay_prob", "--delay_prob=P"},
+    {"delay_max", "--delay_max=T"},
+    {"channel_seed", "--channel_seed=S"},
+};
+
+bool IsSharedBenchFlag(const std::string& token) {
+  for (const BenchFlagSpec& spec : kBenchFlags) {
+    const std::string prefix = std::string("--") + spec.name;
+    if (token == prefix) return true;
+    if (token.rfind(prefix + "=", 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Reads every shared flag out of `flags` (marking each as queried) into
+/// *values. Returns false with *error set on a semantically bad value that
+/// common::Flags cannot classify itself (an unknown --channel kind).
+bool ConsumeBenchFlags(const common::Flags& flags, BenchFlagValues* values,
+                       std::string* error) {
+  values->threads = flags.Threads();
+  values->json_out = flags.GetString("json_out", "");
+  values->batch = static_cast<int>(flags.GetInt("batch", 0));
+  values->legacy_pump = flags.GetBool("legacy_pump", false);
+
+  sim::ChannelConfig& channel = values->channel;
+  const std::string kind = flags.GetString("channel", "perfect");
+  if (kind == "perfect") {
+    channel.kind = sim::ChannelConfig::Kind::kPerfect;
+  } else if (kind == "loss") {
+    channel.kind = sim::ChannelConfig::Kind::kLoss;
+  } else if (kind == "delay") {
+    channel.kind = sim::ChannelConfig::Kind::kDelay;
+  } else {
+    *error = "--channel expects perfect|loss|delay, got '" + kind + "'";
+    return false;
+  }
+  channel.loss = flags.GetDouble("loss", channel.loss);
+  channel.duplicate = flags.GetDouble("dup", channel.duplicate);
+  channel.delay_probability =
+      flags.GetDouble("delay_prob", channel.delay_probability);
+  channel.max_delay = flags.GetInt("delay_max", channel.max_delay);
+  channel.seed = static_cast<uint64_t>(
+      flags.GetInt("channel_seed", static_cast<int64_t>(channel.seed)));
+  return true;
+}
+
 }  // namespace
+
+std::string BenchFlagHelp() {
+  std::string help = "supported:";
+  bool first = true;
+  for (const BenchFlagSpec& spec : kBenchFlags) {
+    help += first ? " " : ", ";
+    help += spec.usage;
+    first = false;
+  }
+  return help;
+}
+
+void PeelBenchFlags(int argc, const char* const* argv,
+                    const std::string& bench_name, BenchFlagValues* values,
+                    std::vector<std::string>* rest) {
+  std::vector<const char*> ours;
+  ours.push_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (IsSharedBenchFlag(token)) {
+      ours.push_back(argv[i]);
+    } else {
+      rest->push_back(token);
+    }
+  }
+  common::Flags flags;
+  const common::Status status =
+      common::Flags::Parse(static_cast<int>(ours.size()), ours.data(), &flags);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
+                 status.message().c_str());
+    std::exit(2);
+  }
+  std::string error;
+  if (!ConsumeBenchFlags(flags, values, &error)) {
+    std::fprintf(stderr, "%s: %s\n", bench_name.c_str(), error.c_str());
+    std::exit(2);
+  }
+  if (!flags.Malformed().empty()) {
+    std::fprintf(stderr, "%s: malformed value for --%s\n", bench_name.c_str(),
+                 flags.Malformed().front().c_str());
+    std::exit(2);
+  }
+}
 
 void InitBench(int argc, const char* const* argv,
                const std::string& bench_name) {
@@ -159,33 +266,29 @@ void InitBench(int argc, const char* const* argv,
   session.report.bench = bench_name;
   session.start = std::chrono::steady_clock::now();
 
-  common::Flags flags;
-  const common::Status status = common::Flags::Parse(argc, argv, &flags);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
-                 status.message().c_str());
+  BenchFlagValues values;
+  std::vector<std::string> rest;
+  PeelBenchFlags(argc, argv, bench_name, &values, &rest);
+  if (!rest.empty()) {
+    std::fprintf(stderr, "%s: unknown flag %s (%s)\n", bench_name.c_str(),
+                 rest.front().c_str(), BenchFlagHelp().c_str());
     std::exit(2);
   }
-  session.report.threads = flags.Threads();
-  session.json_out = flags.GetString("json_out", "");
-  session.batch = static_cast<int>(flags.GetInt("batch", 0));
-  session.legacy_pump = flags.GetBool("legacy_pump", false);
+  session.report.threads = values.threads;
+  session.json_out = values.json_out;
+  session.batch = values.batch;
+  session.legacy_pump = values.legacy_pump;
+  session.channel = values.channel;
   session.report.batch = session.batch;
   session.report.legacy_pump = session.legacy_pump;
-  const auto unused = flags.UnusedKeys();
-  if (!unused.empty()) {
-    std::fprintf(stderr, "%s: unknown flag --%s (supported: --threads=N, "
-                 "--json_out=PATH, --batch=N, --legacy_pump)\n",
-                 bench_name.c_str(), unused.front().c_str());
-    std::exit(2);
-  }
-  if (!flags.Malformed().empty()) {
-    std::fprintf(stderr, "%s: malformed value for --%s\n", bench_name.c_str(),
-                 flags.Malformed().front().c_str());
-    std::exit(2);
-  }
   if (session.report.threads > 1) {
     std::printf("[bench: %d worker threads]\n", session.report.threads);
+  }
+  if (session.channel.faulty()) {
+    const char* kind =
+        session.channel.kind == sim::ChannelConfig::Kind::kLoss ? "loss"
+                                                                : "delay";
+    std::printf("[bench: %s channel installed]\n", kind);
   }
 }
 
@@ -202,6 +305,10 @@ int BenchBatch() {
 bool BenchLegacyPump() {
   const BenchSession& session = Session();
   return session.initialized && session.legacy_pump;
+}
+
+const sim::ChannelConfig& BenchChannel() {
+  return Session().channel;
 }
 
 void RecordRun(const RunRecord& record) {

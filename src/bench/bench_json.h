@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bench/runner.h"
+#include "sim/channel.h"
 
 namespace nmc::bench {
 
@@ -50,15 +51,47 @@ bool WriteBenchReport(const std::string& path, const BenchReport& report);
 /// is a plain global: InitBench parses the shared flags, Repeat batches
 /// record themselves, FinishBench writes the JSON report if requested.
 
-/// Parses the standard bench flags from argv:
-///   --threads=N    worker threads for Repeat batches (0/absent =
-///                  hardware concurrency, 1 = legacy serial)
-///   --json_out=P   write a BENCH_*.json report to P on FinishBench()
-///   --batch=N      harness batch size for Repeat batches (0/absent =
-///                  harness default)
-///   --legacy_pump  per-update pump + per-coin samplers: reproduces the
-///                  pre-batching execution bit for bit
-/// Exits with status 2 on malformed or unknown flags.
+/// Resolved values of the shared bench flag vocabulary (one declaration,
+/// in bench_json.cc's flag table, consumed by every bench binary):
+///   --threads=N       worker threads for Repeat batches (0/absent =
+///                     hardware concurrency, 1 = legacy serial)
+///   --json_out=P      write a BENCH_*.json report to P on FinishBench()
+///   --batch=N         harness batch size for Repeat batches (0/absent =
+///                     harness default)
+///   --legacy_pump     per-update pump + per-coin samplers: reproduces the
+///                     pre-batching execution bit for bit
+///   --channel=K       fault model: perfect (default) | loss | delay
+///   --loss=P          drop probability per hop (with --channel=loss)
+///   --dup=P           duplicate probability per hop (with --channel=loss)
+///   --delay_prob=P    delay probability per hop (with --channel=delay)
+///   --delay_max=T     max delay in ticks (with --channel=delay)
+///   --channel_seed=S  channel RNG seed (base; offset per trial)
+/// Crash schedules need interval lists and stay config-driven (see
+/// bench_e14_fault_tolerance), not flag-driven.
+struct BenchFlagValues {
+  int threads = 1;
+  std::string json_out;
+  int batch = 0;
+  bool legacy_pump = false;
+  sim::ChannelConfig channel;
+};
+
+/// Splits argv[1..) into the shared bench flags above and everything else.
+/// Shared flags are parsed into *values; unrecognized tokens are appended
+/// to *rest in order, for binaries that forward leftovers to another
+/// library (bench_micro -> google-benchmark). Prints to stderr and exits 2
+/// on a malformed shared-flag value, so every binary rejects bad input the
+/// same way.
+void PeelBenchFlags(int argc, const char* const* argv,
+                    const std::string& bench_name, BenchFlagValues* values,
+                    std::vector<std::string>* rest);
+
+/// "supported: --threads=N, ..." — generated from the same table
+/// PeelBenchFlags parses with, so help text can never drift from parsing.
+std::string BenchFlagHelp();
+
+/// Parses the shared bench flags from argv (see BenchFlagValues). Exits
+/// with status 2 on malformed or unknown flags.
 void InitBench(int argc, const char* const* argv, const std::string& bench_name);
 
 /// Thread count resolved by InitBench (1 before InitBench is called).
@@ -71,6 +104,11 @@ int BenchBatch();
 /// ProcessBatch and the protocol factories in bench_util switch the
 /// samplers to kLegacyCoins.
 bool BenchLegacyPump();
+
+/// Channel model requested by --channel/--loss/... (kPerfect before
+/// InitBench, and by default). The protocol factories in bench_util apply
+/// it when it is faulty.
+const sim::ChannelConfig& BenchChannel();
 
 /// Appends a record to the session report (no-op before InitBench).
 void RecordRun(const RunRecord& record);

@@ -137,6 +137,9 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   void OnCoordinatorMessage(const sim::Message& message) override {
     switch (message.type) {
       case kCollect:
+        // The epoch rides in u; the reply echoes it so the coordinator can
+        // discard replies to abandoned rounds under faulty channels.
+        collect_epoch_ = message.u;
         SendSnapshot(kCollectReply);
         break;
       case kState:
@@ -159,13 +162,15 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   }
 
   /// Emits one message carrying this site's exact totals (used by the
-  /// protocol's ForceSync as well as the regular flows above).
+  /// protocol's ForceSync as well as the regular flows above). Collect
+  /// replies also echo the round epoch in v.
   void SendSnapshot(int type) {
     sim::Message m;
     m.type = type;
     m.u = local_updates_;
     m.a = local_sum_;
     m.b = local_sum_sq_;
+    if (type == kCollectReply) m.v = collect_epoch_;
     network_->SendToCoordinator(site_id_, m);
   }
 
@@ -375,6 +380,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   double rate_scale_ = 1.0;
   bool in_sbc_stage_ = false;
   bool phase2_ = false;
+  int64_t collect_epoch_ = 0;
 };
 
 /// Coordinator-side state machine of Phase 1.
@@ -388,6 +394,7 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
         known_updates_(static_cast<size_t>(num_sites), 0),
         known_sum_(static_cast<size_t>(num_sites), 0.0),
         known_sum_sq_(static_cast<size_t>(num_sites), 0.0),
+        collect_replied_(static_cast<size_t>(num_sites), false),
         gp_(GpSearchOptions{options.gp_epsilon0, options.horizon_n,
                             /*observation_epsilon=*/0.0,
                             /*geometric_checkpoints=*/true}) {
@@ -410,37 +417,58 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
     switch (message.type) {
       case kSyncRequest:
         if (collecting_ || phase2_pending_) break;
-        collecting_ = true;
-        pending_replies_ = num_sites_;
         ++sbc_syncs_;
-        {
-          sim::Message m;
-          m.type = kCollect;
-          network_->Broadcast(m);
-        }
+        StartCollect();
         break;
-      case kCollectReply:
-        NMC_CHECK(collecting_);
-        UpdateKnown(site_id, message.u, message.a, message.b);
+      case kCollectReply: {
+        const size_t i = static_cast<size_t>(site_id);
+        // A faulty channel can replay a reply (duplicate) or deliver one
+        // from an abandoned round (delay across a resync). Totals are
+        // absorbed whenever they are no older than what we know — per-site
+        // totals are monotone in u, so this never regresses state — but
+        // only a first reply to the current epoch advances the round.
+        const bool current = collecting_ && message.v == collect_epoch_ &&
+                             !collect_replied_[i];
+        if (message.u >= known_updates_[i]) {
+          UpdateKnown(site_id, message.u, message.a, message.b);
+        }
+        if (!current) break;
+        collect_replied_[i] = true;
         NMC_CHECK_GT(pending_replies_, 0);
         if (--pending_replies_ == 0) {
           collecting_ = false;
           OnExactState(/*from_collect=*/true, /*reporter=*/-1);
         }
         break;
+      }
       case kStraightReport:
+        // Stale (delayed-past-newer) reports are dropped whole: absorbing
+        // them is a no-op by the monotone rule and acknowledging them
+        // would re-broadcast old state.
+        if (message.u < known_updates_[static_cast<size_t>(site_id)]) break;
         UpdateKnown(site_id, message.u, message.a, message.b);
         ++straight_reports_;
         OnExactState(/*from_collect=*/false, site_id);
         break;
       case kExactReport:
         NMC_CHECK_EQ(num_sites_, 1);
+        if (message.u < known_updates_[static_cast<size_t>(site_id)]) break;
         UpdateKnown(site_id, message.u, message.a, message.b);
         OnExactState(/*from_collect=*/false, /*reporter=*/-1);
         break;
       default:
         NMC_CHECK(false);
     }
+  }
+
+  /// Fault recovery: opens a fresh epoch-tagged collect round, superseding
+  /// any round stuck on lost replies (their late replies are recognized by
+  /// epoch and ignored). No-op once the Phase-2 handoff is pending — the
+  /// HYZ pair owns recovery from there.
+  void BeginResync() {
+    if (phase2_pending_) return;
+    ++resyncs_;
+    StartCollect();
   }
 
   double Estimate() const { return total_sum_; }
@@ -453,10 +481,22 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
   int64_t sbc_syncs() const { return sbc_syncs_; }
   int64_t straight_reports() const { return straight_reports_; }
   int64_t stage_switches() const { return stage_switches_; }
+  int64_t resyncs() const { return resyncs_; }
   bool in_sbc_stage() const { return in_sbc_stage_; }
   bool gp_resolved() const { return gp_.resolved(); }
 
  private:
+  void StartCollect() {
+    collecting_ = true;
+    ++collect_epoch_;
+    pending_replies_ = num_sites_;
+    std::fill(collect_replied_.begin(), collect_replied_.end(), false);
+    sim::Message m;
+    m.type = kCollect;
+    m.u = collect_epoch_;
+    network_->Broadcast(m);
+  }
+
   void UpdateKnown(int site_id, int64_t updates, double sum, double sum_sq) {
     const size_t i = static_cast<size_t>(site_id);
     total_updates_ += updates - known_updates_[i];
@@ -554,6 +594,9 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
   bool in_sbc_stage_ = false;
   bool collecting_ = false;
   int pending_replies_ = 0;
+  int64_t collect_epoch_ = 0;
+  std::vector<bool> collect_replied_;
+  int64_t resyncs_ = 0;
 
   GpSearch gp_;
   bool phase2_pending_ = false;
@@ -571,6 +614,7 @@ NonMonotonicCounter::NonMonotonicCounter(int num_sites,
   NMC_CHECK_GT(options.epsilon, 0.0);
   NMC_CHECK_GE(options.horizon_n, 1);
   NMC_CHECK_GE(options.initial_updates, 0);
+  network_.SetChannel(sim::MakeChannel(options.channel));
   common::Rng seeder(options.seed);
   coordinator_ = std::make_unique<Coordinator>(num_sites, options, &network_);
   network_.AttachCoordinator(coordinator_.get());
@@ -606,13 +650,34 @@ int64_t NonMonotonicCounter::ProcessBatch(int site_id,
         first > 0 ? positive_counter_.get() : negative_counter_.get();
     return target->ProcessRun(site_id, static_cast<int64_t>(run));
   }
+  // Under a faulty channel, advance simulated time (delivering anything
+  // that came due) and process one update per call: fast-forwarding a
+  // silent prefix assumes it stays silent, which delayed delivery breaks.
+  const bool faulty = network_.channeled();
+  if (faulty) network_.BeginTick();
   const int64_t consumed =
-      sites_[static_cast<size_t>(site_id)]->ConsumeRun(values);
+      sites_[static_cast<size_t>(site_id)]->ConsumeRun(
+          faulty ? values.first(1) : values);
   network_.DeliverAll();
   if (coordinator_->phase2_pending() && positive_counter_ == nullptr) {
     ActivatePhase2();
   }
   return consumed;
+}
+
+bool NonMonotonicCounter::Resync() {
+  if (positive_counter_ != nullptr) {
+    const bool positive_ok = positive_counter_->Resync();
+    const bool negative_ok = negative_counter_->Resync();
+    return positive_ok && negative_ok;
+  }
+  if (num_sites() == 1) {
+    sites_[0]->SendSnapshot(kExactReport);
+  } else {
+    coordinator_->BeginResync();
+  }
+  network_.DeliverAll();
+  return true;
 }
 
 void NonMonotonicCounter::ForceSync() {
@@ -663,12 +728,18 @@ void NonMonotonicCounter::ActivatePhase2() {
       hyz_options.mode = hyz::HyzMode::kDeterministic;
     }
   }
+  // The pair inherits the fault model on separate networks; distinct
+  // channel seeds keep the two loss patterns independent. (Under the
+  // default perfect channel the seed is unused and no channel is built.)
+  hyz_options.channel = options_.channel;
   common::Rng seeder(options_.seed ^ 0x9e3779b97f4a7c15ULL);
   hyz_options.seed = seeder.NextU64();
+  hyz_options.channel.seed = options_.channel.seed + 1;
   hyz_options.initial_total = p0;
   positive_counter_ =
       std::make_unique<hyz::HyzProtocol>(num_sites(), hyz_options);
   hyz_options.seed = seeder.NextU64();
+  hyz_options.channel.seed = options_.channel.seed + 2;
   hyz_options.initial_total = n0;
   negative_counter_ =
       std::make_unique<hyz::HyzProtocol>(num_sites(), hyz_options);
@@ -699,6 +770,7 @@ CounterDiagnostics NonMonotonicCounter::diagnostics() const {
   d.straight_reports = coordinator_->straight_reports();
   d.stage_switches = coordinator_->stage_switches();
   d.in_sbc_stage = coordinator_->in_sbc_stage();
+  d.resyncs = coordinator_->resyncs();
   return d;
 }
 

@@ -8,6 +8,7 @@
 #include "common/geometric_skip.h"
 #include "core/gp_search.h"
 #include "hyz/hyz_counter.h"
+#include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -134,6 +135,15 @@ struct CounterOptions {
   double initial_sum = 0.0;
   double initial_sum_sq = 0.0;
 
+  /// Fault model of the Phase-1 star network (and, forked, of the Phase-2
+  /// HYZ pair). The default kPerfect installs nothing and is bit-identical
+  /// to the historical reliable network. Under a faulty channel the counter
+  /// processes updates one at a time in simulated-tick time (fast-forward
+  /// assumes silent prefixes stay silent, which delayed delivery breaks),
+  /// tolerates dropped / delayed / duplicated messages without aborting,
+  /// and recovers exactness via Resync().
+  sim::ChannelConfig channel;
+
   uint64_t seed = 1;
 };
 
@@ -146,6 +156,8 @@ struct CounterDiagnostics {
   int64_t straight_reports = 0;
   int64_t stage_switches = 0;
   bool in_sbc_stage = false;
+  /// Resync() rounds initiated (fault recovery; 0 on perfect channels).
+  int64_t resyncs = 0;
 };
 
 /// The Non-monotonic Counter of Liu, Radunovic and Vojnovic (PODS 2012):
@@ -192,6 +204,13 @@ class NonMonotonicCounter : public sim::Protocol {
   double Estimate() const override;
 
   const sim::MessageStats& stats() const override;
+
+  /// Fault recovery (see Protocol::Resync): starts a fresh epoch-tagged
+  /// collect round (single message in the single-site form; the HYZ pair
+  /// is resynced in Phase 2), abandoning any round stuck on lost replies.
+  /// If the resync traffic is delivered intact, Estimate() is exact
+  /// afterwards.
+  bool Resync() override;
 
   CounterDiagnostics diagnostics() const;
 

@@ -10,9 +10,9 @@ namespace nmc::hyz {
 namespace {
 
 enum MessageType {
-  kReport = 1,        // site -> coord: u = in-round local count
-  kCollect = 2,       // coord -> sites (broadcast): request exact counts
-  kCollectReply = 3,  // site -> coord: u = exact in-round count (then reset)
+  kReport = 1,        // site -> coord: u = in-round local count, v = epoch
+  kCollect = 2,       // coord -> sites (broadcast): u = round epoch
+  kCollectReply = 3,  // site -> coord: u = exact lifetime count, v = epoch
   kNewRound = 4,      // coord -> sites (broadcast): a = sampling probability
 };
 
@@ -84,9 +84,16 @@ class HyzProtocol::Site : public sim::SiteNode {
   void OnCoordinatorMessage(const sim::Message& message) override {
     switch (message.type) {
       case kCollect: {
+        collect_epoch_ = message.u;
+        // The reply carries the lifetime increment count, not the in-round
+        // count: lifetime totals are idempotent, so a reply that is lost,
+        // duplicated, or superseded by a later round loses no counts (the
+        // coordinator rebuilds the exact base from per-site totals).
+        round_base_ += round_count_;
         sim::Message reply;
         reply.type = kCollectReply;
-        reply.u = round_count_;
+        reply.u = round_base_;
+        reply.v = collect_epoch_;
         round_count_ = 0;
         last_reported_ = 0;
         // The reset redefines the reporting state; any cached gap was
@@ -115,6 +122,7 @@ class HyzProtocol::Site : public sim::SiteNode {
     sim::Message m;
     m.type = kReport;
     m.u = round_count_;
+    m.v = collect_epoch_;  // lets the coordinator discard stale-round reports
     last_reported_ = round_count_;
     network_->SendToCoordinator(site_id_, m);
   }
@@ -127,7 +135,11 @@ class HyzProtocol::Site : public sim::SiteNode {
   double rate_ = 1.0;
   int64_t threshold_ = 1;
   int64_t round_count_ = 0;
+  /// Increments absorbed into completed rounds (lifetime = round_base_ +
+  /// round_count_).
+  int64_t round_base_ = 0;
   int64_t last_reported_ = 0;
+  int64_t collect_epoch_ = 0;
 };
 
 /// Coordinator-side state: exact base count from the last collect plus the
@@ -139,7 +151,9 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
         network_(network),
         base_(static_cast<double>(options.initial_total)),
         reported_(static_cast<size_t>(num_sites), false),
-        last_report_(static_cast<size_t>(num_sites), 0) {
+        last_report_(static_cast<size_t>(num_sites), 0),
+        known_total_(static_cast<size_t>(num_sites), 0),
+        collect_replied_(static_cast<size_t>(num_sites), false) {
     NMC_CHECK_GT(options.epsilon, 0.0);
     NMC_CHECK_GT(options.delta, 0.0);
     NMC_CHECK_LT(options.delta, 1.0);
@@ -168,6 +182,13 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
     switch (message.type) {
       case kReport: {
         if (collecting_) break;  // stale report racing a collect
+        // A report from a site whose round is stale (it missed a collect,
+        // or the report was delayed across one) counts increments already
+        // folded into the base; same-round reports only ever grow, so the
+        // monotone check also discards reorderings. Both are no-ops on a
+        // perfect channel.
+        if (message.v != collect_epoch_) break;
+        if (reported_[i] && message.u < last_report_[i]) break;
         contribution_sum_ -= Contribution(i);
         reported_[i] = true;
         last_report_[i] = message.u;
@@ -176,9 +197,15 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
         break;
       }
       case kCollectReply: {
-        NMC_CHECK(collecting_);
+        // Lifetime totals are monotone: absorb whenever at least as new as
+        // what we know, but only a first reply to the current epoch
+        // advances the round.
+        const bool current = collecting_ && message.v == collect_epoch_ &&
+                             !collect_replied_[i];
+        if (message.u >= known_total_[i]) known_total_[i] = message.u;
+        if (!current) break;
+        collect_replied_[i] = true;
         NMC_CHECK_GT(pending_replies_, 0);
-        collected_sum_ += message.u;
         if (--pending_replies_ == 0) FinishCollect();
         break;
       }
@@ -186,6 +213,10 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
         NMC_CHECK(false);
     }
   }
+
+  /// Fault recovery: opens a fresh epoch-tagged collect round, superseding
+  /// any round stuck on lost replies.
+  void ForceCollect() { StartCollect(); }
 
   double Estimate() const { return base_ + contribution_sum_; }
   double rate() const { return rate_; }
@@ -229,16 +260,29 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
   void MaybeStartCollect() {
     if (collecting_) return;
     if (Estimate() < 2.0 * std::max(base_, 1.0)) return;
+    StartCollect();
+  }
+
+  void StartCollect() {
     collecting_ = true;
+    ++collect_epoch_;
     pending_replies_ = static_cast<int>(reported_.size());
-    collected_sum_ = 0;
+    std::fill(collect_replied_.begin(), collect_replied_.end(), false);
     sim::Message m;
     m.type = kCollect;
+    m.u = collect_epoch_;
     network_->Broadcast(m);
   }
 
   void FinishCollect() {
-    base_ += static_cast<double>(collected_sum_);
+    // Rebuild the exact base from the per-site lifetime totals. On a
+    // perfect channel this equals the old sum-of-collected-deltas
+    // accumulation exactly (integer arithmetic below 2^53); under faults
+    // it is self-healing — a site's missed collect is repaired by its next
+    // successful one.
+    int64_t lifetime = 0;
+    for (const int64_t total : known_total_) lifetime += total;
+    base_ = static_cast<double>(options_.initial_total + lifetime);
     std::fill(reported_.begin(), reported_.end(), false);
     std::fill(last_report_.begin(), last_report_.end(), 0);
     contribution_sum_ = 0.0;
@@ -254,15 +298,19 @@ class HyzProtocol::Coordinator : public sim::CoordinatorNode {
   int64_t threshold_ = 1;
   std::vector<bool> reported_;
   std::vector<int64_t> last_report_;
+  /// Lifetime increment count per site, as of its newest collect reply.
+  std::vector<int64_t> known_total_;
+  std::vector<bool> collect_replied_;
   double contribution_sum_ = 0.0;
   bool collecting_ = false;
   int pending_replies_ = 0;
-  int64_t collected_sum_ = 0;
+  int64_t collect_epoch_ = 0;
   int64_t rounds_ = 0;
 };
 
 HyzProtocol::HyzProtocol(int num_sites, const HyzOptions& options)
     : network_(num_sites) {
+  network_.SetChannel(sim::MakeChannel(options.channel));
   common::Rng seeder(options.seed);
   coordinator_ = std::make_unique<Coordinator>(num_sites, options, &network_);
   network_.AttachCoordinator(coordinator_.get());
@@ -298,10 +346,23 @@ int64_t HyzProtocol::ProcessBatch(int site_id, std::span<const double> values) {
 int64_t HyzProtocol::ProcessRun(int site_id, int64_t count) {
   NMC_CHECK_GE(site_id, 0);
   NMC_CHECK_LT(site_id, num_sites());
+  // Under a faulty channel, advance simulated time (delivering anything
+  // that came due) and process one increment per call: fast-forwarding a
+  // silent run assumes it stays silent, which delayed delivery breaks.
+  if (network_.channeled()) {
+    network_.BeginTick();
+    count = 1;
+  }
   const int64_t consumed =
       sites_[static_cast<size_t>(site_id)]->ConsumeRun(count);
   network_.DeliverAll();
   return consumed;
+}
+
+bool HyzProtocol::Resync() {
+  coordinator_->ForceCollect();
+  network_.DeliverAll();
+  return true;
 }
 
 double HyzProtocol::Estimate() const { return coordinator_->Estimate(); }

@@ -9,6 +9,7 @@
 
 #include "common/geometric_skip.h"
 #include "common/rng.h"
+#include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/protocol.h"
 
@@ -50,6 +51,15 @@ struct HyzOptions {
   /// mid-stream from an exact snapshot (Phase 2 of the non-monotonic
   /// counter).
   int64_t initial_total = 0;
+
+  /// Fault model of the star network (default: perfect, bit-identical to
+  /// the historical reliable network). Under a faulty channel the counter
+  /// processes increments one at a time in simulated-tick time, survives
+  /// dropped / delayed / duplicated messages (collect rounds are epoch-
+  /// tagged and replies carry lifetime totals, so lost replies lose no
+  /// counts), and recovers exactness via Resync().
+  sim::ChannelConfig channel;
+
   uint64_t seed = 1;
 };
 
@@ -99,6 +109,11 @@ class HyzProtocol : public sim::Protocol {
   double Estimate() const override;
 
   const sim::MessageStats& stats() const override;
+
+  /// Fault recovery (see Protocol::Resync): forces a fresh epoch-tagged
+  /// collect round, abandoning any round stuck on lost replies. If the
+  /// resync traffic is delivered intact, Estimate() is exact afterwards.
+  bool Resync() override;
 
   /// Taps the network (see sim::Network::SetObserver) — used by the
   /// skip-vs-coins equivalence tests to histogram inter-report gaps.

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace nmc::registry {
+
+/// Registers every protocol in the library with
+/// sim::ProtocolRegistry::Global() under these names:
+///
+///   counter, counter_drift, horizon_free, hyz, hyz_deterministic,
+///   exact_sync, periodic_sync, two_monotonic
+///
+/// Idempotent and safe to call from every bench/test entry point. Lives
+/// above the protocol layers (sim cannot depend on core/hyz/baselines), so
+/// linking nmc_registry is what makes the names available.
+void RegisterBuiltinProtocols();
+
+}  // namespace nmc::registry

@@ -27,6 +27,13 @@ struct MessageStats {
   /// Number of Broadcast() calls (already included in coordinator_to_site
   /// at cost k each); kept separately so benches can report sync counts.
   int64_t broadcasts = 0;
+  /// Channel-model fault counters (all zero under the perfect channel).
+  /// Every adjudicated hop is still charged to the directional counters
+  /// above — the transmission happened; the fault describes its fate — so
+  /// total() is the communication cost whatever the channel did.
+  int64_t dropped = 0;
+  int64_t delayed = 0;
+  int64_t duplicated = 0;
 
   int64_t total() const { return site_to_coordinator + coordinator_to_site; }
 
@@ -34,6 +41,9 @@ struct MessageStats {
     site_to_coordinator += other.site_to_coordinator;
     coordinator_to_site += other.coordinator_to_site;
     broadcasts += other.broadcasts;
+    dropped += other.dropped;
+    delayed += other.delayed;
+    duplicated += other.duplicated;
     return *this;
   }
 };

@@ -1,8 +1,10 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "sim/channel.h"
 
 namespace nmc::sim {
 
@@ -19,6 +21,8 @@ Network::Network(int num_sites) : num_sites_(num_sites) {
   breakdown_by_type_.resize(kInitialTypeSlots);
 }
 
+Network::~Network() = default;
+
 void Network::AttachCoordinator(CoordinatorNode* coordinator) {
   NMC_CHECK(coordinator != nullptr);
   coordinator_ = coordinator;
@@ -31,8 +35,56 @@ void Network::AttachSite(int site_id, SiteNode* site) {
   sites_[static_cast<size_t>(site_id)] = site;
 }
 
+void Network::SetChannel(std::unique_ptr<ChannelModel> channel) {
+  NMC_CHECK_EQ(stats_.total(), 0);  // install before the first send
+  channel_ = std::move(channel);
+}
+
 void Network::GrowBreakdown(size_t index) {
   breakdown_by_type_.resize(std::max(index + 1, breakdown_by_type_.size() * 2));
+}
+
+void Network::Route(const Envelope& envelope) {
+  const ChannelVerdict verdict = channel_->Adjudicate(
+      Hop{envelope.to_coordinator, envelope.site_id, tick_, envelope.message});
+  switch (verdict.action) {
+    case ChannelVerdict::Action::kDeliver:
+      queue_.push_back(envelope);
+      break;
+    case ChannelVerdict::Action::kDrop:
+      stats_.dropped += 1;
+      break;
+    case ChannelVerdict::Action::kDelay:
+      NMC_CHECK_GE(verdict.delay_ticks, 1);
+      stats_.delayed += 1;
+      delayed_.push_back(DelayedEnvelope{tick_ + verdict.delay_ticks, envelope});
+      break;
+    case ChannelVerdict::Action::kDuplicate:
+      stats_.duplicated += 1;
+      queue_.push_back(envelope);
+      queue_.push_back(envelope);
+      break;
+  }
+}
+
+void Network::BeginTickSlow() {
+  NMC_CHECK(!delivering_);  // ticks advance between updates, not mid-pump
+  ++tick_;
+  if (!delayed_.empty()) {
+    // Flush due envelopes into the delivery queue, keeping both the due
+    // batch and the survivors in send order (the vector is append-only
+    // between flushes, so one stable pass preserves it).
+    size_t kept = 0;
+    for (DelayedEnvelope& delayed : delayed_) {
+      if (delayed.due <= tick_) {
+        queue_.push_back(delayed.envelope);
+      } else {
+        delayed_[kept++] = delayed;
+      }
+    }
+    delayed_.resize(kept);
+    if (head_ < queue_.size()) DeliverAll();
+  }
 }
 
 void Network::SendToCoordinator(int from_site, const Message& message) {
@@ -42,7 +94,12 @@ void Network::SendToCoordinator(int from_site, const Message& message) {
   stats_.site_to_coordinator += 1;
   BreakdownSlot(message.type).to_coordinator += 1;
   if (has_observer_) observer_(SentMessage{true, from_site, message});
-  queue_.push_back(Envelope{/*to_coordinator=*/true, from_site, message});
+  const Envelope envelope{/*to_coordinator=*/true, from_site, message};
+  if (channel_ == nullptr) {
+    queue_.push_back(envelope);
+  } else {
+    Route(envelope);
+  }
 }
 
 void Network::SendToSite(int site_id, const Message& message) {
@@ -52,7 +109,12 @@ void Network::SendToSite(int site_id, const Message& message) {
   stats_.coordinator_to_site += 1;
   BreakdownSlot(message.type).to_sites += 1;
   if (has_observer_) observer_(SentMessage{false, site_id, message});
-  queue_.push_back(Envelope{/*to_coordinator=*/false, site_id, message});
+  const Envelope envelope{/*to_coordinator=*/false, site_id, message};
+  if (channel_ == nullptr) {
+    queue_.push_back(envelope);
+  } else {
+    Route(envelope);
+  }
 }
 
 void Network::Broadcast(const Message& message) {
@@ -62,7 +124,12 @@ void Network::Broadcast(const Message& message) {
   BreakdownSlot(message.type).to_sites += num_sites_;
   for (int s = 0; s < num_sites_; ++s) {
     if (has_observer_) observer_(SentMessage{false, s, message});
-    queue_.push_back(Envelope{/*to_coordinator=*/false, s, message});
+    const Envelope envelope{/*to_coordinator=*/false, s, message};
+    if (channel_ == nullptr) {
+      queue_.push_back(envelope);
+    } else {
+      Route(envelope);
+    }
   }
 }
 
@@ -90,14 +157,13 @@ void Network::DeliverAll() {
   delivering_ = false;
 }
 
-// nmc-lint: allow(NO_MAP_IN_HOT_PATH) cold-path diagnostic, built on demand from the dense array
-std::map<int, Network::TypeBreakdown> Network::type_breakdown() const {
-  // nmc-lint: allow(NO_MAP_IN_HOT_PATH) local to the on-demand snapshot above, never touched during delivery
-  std::map<int, TypeBreakdown> breakdown;
+std::vector<Network::TypeCount> Network::type_breakdown() const {
+  std::vector<TypeCount> breakdown;
   for (size_t type = 0; type < breakdown_by_type_.size(); ++type) {
-    const TypeBreakdown& counts = breakdown_by_type_[type];
+    const DirectionCount& counts = breakdown_by_type_[type];
     if (counts.to_coordinator != 0 || counts.to_sites != 0) {
-      breakdown[static_cast<int>(type)] = counts;
+      breakdown.push_back(TypeCount{static_cast<int>(type),
+                                    counts.to_coordinator, counts.to_sites});
     }
   }
   return breakdown;

@@ -2,13 +2,18 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/message.h"
 #include "sim/node.h"
 
 namespace nmc::sim {
+
+// Defined in sim/channel.h; only a pointer is held here, so the heavy
+// header (which pulls in the RNG) stays out of every protocol's include
+// chain.
+class ChannelModel;
 
 /// The star network connecting k sites to one coordinator. It is the only
 /// channel protocols may use, and it charges every transmission to
@@ -20,18 +25,29 @@ namespace nmc::sim {
 /// the next update (communication is only initiated by a site receiving an
 /// update, and arrival times are under adversary control).
 ///
+/// A pluggable ChannelModel relaxes that model: when one is installed (see
+/// SetChannel), every hop is adjudicated at send time and may be dropped,
+/// delayed by d simulated ticks, or duplicated. Simulated time advances via
+/// BeginTick(), called by protocols once per stream update; messages
+/// delayed to tick t are delivered at the start of tick t, before the
+/// update is processed, in their original send order. With no channel (the
+/// default) the fault machinery costs one branch per send and the behavior
+/// is bit-identical to the historical perfectly-reliable network.
+///
 /// The Network does not own the nodes; protocols own their nodes and attach
 /// them before use.
 ///
 /// Per-message work is allocation-free in the steady state: the delivery
 /// queue is a flat vector whose storage is reused across DeliverAll()
-/// calls, the per-type accounting is a dense array indexed by message type
-/// (protocol type discriminators are small non-negative enums), and the
-/// observer hook costs one branch on a plain bool when no observer is
-/// installed.
+/// calls (the delayed queue works the same way, compacted in place as
+/// messages come due), the per-type accounting is a dense array indexed by
+/// message type (protocol type discriminators are small non-negative
+/// enums), and the observer hook costs one branch on a plain bool when no
+/// observer is installed.
 class Network {
  public:
   explicit Network(int num_sites);
+  ~Network();  // out-of-line: ChannelModel is incomplete here
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -41,13 +57,40 @@ class Network {
   void AttachCoordinator(CoordinatorNode* coordinator);
   void AttachSite(int site_id, SiteNode* site);
 
+  /// Installs the channel model adjudicating every subsequent hop; nullptr
+  /// (the default) is the perfect channel. Install before the first send —
+  /// swapping models mid-run is not supported (delayed messages in flight
+  /// would straddle two fault regimes).
+  void SetChannel(std::unique_ptr<ChannelModel> channel);
+
+  /// True when a channel model is installed. Protocols use this to pick the
+  /// per-update processing path under faults (batch fast-forwarding assumes
+  /// silent prefixes stay silent, which delayed delivery breaks).
+  bool channeled() const { return channel_ != nullptr; }
+
+  /// Current simulated time: the number of BeginTick() calls so far.
+  int64_t now() const { return tick_; }
+
+  /// Advances simulated time by one stream update and delivers any delayed
+  /// messages that have come due (in send order). No-op without a channel.
+  void BeginTick() {
+    if (channel_ != nullptr) BeginTickSlow();
+  }
+
+  /// Messages currently held in the delayed queue.
+  int64_t pending_delayed() const {
+    return static_cast<int64_t>(delayed_.size());
+  }
+
   /// Site -> coordinator unicast (1 message).
   void SendToCoordinator(int from_site, const Message& message);
 
   /// Coordinator -> site unicast (1 message).
   void SendToSite(int site_id, const Message& message);
 
-  /// Coordinator -> all sites (k messages).
+  /// Coordinator -> all sites (k messages). Under a channel model each
+  /// recipient's copy is adjudicated independently (the fault unit is the
+  /// point-to-point link), so a broadcast can partially fail.
   void Broadcast(const Message& message);
 
   /// Delivers queued messages (and any messages their handlers send) until
@@ -59,19 +102,19 @@ class Network {
   /// Total messages transmitted so far.
   int64_t total_messages() const { return stats_.total(); }
 
-  /// Per-direction message counts keyed by the protocol's message type
-  /// discriminator — a debugging/analysis view (e.g. how much of a
-  /// counter's cost is collect traffic vs state broadcasts).
-  struct TypeBreakdown {
+  /// Per-direction message counts for one protocol message type — a
+  /// debugging/analysis view (e.g. how much of a counter's cost is collect
+  /// traffic vs state broadcasts).
+  struct TypeCount {
+    int type = 0;
     int64_t to_coordinator = 0;
     int64_t to_sites = 0;
   };
 
-  /// Snapshot of the per-type counts, keyed by type, with untouched types
-  /// omitted. Built on demand from the internal dense array — call off the
-  /// hot path (the accounting itself is always on).
-  // nmc-lint: allow(NO_MAP_IN_HOT_PATH) cold-path diagnostic snapshot, built on demand; delivery accounting stays in the dense array
-  std::map<int, TypeBreakdown> type_breakdown() const;
+  /// Snapshot of the per-type counts in ascending type order, with
+  /// untouched types omitted. Built on demand from the internal dense
+  /// array — call off the hot path (the accounting itself is always on).
+  std::vector<TypeCount> type_breakdown() const;
 
   /// One transmitted message, as seen by the observer below.
   struct SentMessage {
@@ -83,8 +126,8 @@ class Network {
   };
 
   /// Installs a tap that sees every transmission at send time (before
-  /// delivery), in order. For tracing, golden-transcript tests, and
-  /// debugging; pass nullptr to remove. Observation does not affect
+  /// channel adjudication), in order. For tracing, golden-transcript tests,
+  /// and debugging; pass nullptr to remove. Observation does not affect
   /// accounting or delivery.
   void SetObserver(std::function<void(const SentMessage&)> observer) {
     observer_ = std::move(observer);
@@ -98,13 +141,29 @@ class Network {
     Message message;
   };
 
-  TypeBreakdown& BreakdownSlot(int type) {
+  struct DelayedEnvelope {
+    int64_t due = 0;  // tick at whose start the envelope is delivered
+    Envelope envelope;
+  };
+
+  struct DirectionCount {
+    int64_t to_coordinator = 0;
+    int64_t to_sites = 0;
+  };
+
+  DirectionCount& BreakdownSlot(int type) {
     const size_t index = static_cast<size_t>(type);
     if (index >= breakdown_by_type_.size()) GrowBreakdown(index);
     return breakdown_by_type_[index];
   }
 
   void GrowBreakdown(size_t index);
+
+  /// Channel adjudication path for one hop (only reached when a channel is
+  /// installed).
+  void Route(const Envelope& envelope);
+
+  void BeginTickSlow();
 
   int num_sites_;
   CoordinatorNode* coordinator_ = nullptr;
@@ -114,14 +173,18 @@ class Network {
   /// steady state never reallocates.
   std::vector<Envelope> queue_;
   size_t head_ = 0;
+  /// Messages a channel delayed, in send order; flushed (stably, in place)
+  /// into queue_ as their due ticks arrive.
+  std::vector<DelayedEnvelope> delayed_;
+  std::unique_ptr<ChannelModel> channel_;
+  int64_t tick_ = 0;
   MessageStats stats_;
   /// Dense per-type counters; index = message type. Types are expected to
   /// be small non-negative ints (protocol enums); negative types abort.
-  std::vector<TypeBreakdown> breakdown_by_type_;
+  std::vector<DirectionCount> breakdown_by_type_;
   std::function<void(const SentMessage&)> observer_;
   bool has_observer_ = false;
   bool delivering_ = false;
 };
 
 }  // namespace nmc::sim
-

@@ -43,6 +43,14 @@ class Protocol {
   /// after every ProcessUpdate — the tracking guarantee is continuous.
   virtual double Estimate() const = 0;
 
+  /// Coordinator-driven recovery hook for unreliable channels: re-collects
+  /// enough state that, if every resync message is delivered, Estimate() is
+  /// exact again afterwards. Returns false when the protocol has no such
+  /// path (the default) — e.g. a stateless baseline whose lost messages are
+  /// unrecoverable. Costs O(k) messages per call; never called by the
+  /// perfect-channel harness paths.
+  virtual bool Resync() { return false; }
+
   virtual const MessageStats& stats() const = 0;
 };
 

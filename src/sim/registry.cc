@@ -1,0 +1,73 @@
+#include "sim/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nmc::sim {
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = new ProtocolRegistry();
+  return *registry;
+}
+
+const ProtocolRegistry::Entry* ProtocolRegistry::Find(
+    std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& entry, std::string_view key) { return entry.name < key; });
+  if (it == entries_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+bool ProtocolRegistry::Register(std::string name, const ProtocolTraits& traits,
+                                Builder builder) {
+  NMC_CHECK(!name.empty());
+  NMC_CHECK(builder != nullptr);
+  if (Find(name) != nullptr) return false;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& entry, const std::string& key) {
+        return entry.name < key;
+      });
+  entries_.insert(it, Entry{std::move(name), traits, std::move(builder)});
+  return true;
+}
+
+bool ProtocolRegistry::Contains(std::string_view name) const {
+  return Find(name) != nullptr;
+}
+
+const ProtocolTraits* ProtocolRegistry::Traits(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr ? &entry->traits : nullptr;
+}
+
+std::unique_ptr<Protocol> ProtocolRegistry::Create(
+    std::string_view name, int num_sites, const ProtocolParams& params) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "ProtocolRegistry: unknown protocol \"%.*s\"; known:",
+                 static_cast<int>(name.size()), name.data());
+    for (const Entry& known : entries_) {
+      std::fprintf(stderr, " %s", known.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    NMC_CHECK(entry != nullptr);
+  }
+  std::unique_ptr<Protocol> protocol = entry->builder(num_sites, params);
+  NMC_CHECK(protocol != nullptr);
+  NMC_CHECK_EQ(protocol->num_sites(), num_sites);
+  return protocol;
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace nmc::sim

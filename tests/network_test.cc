@@ -154,13 +154,16 @@ TEST_F(NetworkTest, TypeBreakdownTracksDirections) {
   network_->SendToSite(2, state);
   network_->Broadcast(state);
   network_->DeliverAll();
-  const auto& breakdown = network_->type_breakdown();
-  ASSERT_EQ(breakdown.count(5), 1u);
-  ASSERT_EQ(breakdown.count(9), 1u);
-  EXPECT_EQ(breakdown.at(5).to_coordinator, 2);
-  EXPECT_EQ(breakdown.at(5).to_sites, 0);
-  EXPECT_EQ(breakdown.at(9).to_coordinator, 0);
-  EXPECT_EQ(breakdown.at(9).to_sites, 1 + 3);  // unicast + broadcast(k=3)
+  const std::vector<Network::TypeCount> breakdown =
+      network_->type_breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  // The view is sorted by type, so the rows are addressable by position.
+  EXPECT_EQ(breakdown[0].type, 5);
+  EXPECT_EQ(breakdown[0].to_coordinator, 2);
+  EXPECT_EQ(breakdown[0].to_sites, 0);
+  EXPECT_EQ(breakdown[1].type, 9);
+  EXPECT_EQ(breakdown[1].to_coordinator, 0);
+  EXPECT_EQ(breakdown[1].to_sites, 1 + 3);  // unicast + broadcast(k=3)
 }
 
 TEST_F(NetworkTest, TypeBreakdownSumMatchesStats) {
@@ -172,9 +175,9 @@ TEST_F(NetworkTest, TypeBreakdownSumMatchesStats) {
   }
   network_->DeliverAll();
   int64_t up = 0, down = 0;
-  for (const auto& [type, counts] : network_->type_breakdown()) {
-    up += counts.to_coordinator;
-    down += counts.to_sites;
+  for (const Network::TypeCount& row : network_->type_breakdown()) {
+    up += row.to_coordinator;
+    down += row.to_sites;
   }
   EXPECT_EQ(up, network_->stats().site_to_coordinator);
   EXPECT_EQ(down, network_->stats().coordinator_to_site);

@@ -1,112 +1,69 @@
 // Protocol conformance suite: a battery of contracts every sim::Protocol
-// in the library must satisfy, applied uniformly via factories. This is
-// what guarantees the benches can treat protocols interchangeably.
+// in the library must satisfy, applied uniformly to every protocol in
+// sim::ProtocolRegistry. This is what guarantees the benches can treat
+// protocols interchangeably — and that anything newly registered is held
+// to the same contracts automatically.
 
 #include <cmath>
-#include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "baselines/exact_sync.h"
-#include "baselines/periodic_sync.h"
-#include "baselines/two_monotonic.h"
-#include "core/horizon_free.h"
-#include "core/nonmonotonic_counter.h"
-#include "hyz/hyz_counter.h"
+#include "registry/builtin.h"
 #include "sim/assignment.h"
+#include "sim/channel.h"
+#include "sim/registry.h"
 #include "streams/bernoulli.h"
 
 namespace nmc {
 namespace {
 
+/// Number of builtin protocols the suite is instantiated over. If this
+/// fails, a protocol was (de)registered: update kBuiltinCount and the
+/// Range below so the new protocol is covered.
+constexpr size_t kBuiltinCount = 8;
+
 struct ProtocolSpec {
   std::string name;
-  std::function<std::unique_ptr<sim::Protocol>(int k, uint64_t seed)> make;
-  /// Whether the protocol accepts arbitrary values in [-1, 1] (false:
-  /// monotonic/±1-only protocols get a ±1 or all-ones stream).
-  bool general_values = true;
-  bool monotonic_only = false;
+  sim::ProtocolTraits traits;
 };
 
 std::vector<ProtocolSpec> AllProtocols() {
+  registry::RegisterBuiltinProtocols();
+  const sim::ProtocolRegistry& registry = sim::ProtocolRegistry::Global();
   std::vector<ProtocolSpec> specs;
-  specs.push_back({"counter",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     core::CounterOptions options;
-                     options.epsilon = 0.2;
-                     options.horizon_n = 4096;
-                     options.seed = seed;
-                     return std::make_unique<core::NonMonotonicCounter>(
-                         k, options);
-                   },
-                   true, false});
-  specs.push_back({"counter_drift_mode",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     core::CounterOptions options;
-                     options.epsilon = 0.2;
-                     options.horizon_n = 4096;
-                     options.drift_mode = core::DriftMode::kUnknownUnitDrift;
-                     options.seed = seed;
-                     return std::make_unique<core::NonMonotonicCounter>(
-                         k, options);
-                   },
-                   false, false});
-  specs.push_back({"horizon_free",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     core::HorizonFreeOptions options;
-                     options.counter.epsilon = 0.2;
-                     options.counter.seed = seed;
-                     options.initial_horizon = 512;
-                     return std::make_unique<core::HorizonFreeCounter>(
-                         k, options);
-                   },
-                   true, false});
-  specs.push_back({"hyz_sampled",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     hyz::HyzOptions options;
-                     options.epsilon = 0.2;
-                     options.seed = seed;
-                     return std::make_unique<hyz::HyzProtocol>(k, options);
-                   },
-                   false, true});
-  specs.push_back({"hyz_deterministic",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     hyz::HyzOptions options;
-                     options.mode = hyz::HyzMode::kDeterministic;
-                     options.epsilon = 0.2;
-                     options.seed = seed;
-                     return std::make_unique<hyz::HyzProtocol>(k, options);
-                   },
-                   false, true});
-  specs.push_back({"exact_sync",
-                   [](int k, uint64_t) -> std::unique_ptr<sim::Protocol> {
-                     return std::make_unique<baselines::ExactSyncProtocol>(k);
-                   },
-                   true, false});
-  specs.push_back({"periodic_sync",
-                   [](int k, uint64_t) -> std::unique_ptr<sim::Protocol> {
-                     return std::make_unique<baselines::PeriodicSyncProtocol>(
-                         k, 8);
-                   },
-                   true, false});
-  specs.push_back({"two_monotonic",
-                   [](int k, uint64_t seed) -> std::unique_ptr<sim::Protocol> {
-                     return std::make_unique<baselines::TwoMonotonicProtocol>(
-                         k, 0.2, 1e-6, seed);
-                   },
-                   false, false});
+  for (const std::string& name : registry.Names()) {
+    specs.push_back({name, *registry.Traits(name)});
+  }
   return specs;
+}
+
+sim::ProtocolParams BaseParams(uint64_t seed) {
+  sim::ProtocolParams params;
+  params.epsilon = 0.2;
+  params.horizon_n = 4096;
+  params.delta = 1e-6;
+  params.period = 8;
+  params.seed = seed;
+  return params;
+}
+
+std::unique_ptr<sim::Protocol> Make(const ProtocolSpec& spec, int k,
+                                    uint64_t seed) {
+  return sim::ProtocolRegistry::Global().Create(spec.name, k,
+                                                BaseParams(seed));
 }
 
 std::vector<double> StreamFor(const ProtocolSpec& spec, int64_t n,
                               uint64_t seed) {
-  if (spec.monotonic_only) {
+  if (spec.traits.monotonic_only) {
     return std::vector<double>(static_cast<size_t>(n), 1.0);
   }
-  if (!spec.general_values) {
+  if (!spec.traits.general_values) {
     return streams::BernoulliStream(n, 0.3, seed);  // ±1 only
   }
   return streams::FractionalIidStream(n, 0.1, 0.9, seed);
@@ -117,23 +74,29 @@ class ConformanceTest : public ::testing::TestWithParam<size_t> {
   ProtocolSpec spec() const { return AllProtocols()[GetParam()]; }
 };
 
+TEST(ConformanceRegistryTest, InstantiationCoversTheWholeRegistry) {
+  EXPECT_EQ(AllProtocols().size(), kBuiltinCount)
+      << "registry changed: update kBuiltinCount and the Range in the "
+         "INSTANTIATE below";
+}
+
 TEST_P(ConformanceTest, ReportsNumSites) {
   const auto s = spec();
   for (int k : {1, 3, 16}) {
-    auto protocol = s.make(k, 1);
+    auto protocol = Make(s, k, 1);
     EXPECT_EQ(protocol->num_sites(), k) << s.name;
   }
 }
 
 TEST_P(ConformanceTest, EstimateValidBeforeAnyUpdate) {
   const auto s = spec();
-  auto protocol = s.make(2, 1);
+  auto protocol = Make(s, 2, 1);
   EXPECT_DOUBLE_EQ(protocol->Estimate(), 0.0) << s.name;
 }
 
 TEST_P(ConformanceTest, StatsMonotoneNondecreasing) {
   const auto s = spec();
-  auto protocol = s.make(3, 2);
+  auto protocol = Make(s, 3, 2);
   const auto stream = StreamFor(s, 512, 3);
   int64_t previous = protocol->stats().total();
   for (int64_t t = 0; t < 512; ++t) {
@@ -148,7 +111,7 @@ TEST_P(ConformanceTest, StatsMonotoneNondecreasing) {
 TEST_P(ConformanceTest, DeterministicInSeed) {
   const auto s = spec();
   auto run = [&](uint64_t seed) {
-    auto protocol = s.make(2, seed);
+    auto protocol = Make(s, 2, seed);
     const auto stream = StreamFor(s, 1024, 7);
     for (int64_t t = 0; t < 1024; ++t) {
       protocol->ProcessUpdate(static_cast<int>(t % 2),
@@ -166,7 +129,7 @@ TEST_P(ConformanceTest, EstimateTracksTheSumLoosely) {
   // for every protocol except the intentionally broken baselines.
   const auto s = spec();
   if (s.name == "periodic_sync" || s.name == "two_monotonic") return;
-  auto protocol = s.make(2, 5);
+  auto protocol = Make(s, 2, 5);
   const auto stream = StreamFor(s, 2048, 9);
   double sum = 0.0;
   for (int64_t t = 0; t < 2048; ++t) {
@@ -182,7 +145,7 @@ TEST_P(ConformanceTest, SurvivesAllAssignmentPolicies) {
   const auto s = spec();
   for (const char* psi_name : {"round_robin", "random", "single", "block",
                                "sign_split", "zero_crossing"}) {
-    auto protocol = s.make(4, 11);
+    auto protocol = Make(s, 4, 11);
     auto psi = sim::MakeAssignment(psi_name, 4, 13);
     ASSERT_NE(psi, nullptr);
     const auto stream = StreamFor(s, 512, 15);
@@ -194,8 +157,78 @@ TEST_P(ConformanceTest, SurvivesAllAssignmentPolicies) {
   }
 }
 
+/// The ProcessBatch contract: feeding same-site runs through ProcessBatch
+/// (honoring its consume-a-prefix return) must be bit-identical to feeding
+/// the same updates one at a time — same estimates, same message counts.
+TEST_P(ConformanceTest, ProcessBatchMatchesPerUpdateExecution) {
+  const auto s = spec();
+  auto per_update = Make(s, 3, 33);
+  auto batched = Make(s, 3, 33);
+  const auto stream = StreamFor(s, 1024, 21);
+  constexpr int64_t kRun = 16;  // same-site run length
+  for (int64_t base = 0; base < 1024; base += kRun) {
+    const int site = static_cast<int>((base / kRun) % 3);
+    for (int64_t t = base; t < base + kRun; ++t) {
+      per_update->ProcessUpdate(site, stream[static_cast<size_t>(t)]);
+    }
+    std::span<const double> run(stream.data() + base,
+                                static_cast<size_t>(kRun));
+    while (!run.empty()) {
+      const int64_t consumed = batched->ProcessBatch(site, run);
+      ASSERT_GE(consumed, 1) << s.name;
+      ASSERT_LE(consumed, static_cast<int64_t>(run.size())) << s.name;
+      run = run.subspan(static_cast<size_t>(consumed));
+    }
+    ASSERT_EQ(per_update->Estimate(), batched->Estimate())
+        << s.name << " after run ending at " << base + kRun;
+  }
+  EXPECT_EQ(per_update->stats().total(), batched->stats().total()) << s.name;
+}
+
+/// Fault-machinery neutrality: a registered protocol built with an
+/// explicit kPerfect channel config must behave exactly like the default,
+/// and a zero-loss Bernoulli channel — the machinery fully installed, but
+/// every verdict kDeliver — must be observationally identical update for
+/// update.
+TEST_P(ConformanceTest, PerfectChannelIsBitIdentical) {
+  const auto s = spec();
+  const auto trace = [&](const sim::ChannelConfig& channel) {
+    sim::ProtocolParams params = BaseParams(77);
+    params.channel = channel;
+    auto protocol =
+        sim::ProtocolRegistry::Global().Create(s.name, 2, params);
+    const auto stream = StreamFor(s, 768, 19);
+    std::vector<double> estimates;
+    for (int64_t t = 0; t < 768; ++t) {
+      protocol->ProcessUpdate(static_cast<int>(t % 2),
+                              stream[static_cast<size_t>(t)]);
+      estimates.push_back(protocol->Estimate());
+    }
+    return std::pair<std::vector<double>, int64_t>(std::move(estimates),
+                                                   protocol->stats().total());
+  };
+
+  const auto baseline = trace(sim::ChannelConfig{});  // default: kPerfect
+  sim::ChannelConfig explicit_perfect;
+  explicit_perfect.kind = sim::ChannelConfig::Kind::kPerfect;
+  const auto explicit_trace = trace(explicit_perfect);
+  EXPECT_EQ(baseline.first, explicit_trace.first) << s.name;
+  EXPECT_EQ(baseline.second, explicit_trace.second) << s.name;
+
+  if (s.name == "horizon_free") return;  // rejects faulty channels by design
+  sim::ChannelConfig zero_loss;
+  zero_loss.kind = sim::ChannelConfig::Kind::kLoss;
+  zero_loss.loss = 0.0;
+  zero_loss.duplicate = 0.0;
+  zero_loss.seed = 2;
+  const auto lossless = trace(zero_loss);
+  EXPECT_EQ(baseline.first, lossless.first)
+      << s.name << ": installing a zero-loss channel changed behavior";
+  EXPECT_EQ(baseline.second, lossless.second) << s.name;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ConformanceTest,
-                         ::testing::Range<size_t>(0, 8),
+                         ::testing::Range<size_t>(0, kBuiltinCount),
                          [](const ::testing::TestParamInfo<size_t>& param) {
                            return AllProtocols()[param.param].name;
                          });
