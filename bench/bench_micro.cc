@@ -15,11 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "common/batch_rng.h"
 #include "common/geometric_skip.h"
 #include "common/rng.h"
 #include "core/nonmonotonic_counter.h"
@@ -58,6 +60,14 @@ nmc::common::SamplerMode PumpSampler() {
                        : nmc::common::SamplerMode::kGeometricSkip;
 }
 
+/// Stream generation mode paired with the sampler mode: --legacy_pump
+/// reproduces the historical scalar-Rng streams bit-for-bit; the default
+/// uses the vectorized BatchRng generators.
+nmc::streams::GenMode PumpGenMode() {
+  return g_legacy_pump ? nmc::streams::GenMode::kLegacyScalar
+                       : nmc::streams::GenMode::kBatch;
+}
+
 void BM_CounterUpdate(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const int64_t n = 1 << 22;  // large horizon: stays in the cheap regime
@@ -67,7 +77,8 @@ void BM_CounterUpdate(benchmark::State& state) {
   options.seed = 1;
   nmc::core::NonMonotonicCounter counter(k, options);
   nmc::sim::RoundRobinAssignment psi(k);
-  const auto stream = nmc::streams::BernoulliStream(1 << 16, 0.0, 2);
+  const auto stream =
+      nmc::streams::BernoulliStream(1 << 16, 0.0, 2, PumpGenMode());
   int64_t t = 0;
   for (auto _ : state) {
     const double v = stream[static_cast<size_t>(t % (1 << 16))];
@@ -103,7 +114,7 @@ BENCHMARK(BM_HyzUpdate)->Arg(4)->Arg(16);
 void BM_TrackingPump(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const int64_t n = 1 << 15;
-  const auto stream = nmc::streams::BernoulliStream(n, 0.0, 21);
+  const auto stream = nmc::streams::BernoulliStream(n, 0.0, 21, PumpGenMode());
   int64_t updates = 0;
   for (auto _ : state) {
     nmc::core::CounterOptions options;
@@ -130,7 +141,7 @@ BENCHMARK(BM_TrackingPump)->Arg(1)->Arg(8);
 void BM_TrackingPumpLongGap(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const int64_t n = 1 << 15;
-  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21);
+  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21, PumpGenMode());
   int64_t updates = 0;
   for (auto _ : state) {
     nmc::core::CounterOptions options;
@@ -156,7 +167,7 @@ BENCHMARK(BM_TrackingPumpLongGap)->Arg(1)->Arg(8);
 void BM_BatchedPump(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   const int64_t n = 1 << 15;
-  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21);
+  const auto stream = nmc::streams::BernoulliStream(n, 0.75, 21, PumpGenMode());
   int64_t updates = 0;
   for (auto _ : state) {
     nmc::core::CounterOptions options;
@@ -191,16 +202,17 @@ void BM_SkipSampler(benchmark::State& state) {
                                     : nmc::common::SamplerMode::kGeometricSkip);
   // nmc-lint: allow(NO_UNSEEDED_RNG) fixed microbench anchor seed; the bench harness owns iterations, there is no trial seed to thread
   nmc::common::Rng rng(17);
+  // The skip path draws its gaps from the vectorized bulk feed, as the
+  // counter sites do; the legacy path stays on per-coin scalar draws.
+  nmc::common::BatchRng batch(rng.NextU64());
+  if (!legacy) skip.AttachBatchRng(&batch);
   int64_t items = 0;
   for (auto _ : state) {
     if (legacy) {
       ++items;
       while (!skip.Step(&rng, p)) ++items;
     } else {
-      skip.EnsureGap(&rng, p);
-      items += skip.gap() + 1;
-      skip.Advance(skip.gap());
-      skip.TakeCandidate();
+      items += skip.TakeRun(&rng, p) + 1;
     }
   }
   state.SetItemsProcessed(items);
@@ -211,6 +223,29 @@ BENCHMARK(BM_SkipSampler)
     ->Args({16, 1})
     ->Args({1024, 0})
     ->Args({1024, 1});
+
+// Bulk RNG throughput on the active SIMD dispatch target: uniforms and
+// geometric gaps per second. The gap fill is the skip sampler's feed; the
+// uniform fill is the stream generators'.
+void BM_BatchRngFill(benchmark::State& state) {
+  const bool gaps = state.range(0) != 0;
+  nmc::common::BatchRng rng(17);
+  std::vector<double> uniforms(4096);
+  std::vector<int64_t> gap_out(4096);
+  int64_t items = 0;
+  for (auto _ : state) {
+    if (gaps) {
+      rng.FillGeometricGaps(std::span<int64_t>(gap_out), 1.0 / 16.0);
+      benchmark::DoNotOptimize(gap_out.data());
+    } else {
+      rng.FillUniform(std::span<double>(uniforms));
+      benchmark::DoNotOptimize(uniforms.data());
+    }
+    items += 4096;
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_BatchRngFill)->ArgNames({"gaps"})->Arg(0)->Arg(1);
 
 // Raw network send+deliver cycle with a trivial echo protocol: isolates
 // the per-message Network overhead (queue churn + accounting) from the

@@ -3,7 +3,7 @@
 
 Usage:
     scripts/compare_bench.py BASELINE.json CANDIDATE.json
-        [--threshold=PCT] [--report-only]
+        [--threshold=PCT] [--report-only] [--min_ratio=PATTERN=RATIO ...]
 
 Accepted input formats (either side, auto-detected, mixable):
   * the aggregate written by scripts/run_benches.sh
@@ -17,8 +17,17 @@ Every metric is a throughput (higher is better):
   * tracked benches -> "bench/<name>" = updates_per_sec.
 Metrics present on only one side are reported but never gate.
 
-Exit codes: 0 = no regression beyond --threshold (default 10%),
-1 = at least one regression (suppressed by --report-only), 2 = usage or
+--min_ratio=PATTERN=RATIO (repeatable) is a hard speedup gate: every
+shared metric whose name contains PATTERN must satisfy
+candidate >= RATIO * baseline. Gate failures exit 1 even under
+--report-only (the soft flag covers incidental regressions, not the
+speedups a change exists to deliver); a PATTERN matching no shared
+metric is a usage error (exit 2) so a renamed benchmark cannot silently
+disarm its gate.
+
+Exit codes: 0 = no regression beyond --threshold (default 10%) and all
+--min_ratio gates met, 1 = at least one regression (suppressed by
+--report-only) or missed gate (never suppressed), 2 = usage or
 unreadable/undecodable input.
 """
 
@@ -87,6 +96,7 @@ def extract_metrics(doc, path):
 def main(argv):
     threshold_pct = 10.0
     report_only = False
+    min_ratios = []
     positional = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
@@ -96,6 +106,19 @@ def main(argv):
                 return fail_usage(f"bad --threshold value in '{arg}'")
             if threshold_pct < 0:
                 return fail_usage("--threshold must be >= 0")
+        elif arg.startswith("--min_ratio="):
+            spec = arg.split("=", 1)[1]
+            pattern, sep, ratio_text = spec.rpartition("=")
+            if not sep or not pattern:
+                return fail_usage(
+                    f"bad --min_ratio spec '{spec}' (want PATTERN=RATIO)")
+            try:
+                ratio = float(ratio_text)
+            except ValueError:
+                return fail_usage(f"bad --min_ratio ratio in '{spec}'")
+            if ratio <= 0:
+                return fail_usage("--min_ratio ratio must be > 0")
+            min_ratios.append((pattern, ratio))
         elif arg == "--report-only":
             report_only = True
         elif arg.startswith("-"):
@@ -135,14 +158,34 @@ def main(argv):
         print(f"{name:<{width}}  {'-':>14}  {candidate[name]:>14.3e}  "
               "(new metric)")
 
+    gate_failures = []
+    for pattern, ratio in min_ratios:
+        matched = [name for name in shared if pattern in name]
+        if not matched:
+            print(f"compare_bench: --min_ratio pattern '{pattern}' matches "
+                  "no shared metric (renamed benchmark?)", file=sys.stderr)
+            return 2
+        for name in matched:
+            achieved = candidate[name] / baseline[name]
+            if achieved < ratio:
+                gate_failures.append((name, ratio, achieved))
+
+    if gate_failures:
+        print(f"\n{len(gate_failures)} --min_ratio gate(s) missed "
+              "(hard failure, not suppressed by --report-only):",
+              file=sys.stderr)
+        for name, ratio, achieved in gate_failures:
+            print(f"  {name}: required >= {ratio:g}x baseline, "
+                  f"achieved {achieved:.2f}x", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} metric(s) slower than baseline by more "
               f"than {threshold_pct:g}%:", file=sys.stderr)
         for name, delta_pct in regressions:
             print(f"  {name}: {delta_pct:+.1f}%", file=sys.stderr)
-        if report_only:
+        if report_only and not gate_failures:
             print("(--report-only: not failing)", file=sys.stderr)
             return 0
+    if gate_failures or (regressions and not report_only):
         return 1
     if not shared:
         print("note: no shared metrics between the two files")

@@ -4,13 +4,16 @@
 # at the repo root — the machine-readable perf trajectory record.
 #
 # Usage: scripts/run_benches.sh [--threads=N] [--out=PATH]
-#                                [--allow-regression]
+#                                [--allow-regression] [--min-ratio=SPEC ...]
 #   --threads=N         worker threads for the tracked benches (default: all
 #                       cores)
 #   --out=PATH          aggregate output path (default: BENCH_baseline.json)
 #   --allow-regression  still diff against the committed baseline, but do
 #                       not fail on slowdowns (use when refreshing the
 #                       baseline on different hardware)
+#   --min-ratio=SPEC    forwarded to compare_bench.py as --min_ratio=SPEC
+#                       (repeatable; PATTERN=RATIO hard speedup gate that
+#                       fails even under --allow-regression)
 #
 # Before writing the aggregate, the run is diffed against the committed
 # BENCH_baseline.json via scripts/compare_bench.py; a >10% throughput
@@ -32,6 +35,7 @@ for arg in "$@"; do
     --threads=*) THREADS="${arg#--threads=}" ;;
     --out=*) OUT="${arg#--out=}" ;;
     --allow-regression) COMPARE_FLAGS+=(--report-only) ;;
+    --min-ratio=*) COMPARE_FLAGS+=(--min_ratio="${arg#--min-ratio=}") ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -48,7 +52,7 @@ echo "== micro benchmarks (simulator hot path) =="
 "${BUILD_DIR}/bench/bench_micro" \
     --benchmark_out="${WORK_DIR}/micro.json" \
     --benchmark_out_format=json \
-    --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate|SkipSampler|BatchedPump'
+    --benchmark_filter='TrackingPump|NetworkPump|CounterUpdate|HyzUpdate|SkipSampler|BatchedPump|BatchRngFill'
 
 # One fast representative per bench family: counter scaling (E2), the
 # monotonic special case / HYZ family (E11), the adversarial-order family

@@ -1,0 +1,236 @@
+#include "common/batch_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/batch_ops_kernels.h"
+#include "common/simd_dispatch.h"
+
+namespace nmc::common {
+
+namespace detail = batch_ops_detail;
+
+namespace {
+
+// Exactness margin: |sum| stays below 2^51 throughout, far under the 2^53
+// integer-exact range of a double, so any summation grouping of ±1 values
+// is bit-identical to the sequential one.
+constexpr double kExactLimit = 0x1.0p51;
+
+bool IsSmallInteger(double x, double margin) {
+  return x == std::floor(x) && std::fabs(x) + margin < kExactLimit;
+}
+
+// Run-level short-circuit test over an integer interval [min_sum, max_sum]
+// known to contain every visited prefix sum. All inputs are exact integers
+// below 2^51 and correctly-rounded ops are monotone, so with
+//   a_max = max |fl(estimate - s)| over s in the interval — attained at an
+//           endpoint because fl(estimate - s) is monotone in s,
+//   b_min = min |s|, b_max = max |s| over the interval,
+// (1) a_max <= fl(fl(epsilon * b_min) + slack) implies every item's error
+//     is within its own (no smaller) threshold: zero violations;
+// (2) b_max < rel_floor means no item reaches the relative floor, and
+//     otherwise every item's fl(error / |s|) is at most
+//     fl(a_max / max(b_min, rel_floor)), so when that bound is within
+//     current_max_rel the caller's running max cannot move.
+// Both tests are monotone in the interval: widening [min_sum, max_sum] can
+// only turn a pass into a fail, never the reverse, so testing a superset
+// interval is always sound.
+bool ShortCircuitPasses(double min_sum, double max_sum, double estimate,
+                        double epsilon, double slack, double rel_floor,
+                        double current_max_rel) {
+  const double a_max = std::max(std::fabs(estimate - min_sum),
+                                std::fabs(estimate - max_sum));
+  const double b_min = (min_sum <= 0.0 && max_sum >= 0.0)
+                           ? 0.0
+                           : std::min(std::fabs(min_sum), std::fabs(max_sum));
+  const double b_max = std::max(std::fabs(min_sum), std::fabs(max_sum));
+  return a_max <= epsilon * b_min + slack &&
+         (b_max < rel_floor ||
+          a_max / std::max(b_min, rel_floor) <= current_max_rel);
+}
+
+}  // namespace
+
+SignTally TallySigns(std::span<const double> values) {
+  switch (ActiveSimdLevel()) {
+#if NMC_SIMD_AVX2
+    case SimdLevel::kAvx2:
+      return detail::TallySignsAvx2(values.data(), values.size());
+#endif
+    default:
+      return detail::TallySignsScalar(values.data(), values.size());
+  }
+}
+
+bool CheckUnitPrefix(std::span<const double> values, double sum0,
+                     double estimate, double epsilon, double slack,
+                     double rel_floor, double current_max_rel,
+                     PrefixCheckResult* result) {
+  if (!(rel_floor > 0.0)) return false;
+  if (!(epsilon >= 0.0)) return false;
+  if (!IsSmallInteger(sum0, static_cast<double>(values.size()))) return false;
+  if (values.empty()) {
+    result->violations = 0;
+    result->max_rel_error = 0.0;
+    result->final_sum = sum0;
+    return true;
+  }
+
+  // Pass 0 — coarse interval test, no data scan at all: a ±1 walk of n
+  // steps keeps every prefix sum inside [sum0 - n, sum0 + n] (both exact:
+  // the IsSmallInteger margin covers them). That interval contains the
+  // visited set, so evaluating the short-circuit tests at its endpoints
+  // only weakens them — a_max can only grow, b_min shrink, b_max grow —
+  // and a coarse pass implies the exact-bounds pass below. Then the only
+  // per-item work left is the sign tally: the all-unit gate plus the
+  // exact final sum, with the min/max sweep skipped entirely. In a
+  // settled tracker the estimate sits deep inside the envelope and the
+  // +-n slop is negligible against |sum0|, so this is the common case.
+  if (ShortCircuitPasses(sum0 - static_cast<double>(values.size()),
+                         sum0 + static_cast<double>(values.size()), estimate,
+                         epsilon, slack, rel_floor, current_max_rel)) {
+    const SignTally tally = TallySigns(values);
+    if (tally.all_unit) {
+      result->violations = 0;
+      result->max_rel_error = 0.0;
+      result->final_sum = sum0 + static_cast<double>(tally.plus - tally.minus);
+      return true;
+    }
+    return false;
+  }
+
+  // Pass 1 — divide-free run-level sweep: the all-unit gate fused with the
+  // exact integer min/max of the running sum. On a ±1 walk the prefix sums
+  // visit every integer between the two bounds, so extreme-value arguments
+  // over [min_sum, max_sum] bound every per-item quantity below.
+  detail::BoundsState bounds{sum0, std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(), true};
+  {
+    const double* data = values.data();
+    size_t n = values.size();
+    switch (ActiveSimdLevel()) {
+#if NMC_SIMD_AVX2
+      case SimdLevel::kAvx2: {
+        const size_t bulk = n & ~static_cast<size_t>(3);
+        if (bulk != 0) detail::UnitRunBoundsAvx2(data, bulk, &bounds);
+        data += bulk;
+        n -= bulk;
+        break;
+      }
+#endif
+      default:
+        break;
+    }
+    if (bounds.all_unit && n != 0) {
+      detail::UnitRunBoundsScalar(data, n, &bounds);
+    }
+  }
+  if (!bounds.all_unit) return false;
+
+  // Run-level short-circuit against the exact visited bounds (see
+  // ShortCircuitPasses for the argument; on a ±1 walk the prefix sums
+  // visit every integer in [min_sum, max_sum], so the interval is tight).
+  // When either test fails the per-item kernels below reproduce the
+  // scalar loop bit for bit.
+  if (ShortCircuitPasses(bounds.min_sum, bounds.max_sum, estimate, epsilon,
+                         slack, rel_floor, current_max_rel)) {
+    result->violations = 0;
+    // Every item's relative error is provably <= current_max_rel, so 0.0
+    // is exact under the documented max-fold contract.
+    result->max_rel_error = 0.0;
+    result->final_sum = bounds.sum;
+    return true;
+  }
+
+  detail::PrefixState state{sum0, 0.0, 0};
+  const double* data = values.data();
+  size_t n = values.size();
+  switch (ActiveSimdLevel()) {
+#if NMC_SIMD_AVX2
+    case SimdLevel::kAvx2: {
+      const size_t bulk = n & ~static_cast<size_t>(3);
+      if (bulk != 0) {
+        detail::CheckUnitPrefixAvx2(data, bulk, estimate, epsilon, slack,
+                                    rel_floor, &state);
+      }
+      data += bulk;
+      n -= bulk;
+      break;
+    }
+#endif
+    default:
+      break;
+  }
+  if (n != 0) {
+    detail::CheckUnitPrefixScalar(data, n, estimate, epsilon, slack, rel_floor,
+                                  &state);
+  }
+  result->violations = state.violations;
+  result->max_rel_error = state.max_rel_error;
+  result->final_sum = state.sum;
+  return true;
+}
+
+namespace batch_ops_detail {
+
+SignTally TallySignsScalar(const double* values, size_t n) {
+  SignTally tally;
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] == 1.0) {
+      ++tally.plus;
+    } else if (values[i] == -1.0) {
+      ++tally.minus;
+    } else {
+      return tally;  // all_unit stays false
+    }
+  }
+  tally.all_unit = true;
+  return tally;
+}
+
+void UnitRunBoundsScalar(const double* values, size_t n, BoundsState* state) {
+  double sum = state->sum;
+  double mn = state->min_sum;
+  double mx = state->max_sum;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (v != 1.0 && v != -1.0) {
+      state->all_unit = false;
+      return;
+    }
+    sum += v;
+    mn = std::min(mn, sum);
+    mx = std::max(mx, sum);
+  }
+  state->sum = sum;
+  state->min_sum = mn;
+  state->max_sum = mx;
+}
+
+void CheckUnitPrefixScalar(const double* values, size_t n, double estimate,
+                           double epsilon, double slack, double rel_floor,
+                           PrefixState* state) {
+  double sum = state->sum;
+  double max_rel = state->max_rel_error;
+  int64_t violations = state->violations;
+  for (size_t i = 0; i < n; ++i) {
+    sum += values[i];
+    const double abs_error = std::fabs(estimate - sum);
+    const double abs_sum = std::fabs(sum);
+    if (abs_error > epsilon * abs_sum + slack) ++violations;
+    if (abs_sum >= rel_floor) {
+      const double rel = abs_error / abs_sum;
+      if (rel > max_rel) max_rel = rel;
+    }
+  }
+  state->sum = sum;
+  state->max_rel_error = max_rel;
+  state->violations = violations;
+}
+
+}  // namespace batch_ops_detail
+
+}  // namespace nmc::common

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace nmc::common {
+
+/// Number of independent xoshiro256++ lanes in a BatchRng. Four 64-bit
+/// lanes fill one AVX2 register; NEON walks the same four lanes two at a
+/// time; the scalar kernel walks them round-robin. The lane count is part
+/// of the output contract (element i comes from lane i mod 4), not a
+/// tuning knob.
+inline constexpr int kBatchRngLanes = 4;
+
+/// Gap value returned by FillGeometricGaps when p <= 0 or the sampled gap
+/// exceeds 2^51. Equal to GeometricSkip::kInfiniteGap.
+inline constexpr int64_t kBatchRngInfiniteGap =
+    std::numeric_limits<int64_t>::max() / 2;
+
+/// Multi-lane xoshiro256++ that fills spans of raw u64s, uniforms, ±1
+/// signs, and geometric gaps in bulk, dispatching to AVX2/NEON kernels at
+/// runtime (see simd_dispatch.h) with a scalar fallback that is the
+/// correctness oracle — vector kernels are bit-identical to it.
+///
+/// Output contract: the generator defines ONE logical u64 stream,
+/// round-robin interleaved over the lanes (element i of the stream comes
+/// from lane i mod kBatchRngLanes). Every Fill* consumes stream elements
+/// 1:1 in order and is slicing-invariant: filling n then m elements yields
+/// exactly the values of filling n+m at once, regardless of dispatch
+/// level. Incomplete lane quadruples are buffered across calls.
+///
+/// Not bit-compatible with scalar common::Rng sequences — callers that
+/// promise legacy bit-identity (kLegacyCoins samplers, kLegacyScalar
+/// stream generation) must keep drawing from Rng instead.
+class BatchRng {
+ public:
+  /// A single SplitMix64 chain from `seed` yields one sub-seed per lane,
+  /// and lane j is an ordinary common::Rng built from sub-seed j: lane j's
+  /// raw output is exactly Rng(LaneSeed(seed, j)).NextU64()'s sequence.
+  explicit BatchRng(uint64_t seed);
+
+  /// The sub-seed lane `lane` is constructed from (exposed for the
+  /// scalar-oracle tests).
+  static uint64_t LaneSeed(uint64_t seed, int lane);
+
+  /// Next `out.size()` raw stream elements.
+  void FillU64(std::span<uint64_t> out);
+
+  /// Uniforms in [0, 1) with 53 random bits — same u64→double mapping as
+  /// Rng::UniformDouble.
+  void FillUniform(std::span<double> out);
+
+  /// ±1.0 signs: +1.0 where uniform < p_plus, else -1.0. One stream
+  /// element per output.
+  void FillSigns(std::span<double> out, double p_plus);
+
+  /// Geometric gaps (failures before the first success at rate p), the
+  /// bulk analogue of Rng::Geometric. One stream element per gap for
+  /// p in (0, 1); p <= 0 fills kBatchRngInfiniteGap and p >= 1 fills 0,
+  /// consuming no randomness (Rng::Bernoulli's clamp convention). Uses a
+  /// portable polynomial log shared by all kernels, so gaps are
+  /// bit-identical across SIMD levels but deliberately NOT the same
+  /// sequence as scalar Rng::Geometric (see batch_rng_kernels.h).
+  void FillGeometricGaps(std::span<int64_t> out, double p);
+
+  /// One element of the logical stream.
+  uint64_t NextU64();
+
+  /// Independent child generator seeded from the next stream element.
+  BatchRng Child();
+
+ private:
+  void Refill();  // one scalar quadruple step into the carry buffer
+
+  // Structure-of-arrays state: state_[w][l] is word w of lane l, so a
+  // vector kernel loads word w of all four lanes with one 256-bit load.
+  alignas(32) uint64_t state_[4][kBatchRngLanes];
+  // Partially consumed lane quadruple; entries carry_pos_..kLanes-1 valid.
+  uint64_t carry_[kBatchRngLanes];
+  int carry_pos_ = kBatchRngLanes;
+  // Memoized 1/log1p(-p) for FillGeometricGaps: frozen-rate consumers
+  // (GeometricSkip feed blocks) call with the same p every refill, so the
+  // log1p runs once per rate change instead of once per fill. The memo is
+  // pure (depends only on p), so it never affects the output stream.
+  double gap_memo_p_ = -1.0;
+  double gap_memo_inv_log_q_ = 0.0;
+};
+
+}  // namespace nmc::common

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <span>
 
+#include "common/batch_rng.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -50,6 +54,49 @@ class GeometricSkip {
 
   SamplerMode mode() const { return mode_; }
 
+  /// Opt-in bulk gap feed: with a BatchRng attached, skip-mode EnsureGap
+  /// draws from vector-generated blocks instead of one scalar
+  /// transcendental per run. The feed only pre-draws a block once the
+  /// same rate is requested twice in a row, so rate ladders (the
+  /// single-site chunk walk, where every draw is at a fresh rate) never
+  /// waste bulk draws, while frozen-rate consumers (HYZ rounds, SBC
+  /// stages) amortize one log1p over kFeedBlockGaps draws. Pre-drawn gaps
+  /// are discarded on any rate change — exact by memorylessness, since
+  /// the discard decision never looks at the unexamined values. Attaching
+  /// a feed reorders RNG consumption, so fixed-seed skip-mode transcripts
+  /// change; legacy-coins mode ignores the feed entirely and keeps its
+  /// bit-exact replay promise. The pointer is non-owning and must outlive
+  /// the sampler. The first attach allocates the block storage once — a
+  /// setup-time allocation; the serve path itself never allocates.
+  void AttachBatchRng(common::BatchRng* batch) {
+    batch_ = batch;
+    if (batch != nullptr && feed_store_ == nullptr) {
+      feed_store_ = std::make_unique<FeedBlock>();
+    }
+  }
+
+  /// Cap on gaps pre-drawn per block. Blocks start at kFeedFirstBlockGaps
+  /// on the first repeat of a rate and grow by kFeedBlockGrowth per refill
+  /// up to this cap: truly frozen-rate consumers reach full amortization
+  /// (a small fraction of a nanosecond of fill fixed costs per gap) within
+  /// three refills, while consumers whose rate drifts every few dozen
+  /// draws (the single-site chunk walk between restarts) never pre-draw —
+  /// and so never discard — more than they plausibly use. Discards are
+  /// free in distribution by memorylessness; the growth schedule only
+  /// bounds the wasted fill work.
+  ///
+  /// The block lives behind a pointer (one setup-time allocation at
+  /// AttachBatchRng) rather than inline, deliberately: the refill hands a
+  /// span over the block to the out-of-line fill, and if that span were
+  /// derived from `this` the compiler would have to assume the call can
+  /// touch every member, forcing the serve cursor through memory on each
+  /// draw. With the storage external, a sampler that lives in a tight
+  /// local loop keeps its cursor in registers between refills — worth
+  /// about 2 ns/draw on the serve fast path.
+  static constexpr int kFeedBlockGaps = 256;
+  static constexpr int kFeedFirstBlockGaps = 8;
+  static constexpr int kFeedBlockGrowth = 4;
+
   /// Gap to the next head of a Bernoulli(p) sequence:
   /// floor(log1p(-U)/log1p(-p)) with U uniform on [0, 1). Matches
   /// Rng::Bernoulli's clamps (p >= 1 reports immediately and p <= 0
@@ -76,10 +123,21 @@ class GeometricSkip {
   /// the drawn value is bit-identical to DrawGap either way.
   void EnsureGap(common::Rng* rng, double rate) {
     if (valid_) return;
+    if (rate == feed_rate_) {
+      // Hottest path — a frozen-rate feed consumer. feed_rate_ is only
+      // ever set by a feed draw, so a match implies an attached BatchRng
+      // and a non-degenerate rate; the degenerate checks below are
+      // skipped without being weakened.
+      ServeFromFeedBlock();
+      valid_ = true;
+      return;
+    }
     if (rate >= 1.0) {
       gap_ = 0;
     } else if (rate <= 0.0) {
       gap_ = kInfiniteGap;
+    } else if (batch_ != nullptr) {
+      EnsureGapFromFeed(rate);
     } else {
       if (rate != memo_rate_) {
         memo_rate_ = rate;
@@ -117,6 +175,27 @@ class GeometricSkip {
     valid_ = false;
   }
 
+  /// Fused whole-run draw for frozen-rate consumers: draws a gap at
+  /// `rate` unless one is cached, consumes the silent stretch *and* the
+  /// candidate, and returns the stretch length. Exactly EnsureGap +
+  /// gap() + Advance(gap()) + TakeCandidate(), minus the per-call
+  /// bookkeeping — the cached-gap checks collapse after inlining, which
+  /// matters at vector-feed draw rates. A kInfiniteGap return means no
+  /// candidate ever fires at this rate (the caller must not treat the
+  /// sentinel as a consumed candidate).
+  int64_t TakeRun(common::Rng* rng, double rate) {
+    // Fast path: no cached gap, the rate matches the feed, and the block
+    // still has entries — serve straight from the array without touching
+    // gap_/valid_ (their stores are dead here: valid_ is false before and
+    // after, and gap_ is only read through the valid_-guarded accessors).
+    if (!valid_ && rate == feed_rate_ && feed_pos_ != feed_len_) {
+      return (*feed_store_)[static_cast<size_t>(feed_pos_++)];
+    }
+    EnsureGap(rng, rate);
+    valid_ = false;
+    return gap_;
+  }
+
   /// One-update convenience used by sites that cannot batch: in legacy
   /// mode exactly rng->Bernoulli(rate) (same draws, same result); in skip
   /// mode the cached-gap walk. The caller still owns invalidation on rate
@@ -133,6 +212,39 @@ class GeometricSkip {
   }
 
  private:
+  /// Repeat-rate feed draw: serve the next pre-drawn gap, refilling a
+  /// block (at the current rung of the growth schedule) when the previous
+  /// one is spent.
+  void ServeFromFeedBlock() {
+    if (feed_pos_ == feed_len_) {
+      batch_->FillGeometricGaps(
+          std::span<int64_t>(feed_store_->data(),
+                             static_cast<size_t>(feed_fill_)),
+          feed_rate_);
+      feed_len_ = feed_fill_;
+      feed_pos_ = 0;
+      feed_fill_ = std::min(feed_fill_ * kFeedBlockGrowth, kFeedBlockGaps);
+    }
+    gap_ = (*feed_store_)[static_cast<size_t>(feed_pos_++)];
+  }
+
+  /// Feed-backed gap draw for a non-degenerate rate. The block refill
+  /// fires only on the second consecutive same-rate request; a fresh rate
+  /// costs one single-gap draw, exactly like the scalar path.
+  void EnsureGapFromFeed(double rate) {
+    if (rate == feed_rate_) {
+      ServeFromFeedBlock();
+      return;
+    }
+    feed_rate_ = rate;
+    feed_pos_ = 0;
+    feed_len_ = 0;
+    feed_fill_ = kFeedFirstBlockGaps;
+    int64_t single = 0;
+    batch_->FillGeometricGaps(std::span<int64_t>(&single, 1), rate);
+    gap_ = single;
+  }
+
   SamplerMode mode_;
   bool valid_ = false;
   int64_t gap_ = 0;
@@ -140,6 +252,18 @@ class GeometricSkip {
   /// the memo depends only on the rate value, not on gap validity).
   double memo_rate_ = -1.0;
   double memo_log_q_ = 0.0;
+  /// Bulk feed state (see AttachBatchRng). *feed_store_ holds pre-drawn
+  /// gaps at feed_rate_; entries feed_pos_..feed_len_-1 are still
+  /// unconsumed. The feed paths are only reachable once a feed rate has
+  /// been recorded, which implies an attached BatchRng and therefore a
+  /// live feed_store_.
+  using FeedBlock = std::array<int64_t, kFeedBlockGaps>;
+  common::BatchRng* batch_ = nullptr;
+  double feed_rate_ = -1.0;
+  int feed_pos_ = 0;
+  int feed_len_ = 0;
+  int feed_fill_ = kFeedFirstBlockGaps;  // next refill size (growth rung)
+  std::unique_ptr<FeedBlock> feed_store_;
 };
 
 }  // namespace nmc::common

@@ -1,0 +1,62 @@
+#include "common/simd_dispatch.h"
+
+namespace nmc::common {
+namespace {
+
+SimdLevel Detect() {
+#if NMC_SIMD_AVX2
+  // The AVX2 TUs are compiled -mavx2 -mfma (the gap kernel fuses), so
+  // dispatch requires both bits even though FMA ships on every AVX2 part
+  // in practice — a VM masking FMA must fall back to scalar, not fault.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+#if NMC_SIMD_NEON
+  return SimdLevel::kNeon;
+#endif
+  return SimdLevel::kScalar;
+}
+
+// Plain global, not atomic: ForceSimdLevel is a single-threaded test hook,
+// and in production the value never changes after static init.
+SimdLevel g_active = Detect();
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdLevel ActiveSimdLevel() { return g_active; }
+
+bool SimdLevelAvailable(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return true;
+#if NMC_SIMD_AVX2
+  if (level == SimdLevel::kAvx2) {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+#endif
+#if NMC_SIMD_NEON
+  if (level == SimdLevel::kNeon) return true;
+#endif
+  return false;
+}
+
+bool ForceSimdLevel(SimdLevel level) {
+  if (!SimdLevelAvailable(level)) return false;
+  g_active = level;
+  return true;
+}
+
+void ResetSimdLevel() { g_active = Detect(); }
+
+}  // namespace nmc::common

@@ -1,0 +1,36 @@
+#pragma once
+
+namespace nmc::common {
+
+/// Vector instruction sets the batch kernels (BatchRng, batch_ops) can
+/// dispatch to. kScalar is always compiled in and is the correctness
+/// oracle: every vector kernel must produce bit-identical output to the
+/// scalar kernel for the same inputs — batch_rng_test enforces this on
+/// every level the running CPU supports.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Name for logs and test output: "scalar", "avx2", "neon".
+const char* SimdLevelName(SimdLevel level);
+
+/// The level batch kernels currently dispatch to. Resolved once at startup
+/// from CPUID (x86-64) or architecture (aarch64); kScalar when the build
+/// disabled SIMD (-DNMC_SIMD=off) or the CPU lacks the instructions.
+SimdLevel ActiveSimdLevel();
+
+/// True iff `level`'s kernels are compiled in AND the CPU can run them.
+bool SimdLevelAvailable(SimdLevel level);
+
+/// Test hook: pin dispatch to `level`. Returns false (no change) if the
+/// level is unavailable. Lets a single binary compare scalar and vector
+/// kernels bit-for-bit. Not thread-safe against concurrent Fill calls —
+/// test-only by design.
+bool ForceSimdLevel(SimdLevel level);
+
+/// Undo ForceSimdLevel: back to auto-detection.
+void ResetSimdLevel();
+
+}  // namespace nmc::common

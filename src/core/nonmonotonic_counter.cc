@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "common/batch_ops.h"
 #include "common/check.h"
 #include "common/geometric_skip.h"
 #include "common/rng.h"
@@ -100,6 +102,14 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
         network_(network),
         rng_(rng),
         skip_(options.sampler) {
+    if (options_.sampler == common::SamplerMode::kGeometricSkip) {
+      // Bulk gap feed for skip-mode draws. Seeding consumes one u64 from
+      // rng_, which is fine: skip-mode transcripts are already allowed to
+      // differ from legacy per-seed, and legacy mode never reaches this
+      // branch, so its bit-exact replay promise is untouched.
+      batch_rng_ = common::BatchRng(rng_.NextU64());
+      skip_.AttachBatchRng(&batch_rng_);
+    }
     if (num_sites_ == 1) {
       // The single site holds the entire history, including any carried
       // state from a previous horizon epoch.
@@ -195,24 +205,73 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
     local_sum_ += value;
     local_sum_sq_ += value * value;
     ++updates_since_state_;
+    // A scalar update may be fractional or push the totals toward the
+    // exact-integer limit: drop the banked small-totals certificate and
+    // let the next bulk run revalidate (one store; no branch).
+    small_budget_ = 0;
+  }
+
+  /// True when x is an integer far enough below 2^51 that `margin` more
+  /// unit steps keep every intermediate exactly representable — the gate
+  /// that makes the bulk path below bit-identical to the scalar loop.
+  static bool SmallInteger(double x, double margin) {
+    return x == std::floor(x) && std::fabs(x) + margin < 0x1.0p51;
+  }
+
+  /// Validation margin banked by a successful small-totals test: one test
+  /// certifies the next ~2^20 unit updates (any scalar Absorb voids the
+  /// bank), so consecutive bulk runs pay one integer compare instead of
+  /// two floor tests each. Small against 2^51, so banking it never
+  /// excludes a run the per-call test would have admitted in practice.
+  static constexpr double kSmallBudgetMargin = 0x1.0p20;
+
+  /// True when both totals are integers far enough below 2^51 that `n`
+  /// more unit steps stay exactly representable. Prefers the banked
+  /// certificate; a revalidation banks the larger margin when it passes.
+  /// Conservative only: a false here merely routes the run to the scalar
+  /// loop, which is bit-identical to the bulk path whenever both apply.
+  bool SmallTotalsFor(int64_t n) {
+    if (small_budget_ >= n) return true;
+    const double margin = std::max(static_cast<double>(n), kSmallBudgetMargin);
+    if (SmallInteger(local_sum_, margin) &&
+        SmallInteger(local_sum_sq_, margin)) {
+      small_budget_ = static_cast<int64_t>(margin);
+      return true;
+    }
+    return false;
   }
 
   void AbsorbRun(std::span<const double> values) {
+    // Bulk path for ±1 runs: with integer totals in the exact range,
+    // grouped additions of ±1 are bit-identical to the per-update loop
+    // (every intermediate is an exactly-representable integer), so
+    // batch-size invariance survives. The tally also subsumes Absorb's
+    // per-update range checks — all-unit implies |v| == 1. Non-unit or
+    // non-integer-total runs (fBm, fractional streams) fall through.
+    const int64_t n = static_cast<int64_t>(values.size());
+    if (n >= 4 && SmallTotalsFor(n)) {
+      const common::SignTally tally = common::TallySigns(values);
+      if (tally.all_unit) {
+        small_budget_ -= n;
+        local_updates_ += n;
+        local_sum_ += static_cast<double>(tally.plus - tally.minus);
+        local_sum_sq_ += static_cast<double>(n);
+        updates_since_state_ += n;
+        return;
+      }
+    }
     for (const double value : values) Absorb(value);
   }
 
   /// Single-site form (Theorem 3.1): the site samples against its own
   /// exact count; a head costs one message and needs no reply.
   int64_t ConsumeSingleSite(std::span<const double> values) {
-    // The fast-forward chunk bound needs |local_sum_| to move by at most
-    // 1 per update and the rate law to be monotone in |s| at fixed
-    // epsilon — which rules out unbounded fBm increments and the
+    // The fast-forward chunk bound (fast_forward_) needs |local_sum_| to
+    // move by at most 1 per update and the rate law to be monotone in |s|
+    // at fixed epsilon — which rules out unbounded fBm increments and the
     // per-update rescaling of variance_adaptive. Those run on the
     // per-coin reference path (in legacy mode everything does).
-    const bool fast_forward = skip_.mode() == common::SamplerMode::kGeometricSkip &&
-                              options_.fbm_delta == 0.0 &&
-                              !options_.variance_adaptive;
-    if (!fast_forward) {
+    if (!fast_forward_) {
       int64_t consumed = 0;
       const int64_t count = static_cast<int64_t>(values.size());
       while (consumed < count) {
@@ -240,6 +299,17 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
     // consumed gap at a chunk boundary is exact by memorylessness.
     int64_t consumed = 0;
     const int64_t count = static_cast<int64_t>(values.size());
+    // Whole-span fast path: a cached gap that covers the span inside the
+    // live chunk absorbs it in one shot. Exactly the loop below with
+    // m == count — EnsureGap is a no-op on a valid gap and the candidate
+    // branch is unreachable — minus the min/branch bookkeeping, which is
+    // most of the per-call cost at small pump batch sizes.
+    if (chunk_left_ >= count && skip_.valid() && skip_.gap() >= count) {
+      AbsorbRun(values);
+      chunk_left_ -= count;
+      skip_.Advance(count);
+      return count;
+    }
     while (consumed < count) {
       if (chunk_left_ <= 0) RestartSingleSiteChunk();
       skip_.EnsureGap(&rng_, chunk_dom_);
@@ -364,6 +434,12 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   sim::Network* network_;
   common::Rng rng_;
   common::GeometricSkip skip_;
+  common::BatchRng batch_rng_{0};  // reseeded + attached in skip mode only
+  // Hoisted ConsumeSingleSite gate — constant for the life of the site
+  // (see the comment there for why these modes are excluded).
+  const bool fast_forward_ =
+      skip_.mode() == common::SamplerMode::kGeometricSkip &&
+      options_.fbm_delta == 0.0 && !options_.variance_adaptive;
   RateCache walk_cache_;
 
   // Fast-forward state: the dominating rates the cached gap was drawn at.
@@ -374,6 +450,7 @@ class NonMonotonicCounter::Site : public sim::SiteNode {
   int64_t local_updates_ = 0;
   double local_sum_ = 0.0;
   double local_sum_sq_ = 0.0;
+  int64_t small_budget_ = 0;  // banked small-totals margin (see SmallTotalsFor)
   int64_t updates_since_state_ = 0;
   double global_estimate_ = 0.0;
   int64_t global_time_ = 0;
@@ -548,7 +625,7 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
     }
   }
 
-  bool WantSbcStage() const {
+  bool WantSbcStage() {
     switch (options_.stage_policy) {
       case StagePolicy::kSbcOnly:
         return true;
@@ -566,6 +643,29 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
       case StagePolicy::kAuto:
         break;
     }
+    // Bracket cache: under the walk law (fbm_delta == 0) with no variance
+    // rescaling, the fresh computation below reduces to
+    //   factor * (3k+1) * RandomWalkRate(|S|, eps, n, alpha, beta) <= 2
+    // and RandomWalkRate is IEEE-monotone non-increasing in |S| — one
+    // multiply, one square, one divide, one min, each correctly rounded
+    // and monotone; the log^beta factor is a memoized run constant, so
+    // no pow is evaluated per call (pow carries no monotonicity
+    // guarantee, which is why the fBm law and the per-call epsilon
+    // rescaling of variance_adaptive skip the cache). The decision is
+    // therefore a threshold in |S|: remember the tightest true/false
+    // bracket observed and only recompute strictly inside it. Every
+    // answer equals what the full computation would return, so the
+    // cache is observationally invisible. StraightSync regimes hit the
+    // bracket every update, eliminating a CounterOptions copy and a
+    // rate evaluation from the per-update message path.
+    const bool bracketable = options_.fbm_delta == 0.0 &&
+                             !options_.variance_adaptive &&
+                             options_.stage_boundary_factor >= 0.0;
+    const double abs_s = std::fabs(total_sum_);
+    if (bracketable) {
+      if (abs_s >= sbc_true_min_) return true;
+      if (abs_s <= sbc_false_max_) return false;
+    }
     // Cost-comparing form of the same rule: an SBC sync costs 3k+1
     // messages and fires at the eq. (1)/(2) rate, StraightSync costs 2 per
     // update; switch to SBC exactly when it is the cheaper pattern. Up to
@@ -577,7 +677,16 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
     const double rate =
         Phase1Rate(rate_options, total_sum_, total_updates_, scale);
     const double sync_cost = 3.0 * static_cast<double>(num_sites_) + 1.0;
-    return options_.stage_boundary_factor * sync_cost * rate <= 2.0;
+    const bool want =
+        options_.stage_boundary_factor * sync_cost * rate <= 2.0;
+    if (bracketable) {
+      if (want) {
+        sbc_true_min_ = abs_s;
+      } else {
+        sbc_false_max_ = abs_s;
+      }
+    }
+    return want;
   }
 
   int num_sites_;
@@ -592,6 +701,10 @@ class NonMonotonicCounter::Coordinator : public sim::CoordinatorNode {
   double total_sum_sq_ = 0.0;
 
   bool in_sbc_stage_ = false;
+  // WantSbcStage bracket cache (kAuto + walk law only): the decision is
+  // true for |S| >= sbc_true_min_ and false for |S| <= sbc_false_max_.
+  double sbc_true_min_ = std::numeric_limits<double>::infinity();
+  double sbc_false_max_ = -1.0;
   bool collecting_ = false;
   int pending_replies_ = 0;
   int64_t collect_epoch_ = 0;
@@ -631,6 +744,21 @@ NonMonotonicCounter::~NonMonotonicCounter() = default;
 int NonMonotonicCounter::num_sites() const { return network_.num_sites(); }
 
 void NonMonotonicCounter::ProcessUpdate(int site_id, double value) {
+  // Per-update fast path for the common Phase-1 / perfect-channel case:
+  // skips the batch plumbing (phase-2 run scan, channel probe) that
+  // ProcessBatch pays per call. StraightSync regimes, where every update
+  // messages anyway, live on this path.
+  if (positive_counter_ == nullptr && !network_.channeled()) {
+    NMC_CHECK_GE(site_id, 0);
+    NMC_CHECK_LT(site_id, num_sites());
+    sites_[static_cast<size_t>(site_id)]->ConsumeRun(
+        std::span<const double>(&value, 1));
+    network_.DeliverAll();
+    if (coordinator_->phase2_pending() && positive_counter_ == nullptr) {
+      ActivatePhase2();
+    }
+    return;
+  }
   ProcessBatch(site_id, std::span<const double>(&value, 1));
 }
 
@@ -753,11 +881,13 @@ double NonMonotonicCounter::Estimate() const {
 }
 
 const sim::MessageStats& NonMonotonicCounter::stats() const {
+  // Phase 1 serves the network's stats by reference: the tracking pump
+  // reads stats() around every batch, so the combined-copy path would be
+  // a per-batch struct copy for the lifetime of most runs.
+  if (positive_counter_ == nullptr) return network_.stats();
   combined_stats_ = network_.stats();
-  if (positive_counter_ != nullptr) {
-    combined_stats_ += positive_counter_->stats();
-    combined_stats_ += negative_counter_->stats();
-  }
+  combined_stats_ += positive_counter_->stats();
+  combined_stats_ += negative_counter_->stats();
   return combined_stats_;
 }
 

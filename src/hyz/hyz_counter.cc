@@ -28,7 +28,17 @@ class HyzProtocol::Site : public sim::SiteNode {
         mode_(mode),
         network_(network),
         rng_(rng),
-        skip_(sampler) {}
+        skip_(sampler) {
+    if (mode_ == HyzMode::kSampled &&
+        sampler == common::SamplerMode::kGeometricSkip) {
+      // Bulk gap feed: the round rate is frozen between broadcasts, so
+      // consecutive draws share a rate and amortize one log1p over a
+      // block. Seeding consumes one u64 from rng_; skip-mode transcripts
+      // may differ per-seed, legacy mode never takes this branch.
+      batch_rng_ = common::BatchRng(rng_.NextU64());
+      skip_.AttachBatchRng(&batch_rng_);
+    }
+  }
 
   void OnLocalUpdate(double value) override {
     NMC_CHECK_EQ(value, 1.0);
@@ -132,6 +142,7 @@ class HyzProtocol::Site : public sim::SiteNode {
   sim::Network* network_;
   common::Rng rng_;
   common::GeometricSkip skip_;
+  common::BatchRng batch_rng_{0};  // reseeded + attached in skip mode only
   double rate_ = 1.0;
   int64_t threshold_ = 1;
   int64_t round_count_ = 0;

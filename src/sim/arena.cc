@@ -1,0 +1,36 @@
+#include "sim/arena.h"
+
+#include <algorithm>
+
+namespace nmc::sim {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Block bases come from operator new[], aligned for every fundamental
+  // type; a fresh block therefore starts every request at offset 0.
+  NMC_CHECK_LE(align, alignof(std::max_align_t));
+  // Try the remaining retained blocks first (post-Reset reuse), then mint
+  // a new one. Block sizes double so the block count stays logarithmic in
+  // the peak footprint; oversized requests get an exactly-sized block.
+  while (active_ + 1 < blocks_.size()) {
+    ++active_;
+    offset_ = 0;
+    if (bytes <= blocks_[active_].size) {
+      offset_ = bytes;
+      in_use_ += bytes;
+      if (in_use_ > high_water_) high_water_ = in_use_;
+      return blocks_[active_].data.get();
+    }
+  }
+  const size_t block_bytes = std::max(next_block_bytes_, bytes);
+  next_block_bytes_ = block_bytes * 2;
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(block_bytes),
+                          block_bytes});
+  reserved_ += block_bytes;
+  active_ = blocks_.size() - 1;
+  offset_ = bytes;
+  in_use_ += bytes;
+  if (in_use_ > high_water_) high_water_ = in_use_;
+  return blocks_[active_].data.get();
+}
+
+}  // namespace nmc::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/batch_ops.h"
 #include "common/check.h"
 
 namespace nmc::sim {
@@ -24,10 +25,12 @@ struct PumpState {
 /// prefix is checked against the cached estimate (the ProcessBatch
 /// contract guarantees it cannot have changed), so the virtual Estimate()
 /// call is paid once per run, not once per item.
+/// `num_sites` is protocol->num_sites(), hoisted by the callers: the
+/// virtual call is loop-invariant but the compiler cannot prove it, and
+/// PumpChunk runs once per batch.
 void PumpChunk(std::span<const double> chunk, AssignmentPolicy* psi,
-               Protocol* protocol, const TrackingOptions& options,
-               PumpState* state) {
-  const int num_sites = protocol->num_sites();
+               Protocol* protocol, int num_sites,
+               const TrackingOptions& options, PumpState* state) {
   const int64_t len = static_cast<int64_t>(chunk.size());
   const bool record_curve = state->curve_stride > 0;
 
@@ -94,14 +97,55 @@ void PumpChunk(std::span<const double> chunk, AssignmentPolicy* psi,
     while (pos < i + run) {
       // Messages before the run: a curve point landing in the run's silent
       // prefix must not count the message its final update sends (the
-      // per-update pump would not have sent it yet at that step).
-      const int64_t messages_before = protocol->stats().total();
+      // per-update pump would not have sent it yet at that step). Probed
+      // only when a curve is recorded — it is the sole consumer, and the
+      // stats() call is not free for protocols that aggregate.
+      const int64_t messages_before =
+          record_curve ? protocol->stats().total() : 0;
       const int64_t consumed =
           protocol->ProcessBatch(site, chunk.subspan(static_cast<size_t>(pos),
                                                      static_cast<size_t>(
                                                          i + run - pos)));
       NMC_CHECK_GE(consumed, 1);
       NMC_CHECK_LE(consumed, i + run - pos);
+      if (!record_curve && consumed >= 8) {
+        // Vectorized invariant check over the run's silent prefix: the
+        // estimate is frozen there (ProcessBatch contract), so the j-loop
+        // below degenerates to a prefix-sum scan against a constant —
+        // exactly CheckUnitPrefix. The kernel only accepts ±1 runs with
+        // an integer running sum (where its regrouped additions are
+        // bit-exact), and mirrors the loop's violation / max-rel-error
+        // updates operation for operation, so TrackingResult is
+        // bit-identical whether or not this path fires.
+        common::PrefixCheckResult prefix;
+        if (common::CheckUnitPrefix(
+                chunk.subspan(static_cast<size_t>(pos),
+                              static_cast<size_t>(consumed - 1)),
+                state->sum, state->estimate, options.epsilon,
+                options.absolute_slack, options.rel_error_floor,
+                state->result.max_rel_error, &prefix)) {
+          state->sum = prefix.final_sum;
+          state->result.violation_steps += prefix.violations;
+          state->result.max_rel_error =
+              std::max(state->result.max_rel_error, prefix.max_rel_error);
+          // The run's final update is the one that may have messaged:
+          // refresh the estimate and check it the scalar way.
+          state->sum += chunk[static_cast<size_t>(pos + consumed - 1)];
+          state->estimate = protocol->Estimate();
+          const double abs_error = std::fabs(state->estimate - state->sum);
+          const double abs_sum = std::fabs(state->sum);
+          if (abs_error >
+              options.epsilon * abs_sum + options.absolute_slack) {
+            state->result.violation_steps += 1;
+          }
+          if (abs_sum >= options.rel_error_floor) {
+            state->result.max_rel_error =
+                std::max(state->result.max_rel_error, abs_error / abs_sum);
+          }
+          pos += consumed;
+          continue;
+        }
+      }
       for (int64_t j = 0; j < consumed; ++j) {
         state->sum += chunk[static_cast<size_t>(pos + j)];
         if (j == consumed - 1) state->estimate = protocol->Estimate();
@@ -172,9 +216,10 @@ TrackingResult RunTracking(const std::vector<double>& stream,
       InitPumpState(static_cast<int64_t>(stream.size()), protocol, options);
   const std::span<const double> all(stream);
   const size_t batch = static_cast<size_t>(options.batch_size);
+  const int num_sites = protocol->num_sites();
   for (size_t offset = 0; offset < all.size(); offset += batch) {
     PumpChunk(all.subspan(offset, std::min(batch, all.size() - offset)), psi,
-              protocol, options, &state);
+              protocol, num_sites, options, &state);
   }
   return FinishPump(protocol, &state);
 }
@@ -185,11 +230,12 @@ TrackingResult RunTracking(StreamSource* source, AssignmentPolicy* psi,
   NMC_CHECK(psi != nullptr);
   PumpState state = InitPumpState(source->length(), protocol, options);
   std::vector<double> buffer(static_cast<size_t>(options.batch_size));
+  const int num_sites = protocol->num_sites();
   int64_t filled;
   while ((filled = source->FillChunk(buffer)) > 0) {
     PumpChunk(std::span<const double>(buffer.data(),
                                       static_cast<size_t>(filled)),
-              psi, protocol, options, &state);
+              psi, protocol, num_sites, options, &state);
   }
   return FinishPump(protocol, &state);
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace nmc::sim {
@@ -34,6 +35,13 @@ struct MessageStats {
   int64_t dropped = 0;
   int64_t delayed = 0;
   int64_t duplicated = 0;
+  /// Peak bytes of in-flight message state held by the network's bump
+  /// arena (see sim::Arena), and the block bytes the arena reserved from
+  /// the system. Max-merged rather than summed in operator+= — footprint
+  /// peaks of independent networks do not coincide in time, so the max is
+  /// the honest aggregate.
+  int64_t arena_high_water_bytes = 0;
+  int64_t arena_reserved_bytes = 0;
 
   int64_t total() const { return site_to_coordinator + coordinator_to_site; }
 
@@ -44,6 +52,10 @@ struct MessageStats {
     dropped += other.dropped;
     delayed += other.delayed;
     duplicated += other.duplicated;
+    arena_high_water_bytes =
+        std::max(arena_high_water_bytes, other.arena_high_water_bytes);
+    arena_reserved_bytes =
+        std::max(arena_reserved_bytes, other.arena_reserved_bytes);
     return *this;
   }
 };

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/message.h"
 #include "sim/node.h"
 
@@ -38,12 +39,14 @@ class ChannelModel;
 /// them before use.
 ///
 /// Per-message work is allocation-free in the steady state: the delivery
-/// queue is a flat vector whose storage is reused across DeliverAll()
-/// calls (the delayed queue works the same way, compacted in place as
-/// messages come due), the per-type accounting is a dense array indexed by
-/// message type (protocol type discriminators are small non-negative
-/// enums), and the observer hook costs one branch on a plain bool when no
-/// observer is installed.
+/// queue and the delayed-delivery queue live in a per-network bump arena
+/// (see sim::Arena) whose blocks are retained forever — the arena is
+/// rewound at quiescence boundaries whenever growth abandoned storage and
+/// nothing is in flight, so after warm-up no send or delivery touches the
+/// heap (MessageStats reports the arena's high-water footprint). The
+/// per-type accounting is a dense array indexed by message type (protocol
+/// type discriminators are small non-negative enums), and the observer
+/// hook costs one branch on a plain bool when no observer is installed.
 class Network {
  public:
   explicit Network(int num_sites);
@@ -95,9 +98,20 @@ class Network {
 
   /// Delivers queued messages (and any messages their handlers send) until
   /// the network is quiescent. Called by the harness after each update.
-  void DeliverAll();
+  /// The empty-queue test lives here so the (dominant) silent-pump case
+  /// costs one load instead of an out-of-line call: outside a delivery
+  /// head_ is always 0, so an empty queue means the body is a no-op.
+  void DeliverAll() {
+    if (delivering_ || queue_.empty()) return;
+    DeliverQueued();
+  }
 
-  const MessageStats& stats() const { return stats_; }
+  const MessageStats& stats() const {
+    stats_.arena_high_water_bytes =
+        static_cast<int64_t>(arena_.high_water_bytes());
+    stats_.arena_reserved_bytes = static_cast<int64_t>(arena_.reserved_bytes());
+    return stats_;
+  }
 
   /// Total messages transmitted so far.
   int64_t total_messages() const { return stats_.total(); }
@@ -165,20 +179,31 @@ class Network {
 
   void BeginTickSlow();
 
+  /// Out-of-line body of DeliverAll for a non-empty queue.
+  void DeliverQueued();
+
+  /// Rewinds the arena when nothing is in flight and vector growth has
+  /// abandoned storage to it; a no-op (one compare) in the steady state.
+  void MaybeResetArena();
+
   int num_sites_;
   CoordinatorNode* coordinator_ = nullptr;
   std::vector<SiteNode*> sites_;
+  /// Backing store for the message queues below; declared first so the
+  /// vectors can borrow it at construction.
+  Arena arena_;
   /// FIFO queue as (vector, head index): push_back to enqueue, advance
   /// head_ to dequeue; storage is kept across DeliverAll() calls so the
   /// steady state never reallocates.
-  std::vector<Envelope> queue_;
+  ArenaVector<Envelope> queue_;
   size_t head_ = 0;
   /// Messages a channel delayed, in send order; flushed (stably, in place)
   /// into queue_ as their due ticks arrive.
-  std::vector<DelayedEnvelope> delayed_;
+  ArenaVector<DelayedEnvelope> delayed_;
   std::unique_ptr<ChannelModel> channel_;
   int64_t tick_ = 0;
-  MessageStats stats_;
+  /// mutable: stats() stamps the arena footprint fields on read.
+  mutable MessageStats stats_;
   /// Dense per-type counters; index = message type. Types are expected to
   /// be small non-negative ints (protocol enums); negative types abort.
   std::vector<DirectionCount> breakdown_by_type_;

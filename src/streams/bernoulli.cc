@@ -4,14 +4,15 @@
 
 namespace nmc::streams {
 
-std::vector<double> BernoulliStream(int64_t n, double mu, uint64_t seed) {
-  BernoulliSource source(n, mu, seed);
+std::vector<double> BernoulliStream(int64_t n, double mu, uint64_t seed,
+                                    GenMode mode) {
+  BernoulliSource source(n, mu, seed, mode);
   return Materialize(&source);
 }
 
 std::vector<double> FractionalIidStream(int64_t n, double mu, double amplitude,
-                                        uint64_t seed) {
-  FractionalIidSource source(n, mu, amplitude, seed);
+                                        uint64_t seed, GenMode mode) {
+  FractionalIidSource source(n, mu, amplitude, seed, mode);
   return Materialize(&source);
 }
 

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace nmc::streams {
+
+/// Which RNG machinery a randomized stream generator draws from.
+enum class GenMode {
+  /// Vectorized generation via common::BatchRng, writing straight into the
+  /// caller's chunk buffer (the generator/pump fusion path). A different —
+  /// still i.i.d., same law — fixed-seed sequence than the historic scalar
+  /// draws.
+  kBatch,
+  /// Replays the original per-item common::Rng sequence bit-identically.
+  /// The --legacy_pump benches and the golden-pinning tests run in this
+  /// mode; it is the stream-generation analogue of SamplerMode::kLegacyCoins.
+  kLegacyScalar,
+};
+
+}  // namespace nmc::streams

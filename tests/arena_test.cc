@@ -1,0 +1,153 @@
+// sim::Arena / sim::ArenaVector contract tests: bump allocation and
+// alignment, Reset() rewinding storage for reuse without returning it,
+// high-water/reserved accounting, ArenaVector growth-by-abandonment, and
+// the ReleaseStorage + Reset + reserve re-reservation cycle the Network
+// uses to reach a zero-allocation steady state. Runs under the sanitizer
+// presets like every tier-1 test, which is the ASan/UBSan cleanliness
+// check for the pointer arithmetic here.
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "sim/arena.h"
+
+namespace nmc {
+namespace {
+
+using sim::Arena;
+using sim::ArenaVector;
+
+TEST(ArenaTest, AllocateAlignsAndSeparates) {
+  Arena arena;
+  auto* a = static_cast<char*>(arena.Allocate(3, 1));
+  auto* b = static_cast<double*>(arena.Allocate(sizeof(double), alignof(double)));
+  auto* c = static_cast<char*>(arena.Allocate(5, 1));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(double), 0u);
+  // Distinct, non-overlapping regions: write patterns and read them back.
+  std::memset(a, 0xAA, 3);
+  *b = 1.5;
+  std::memset(c, 0xBB, 5);
+  EXPECT_EQ(static_cast<unsigned char>(a[2]), 0xAA);
+  EXPECT_EQ(*b, 1.5);
+  EXPECT_EQ(static_cast<unsigned char>(c[0]), 0xBB);
+  EXPECT_EQ(arena.bytes_in_use(), 3u + sizeof(double) + 5u);
+}
+
+TEST(ArenaTest, ResetRewindsAndReusesStorage) {
+  Arena arena;
+  void* first = arena.Allocate(128, 8);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // Same block, same offset: the rewound arena hands back the same memory
+  // without touching the system allocator.
+  void* again = arena.Allocate(128, 8);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(arena.reserved_bytes(), Arena::kDefaultBlockBytes);
+}
+
+TEST(ArenaTest, HighWaterTracksPeakNotCurrent) {
+  Arena arena;
+  arena.Allocate(100, 1);
+  arena.Allocate(200, 1);
+  EXPECT_EQ(arena.high_water_bytes(), 300u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.high_water_bytes(), 300u);  // peak survives the rewind
+  arena.Allocate(50, 1);
+  EXPECT_EQ(arena.high_water_bytes(), 300u);
+  arena.Allocate(400, 1);
+  EXPECT_EQ(arena.high_water_bytes(), 450u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  void* big = arena.Allocate(10000, 8);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 10000);  // the whole span must be writable
+  EXPECT_GE(arena.reserved_bytes(), 10000u);
+  // Reset then re-allocate: the big block is retained and reused.
+  const size_t reserved = arena.reserved_bytes();
+  arena.Reset();
+  arena.Allocate(10000, 8);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(ArenaTest, GrowthSpillsToNewBlockWithoutInvalidatingOld) {
+  Arena arena(64);
+  auto* a = static_cast<uint32_t*>(arena.Allocate(sizeof(uint32_t), 4));
+  *a = 0xDEADBEEF;
+  // Force a second block; the first allocation must stay intact.
+  arena.Allocate(4096, 8);
+  EXPECT_EQ(*a, 0xDEADBEEF);
+  EXPECT_GT(arena.reserved_bytes(), 64u);
+}
+
+TEST(ArenaVectorTest, PushBackGrowsAndPreservesElements) {
+  Arena arena;
+  ArenaVector<int64_t> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v[static_cast<size_t>(i)], i * 3);
+  }
+  // Range-for sees the same elements.
+  int64_t want = 0;
+  for (const int64_t x : v) {
+    ASSERT_EQ(x, want);
+    want += 3;
+  }
+}
+
+TEST(ArenaVectorTest, ReserveThenPushDoesNotGrow) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  v.reserve(256);
+  const size_t cap = v.capacity();
+  const size_t in_use = arena.bytes_in_use();
+  for (int i = 0; i < 256; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(arena.bytes_in_use(), in_use);  // no further arena traffic
+}
+
+TEST(ArenaVectorTest, ResizeDownCompactsInPlace) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  // The delayed-queue compaction pattern: keep a filtered prefix.
+  size_t kept = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] % 2 == 0) v[kept++] = v[i];
+  }
+  v.resize_down(kept);
+  ASSERT_EQ(v.size(), 5u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<int>(i) * 2);
+  }
+}
+
+TEST(ArenaVectorTest, ReleaseResetReserveReusesArenaMemory) {
+  // The Network's quiescence cycle: after growth abandons storage, release
+  // + reset + re-reserve rebuilds the vector at its old capacity entirely
+  // from retained blocks — reserved_bytes must not move.
+  Arena arena;
+  ArenaVector<int64_t> v(&arena);
+  for (int64_t i = 0; i < 500; ++i) v.push_back(i);  // several growths
+  const size_t cap = v.capacity();
+  const size_t reserved = arena.reserved_bytes();
+  EXPECT_GT(arena.bytes_in_use(), cap * sizeof(int64_t));  // garbage exists
+  v.clear();
+  v.ReleaseStorage();
+  arena.Reset();
+  v.reserve(cap);
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);  // nothing new minted
+  EXPECT_EQ(arena.bytes_in_use(), cap * sizeof(int64_t));  // garbage gone
+  for (int64_t i = 0; i < static_cast<int64_t>(cap); ++i) v.push_back(i);
+  EXPECT_EQ(arena.bytes_in_use(), cap * sizeof(int64_t));  // still in place
+}
+
+}  // namespace
+}  // namespace nmc

@@ -1,0 +1,190 @@
+// Tests for the batch_ops kernels (TallySigns / CheckUnitPrefix), with
+// emphasis on the run-level short-circuit: whatever path CheckUnitPrefix
+// takes, a caller folding max_rel_error with std::max must land on
+// exactly the same state the scalar per-item loop produces.
+
+#include "common/batch_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/batch_ops_kernels.h"
+#include "common/rng.h"
+#include "common/simd_dispatch.h"
+#include "gtest/gtest.h"
+
+namespace nmc::common {
+namespace {
+
+// The harness's per-item loop, verbatim: the oracle every CheckUnitPrefix
+// path (short-circuit or per-item, scalar or SIMD) must reproduce under
+// the max-fold contract.
+struct RefState {
+  double sum = 0.0;
+  int64_t violations = 0;
+  double max_rel = 0.0;
+};
+
+RefState ReferenceLoop(std::span<const double> values, double sum0,
+                       double estimate, double epsilon, double slack,
+                       double rel_floor, double current_max_rel) {
+  RefState ref;
+  ref.sum = sum0;
+  ref.max_rel = current_max_rel;
+  for (const double v : values) {
+    ref.sum += v;
+    const double abs_error = std::fabs(estimate - ref.sum);
+    const double abs_sum = std::fabs(ref.sum);
+    if (abs_error > epsilon * abs_sum + slack) ++ref.violations;
+    if (abs_sum >= rel_floor) {
+      const double rel = abs_error / abs_sum;
+      if (rel > ref.max_rel) ref.max_rel = rel;
+    }
+  }
+  return ref;
+}
+
+std::vector<double> UnitWalk(uint64_t seed, size_t n, double bias) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble() < bias ? 1.0 : -1.0;
+  return values;
+}
+
+TEST(BatchOpsTest, TallySignsCountsAndGates) {
+  const auto values = UnitWalk(7, 133, 0.6);
+  const SignTally tally = TallySigns(values);
+  ASSERT_TRUE(tally.all_unit);
+  int64_t plus = 0;
+  for (double v : values) plus += v == 1.0 ? 1 : 0;
+  EXPECT_EQ(tally.plus, plus);
+  EXPECT_EQ(tally.minus, static_cast<int64_t>(values.size()) - plus);
+
+  auto tainted = values;
+  tainted[71] = 0.5;
+  EXPECT_FALSE(TallySigns(tainted).all_unit);
+}
+
+TEST(BatchOpsTest, MatchesReferenceLoopAcrossPaths) {
+  // Sweep sizes (SIMD bulk + scalar tail splits), biases (walks that do
+  // and don't cross zero), estimates (tight and violating), and
+  // current_max_rel (0 forces the per-item path; large values invite the
+  // short-circuit). Every combination must agree with the scalar oracle
+  // after the max-fold.
+  for (const size_t n : {1u, 3u, 4u, 7u, 31u, 32u, 100u, 257u}) {
+    for (const double bias : {0.5, 0.75, 1.0}) {
+      for (const double sum0 : {0.0, 12.0, -40.0, 4096.0}) {
+        const auto values = UnitWalk(1000 + n, n, bias);
+        const double final_sum = [&] {
+          double s = sum0;
+          for (double v : values) s += v;
+          return s;
+        }();
+        for (const double estimate :
+             {sum0, final_sum, final_sum * 1.1 + 3.0, 0.0}) {
+          for (const double current : {0.0, 0.2, 1e9}) {
+            const double epsilon = 0.25;
+            const double slack = 1e-9;
+            const double rel_floor = 1.0;
+            PrefixCheckResult prefix;
+            ASSERT_TRUE(CheckUnitPrefix(values, sum0, estimate, epsilon,
+                                        slack, rel_floor, current, &prefix));
+            const RefState ref = ReferenceLoop(values, sum0, estimate,
+                                               epsilon, slack, rel_floor,
+                                               current);
+            EXPECT_EQ(prefix.final_sum, ref.sum)
+                << "n=" << n << " bias=" << bias << " est=" << estimate;
+            EXPECT_EQ(prefix.violations, ref.violations)
+                << "n=" << n << " bias=" << bias << " est=" << estimate;
+            EXPECT_EQ(std::max(current, prefix.max_rel_error), ref.max_rel)
+                << "n=" << n << " bias=" << bias << " est=" << estimate
+                << " current=" << current;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchOpsTest, RejectsNonUnitAndNonIntegerSeeds) {
+  auto values = UnitWalk(3, 40, 0.5);
+  PrefixCheckResult prefix;
+  EXPECT_TRUE(CheckUnitPrefix(values, 0.0, 1.0, 0.25, 1e-9, 1.0, 0.0,
+                              &prefix));
+  values[17] = 0.25;  // fractional item
+  EXPECT_FALSE(CheckUnitPrefix(values, 0.0, 1.0, 0.25, 1e-9, 1.0, 0.0,
+                               &prefix));
+  values[17] = 1.0;
+  EXPECT_FALSE(CheckUnitPrefix(values, 0.5, 1.0, 0.25, 1e-9, 1.0, 0.0,
+                               &prefix));  // non-integer seed sum
+  EXPECT_FALSE(CheckUnitPrefix(values, 0.0, 1.0, 0.25, 1e-9, 0.0, 0.0,
+                               &prefix));  // rel_floor must be positive
+  EXPECT_FALSE(CheckUnitPrefix(values, 0x1.0p51, 1.0, 0.25, 1e-9, 1.0, 0.0,
+                               &prefix));  // seed out of the exact range
+}
+
+TEST(BatchOpsTest, ShortCircuitFiresOnSettledTracking) {
+  // A settled tracker: large sums, estimate within the envelope, and a
+  // current max_rel from the early phase that dominates the run's. The
+  // short-circuit must report zero violations and leave the fold alone.
+  const auto values = UnitWalk(11, 64, 0.75);
+  const double sum0 = 20000.0;
+  double final_sum = sum0;
+  for (double v : values) final_sum += v;
+  const double estimate = final_sum + 5.0;  // well inside 0.25 * 20000
+  const double current = 0.5;
+  PrefixCheckResult prefix;
+  ASSERT_TRUE(CheckUnitPrefix(values, sum0, estimate, 0.25, 1e-9, 1.0,
+                              current, &prefix));
+  EXPECT_EQ(prefix.violations, 0);
+  EXPECT_EQ(prefix.final_sum, final_sum);
+  const RefState ref =
+      ReferenceLoop(values, sum0, estimate, 0.25, 1e-9, 1.0, current);
+  EXPECT_EQ(std::max(current, prefix.max_rel_error), ref.max_rel);
+}
+
+TEST(BatchOpsTest, BoundsKernelsMatchScalarOracle) {
+  // The dispatched bounds sweep must be bit-identical to the scalar
+  // kernel — same final sum, same min/max — for every bulk/tail split.
+  for (const size_t n : {4u, 8u, 36u, 128u}) {
+    const auto values = UnitWalk(500 + n, n, 0.5);
+    for (const double sum0 : {0.0, -3.0, 1000.0}) {
+      batch_ops_detail::BoundsState scalar{
+          sum0, std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(), true};
+      batch_ops_detail::UnitRunBoundsScalar(values.data(), n, &scalar);
+      ASSERT_TRUE(scalar.all_unit);
+#if NMC_SIMD_AVX2
+      if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+        batch_ops_detail::BoundsState simd{
+            sum0, std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(), true};
+        batch_ops_detail::UnitRunBoundsAvx2(values.data(), n, &simd);
+        ASSERT_TRUE(simd.all_unit);
+        EXPECT_EQ(simd.sum, scalar.sum);
+        EXPECT_EQ(simd.min_sum, scalar.min_sum);
+        EXPECT_EQ(simd.max_sum, scalar.max_sum);
+      }
+#endif
+      // Oracle check of the oracle: brute-force min/max.
+      double s = sum0;
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -mn;
+      for (double v : values) {
+        s += v;
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+      }
+      EXPECT_EQ(scalar.sum, s);
+      EXPECT_EQ(scalar.min_sum, mn);
+      EXPECT_EQ(scalar.max_sum, mx);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmc::common

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/exact_sync.h"
+#include "common/simd_dispatch.h"
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
 #include "sim/assignment.h"
@@ -96,6 +97,42 @@ TEST(BatchedPumpTest, CounterPhase2BatchMatchesPerUpdate) {
   const auto reference = RunCounterBatched(stream, 4, options, 1);
   const auto batched = RunCounterBatched(stream, 4, options, 512);
   ExpectSameResult(reference, batched);
+}
+
+// ---- SIMD dispatch is unobservable in results ----------------------------
+
+TEST(BatchedPumpTest, CounterBitIdenticalAcrossSimdLevels) {
+  // The vector kernels are bit-identical to the scalar oracle, so a full
+  // tracking run — stream generation, sampler feed, pump fast paths — must
+  // produce identical TrackingResults whichever level dispatch picks, in
+  // both sampler modes and both stream generation modes.
+  const int64_t n = 1 << 13;
+  for (const auto sampler : {common::SamplerMode::kGeometricSkip,
+                             common::SamplerMode::kLegacyCoins}) {
+    for (const auto gen_mode :
+         {streams::GenMode::kBatch, streams::GenMode::kLegacyScalar}) {
+      core::CounterOptions options = testing::DefaultOptions(n, 0.2, 909);
+      options.sampler = sampler;
+      ASSERT_TRUE(common::ForceSimdLevel(common::SimdLevel::kScalar));
+      const auto stream = streams::BernoulliStream(n, 0.5, 92, gen_mode);
+      const auto reference = RunCounterBatched(stream, 4, options, 64);
+      common::ResetSimdLevel();
+      for (const auto level :
+           {common::SimdLevel::kAvx2, common::SimdLevel::kNeon}) {
+        if (!common::SimdLevelAvailable(level)) continue;
+        SCOPED_TRACE(::testing::Message()
+                     << "level=" << common::SimdLevelName(level)
+                     << " sampler=" << static_cast<int>(sampler)
+                     << " gen_mode=" << static_cast<int>(gen_mode));
+        ASSERT_TRUE(common::ForceSimdLevel(level));
+        const auto vec_stream = streams::BernoulliStream(n, 0.5, 92, gen_mode);
+        EXPECT_EQ(vec_stream, stream);  // generator itself is level-blind
+        ExpectSameResult(reference,
+                         RunCounterBatched(vec_stream, 4, options, 64));
+        common::ResetSimdLevel();
+      }
+    }
+  }
 }
 
 // ---- HYZ: batch and run forms --------------------------------------------

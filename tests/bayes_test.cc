@@ -185,14 +185,22 @@ TEST(ConditioningTest, CollinearFeaturesAmplifyTrackedMeanError) {
     }
     Vector exact_mean, tracked_mean;
     EXPECT_TRUE(exact.PosteriorMean(&exact_mean));
-    EXPECT_TRUE(tracker.PosteriorMean(&tracked_mean));
+    // Near-singular precision can be perturbed clean out of the PD cone
+    // by the per-entry tracking error (it happens for a sizable fraction
+    // of data seeds) — the extreme form of the very sensitivity this test
+    // demonstrates, reported as unbounded amplification.
+    if (!tracker.PosteriorMean(&tracked_mean)) {
+      return std::numeric_limits<double>::infinity();
+    }
     return NormDiff(tracked_mean, exact_mean);
   };
 
   const double well_conditioned = run_with_collinearity(0.5);
   const double ill_conditioned = run_with_collinearity(0.02);
-  // Same per-entry accuracy, visibly worse recovered-mean error when the
-  // precision matrix is near-singular.
+  // The well-conditioned recovery must succeed outright; the same
+  // per-entry accuracy then shows visibly worse recovered-mean error when
+  // the precision matrix is near-singular.
+  ASSERT_TRUE(std::isfinite(well_conditioned));
   EXPECT_GT(ill_conditioned, 2.0 * well_conditioned);
 }
 

@@ -190,5 +190,116 @@ TEST(GeometricSkipTest, ForkedSiteStreamsAreIndependent) {
   EXPECT_LT(equal, 150);
 }
 
+// ---- Bulk gap feed (AttachBatchRng) ---------------------------------------
+
+TEST(GeometricSkipTest, FeedGapHistogramMatchesGeometricPmf) {
+  // Gaps drawn through the vectorized bulk feed at a frozen rate must be
+  // Geometric(p) exactly like the scalar path (the feed changes the RNG
+  // consumption order, never the distribution). Same chi-square as
+  // GapHistogramMatchesGeometricPmf, routed through EnsureGapFromFeed.
+  const double p = 0.2;
+  const int kDraws = 200000;
+  const int kBins = 16;
+  GeometricSkip skip(SamplerMode::kGeometricSkip);
+  BatchRng batch(2024);
+  skip.AttachBatchRng(&batch);
+  common::Rng unused(1);  // feed-backed EnsureGap never touches it
+  std::vector<int64_t> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    skip.EnsureGap(&unused, p);
+    const int64_t gap = skip.gap();
+    counts[static_cast<size_t>(std::min<int64_t>(gap, kBins - 1))] += 1;
+    skip.Invalidate();
+  }
+  double chi2 = 0.0;
+  double tail_prob = 1.0;
+  for (int b = 0; b < kBins; ++b) {
+    const double prob = b < kBins - 1 ? tail_prob * p : tail_prob;
+    tail_prob *= (1.0 - p);
+    const double expected = prob * kDraws;
+    ASSERT_GT(expected, 5.0);
+    const double diff = static_cast<double>(counts[static_cast<size_t>(b)]) -
+                        expected;
+    chi2 += diff * diff / expected;
+  }
+  // df = 15; the 0.999 quantile is 37.7.
+  EXPECT_LT(chi2, 37.7);
+  // The scalar RNG really was never consumed.
+  common::Rng check(1);
+  EXPECT_EQ(unused.NextU64(), check.NextU64());
+}
+
+TEST(GeometricSkipTest, FeedRateLadderCostsOneDrawPerFreshRate) {
+  // A fresh rate must cost exactly one stream element (no speculative
+  // block), and only the second consecutive same-rate request may buy a
+  // block. Verified through the BatchRng stream position: a ladder of n
+  // distinct rates consumes exactly n elements.
+  GeometricSkip skip(SamplerMode::kGeometricSkip);
+  BatchRng batch(7);
+  BatchRng shadow(7);  // tracks the expected stream position
+  skip.AttachBatchRng(&batch);
+  common::Rng unused(1);
+  const double rates[] = {0.5, 0.25, 0.125, 0.0625, 0.03125};
+  for (const double rate : rates) {
+    skip.EnsureGap(&unused, rate);
+    skip.Invalidate();
+    (void)shadow.NextU64();  // one element per fresh rate
+  }
+  EXPECT_EQ(batch.NextU64(), shadow.NextU64());
+}
+
+TEST(GeometricSkipTest, FeedBlockRefillServesRepeatRateFromBlock) {
+  // Once a rate repeats, blocks are pre-drawn on the growth schedule
+  // (kFeedFirstBlockGaps, ×kFeedBlockGrowth per refill, capped at
+  // kFeedBlockGaps) and every request in between is served without
+  // further stream traffic. The shadow generator replays the same fills,
+  // so matching stream positions prove both the schedule and the served
+  // values' provenance.
+  GeometricSkip skip(SamplerMode::kGeometricSkip);
+  BatchRng batch(13);
+  BatchRng shadow(13);
+  skip.AttachBatchRng(&batch);
+  common::Rng unused(1);
+  const double rate = 0.1;
+  skip.EnsureGap(&unused, rate);  // fresh rate: single draw
+  skip.Invalidate();
+  (void)shadow.NextU64();
+  int fill = GeometricSkip::kFeedFirstBlockGaps;
+  int served = 0;
+  std::vector<int64_t> block;
+  // Run past the cap so the steady (fill == kFeedBlockGaps) regime is
+  // exercised too.
+  while (served < 3 * GeometricSkip::kFeedBlockGaps) {
+    block.resize(static_cast<size_t>(fill));
+    shadow.FillGeometricGaps(std::span<int64_t>(block), rate);
+    for (int i = 0; i < fill; ++i) {
+      skip.EnsureGap(&unused, rate);  // i == 0 buys the block
+      EXPECT_EQ(skip.gap(), block[static_cast<size_t>(i)]);
+      skip.Invalidate();
+    }
+    served += fill;
+    fill = std::min(fill * GeometricSkip::kFeedBlockGrowth,
+                    GeometricSkip::kFeedBlockGaps);
+  }
+  EXPECT_EQ(batch.NextU64(), shadow.NextU64());
+}
+
+TEST(GeometricSkipTest, LegacyModeIgnoresAttachedFeed) {
+  // kLegacyCoins keeps the bit-exact per-coin replay even with a feed
+  // attached (sites attach unconditionally on construction in skip mode;
+  // the mode decides).
+  GeometricSkip skip(SamplerMode::kLegacyCoins);
+  BatchRng batch(5);
+  skip.AttachBatchRng(&batch);
+  common::Rng rng_skip(123);
+  common::Rng rng_ref(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(skip.Step(&rng_skip, 0.3), rng_ref.Bernoulli(0.3));
+  }
+  EXPECT_EQ(rng_skip.NextU64(), rng_ref.NextU64());
+  BatchRng untouched(5);
+  EXPECT_EQ(batch.NextU64(), untouched.NextU64());
+}
+
 }  // namespace
 }  // namespace nmc::common

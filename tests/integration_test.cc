@@ -67,9 +67,13 @@ TEST(IntegrationTest, MessageCostGrowsSublinearlyInN) {
   // Doubling n should multiply messages by clearly less than 2 once the
   // sqrt(n) regime is reached.
   const double epsilon = 0.25;
+  // Per-trial message cost has heavy variance (the walk's time near zero
+  // dominates it): 3-trial means produce ratio samples as extreme as ~3.5
+  // for some seed blocks even though the ratio of means sits near 2.7, so
+  // average enough trials for the comparison to test growth, not luck.
   auto cost_at = [&](int64_t n) {
     double total = 0.0;
-    const int trials = 3;
+    const int trials = 16;
     for (int trial = 0; trial < trials; ++trial) {
       const auto stream =
           streams::BernoulliStream(n, 0.0, 100 + static_cast<uint64_t>(trial));

@@ -1,0 +1,88 @@
+// Legacy-mode compatibility gate: with the legacy scalar stream generators
+// (GenMode::kLegacyScalar) and per-coin samplers (SamplerMode::kLegacyCoins)
+// the counter must reproduce the pre-vectorization TrackingResult fields
+// bit for bit. The hex-float constants below were captured from the
+// scalar implementation before BatchRng existed; any drift in them means a
+// supposedly-compatible code path changed an RNG draw, an FP operation, or
+// a message schedule. Timing is deliberately not pinned — only results.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nonmonotonic_counter.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+#include "streams/bernoulli.h"
+
+namespace nmc {
+namespace {
+
+struct Golden {
+  double mu = 0.0;
+  int k = 1;
+  int64_t messages = 0;
+  int64_t broadcasts = 0;
+  double max_rel_error = 0.0;
+  double final_sum = 0.0;
+  double final_estimate = 0.0;
+};
+
+// Captured with: n = 1<<15, BernoulliStream(n, mu, /*seed=*/21,
+// kLegacyScalar), CounterOptions{epsilon=0.25, horizon_n=n, seed=11,
+// sampler=kLegacyCoins}, RoundRobinAssignment(k), TrackingOptions{
+// epsilon=0.25, batch_size=1}.
+const Golden kGolden[] = {
+    {0.0, 1, 25604, 0, 0x1.7dd49c34115b2p-4, -0x1p+2, -0x1p+2},
+    {0.0, 8, 65536, 0, 0x0p+0, -0x1p+2, -0x1p+2},
+    {0.75, 1, 583, 0, 0x1.09691c8cffd73p-4, 0x1.7ee8p+14, 0x1.7cb8p+14},
+    {0.75, 8, 10426, 791, 0x1.a854bc5fd111cp-4, 0x1.7ee8p+14, 0x1.7af4p+14},
+};
+
+sim::TrackingResult RunLegacy(double mu, int k, int batch_size) {
+  const int64_t n = 1 << 15;
+  const auto stream =
+      streams::BernoulliStream(n, mu, 21, streams::GenMode::kLegacyScalar);
+  core::CounterOptions options;
+  options.epsilon = 0.25;
+  options.horizon_n = n;
+  options.seed = 11;
+  options.sampler = common::SamplerMode::kLegacyCoins;
+  core::NonMonotonicCounter counter(k, options);
+  sim::RoundRobinAssignment psi(k);
+  sim::TrackingOptions tracking;
+  tracking.epsilon = 0.25;
+  tracking.batch_size = batch_size;
+  return sim::RunTracking(stream, &psi, &counter, tracking);
+}
+
+TEST(LegacyGoldenTest, LegacyModeReproducesPreVectorizationResults) {
+  for (const Golden& want : kGolden) {
+    SCOPED_TRACE(::testing::Message() << "mu=" << want.mu << " k=" << want.k);
+    const auto got = RunLegacy(want.mu, want.k, /*batch_size=*/1);
+    EXPECT_EQ(got.messages, want.messages);
+    EXPECT_EQ(got.broadcasts, want.broadcasts);
+    EXPECT_EQ(got.violation_steps, 0);
+    EXPECT_EQ(got.max_rel_error, want.max_rel_error);  // bitwise
+    EXPECT_EQ(got.final_sum, want.final_sum);
+    EXPECT_EQ(got.final_estimate, want.final_estimate);
+  }
+}
+
+TEST(LegacyGoldenTest, LegacyModeBatchSizeInvariant) {
+  // The batched pump must not change legacy-mode results either — batching
+  // groups calls, it does not alter any draw or message.
+  for (const Golden& want : kGolden) {
+    SCOPED_TRACE(::testing::Message() << "mu=" << want.mu << " k=" << want.k);
+    const auto got = RunLegacy(want.mu, want.k, /*batch_size=*/256);
+    EXPECT_EQ(got.messages, want.messages);
+    EXPECT_EQ(got.broadcasts, want.broadcasts);
+    EXPECT_EQ(got.max_rel_error, want.max_rel_error);
+    EXPECT_EQ(got.final_sum, want.final_sum);
+    EXPECT_EQ(got.final_estimate, want.final_estimate);
+  }
+}
+
+}  // namespace
+}  // namespace nmc

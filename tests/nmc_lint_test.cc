@@ -173,6 +173,21 @@ TEST(NmcLintTest, PerUpdateTranscendentalsScopedToProtocolCode) {
   }
 }
 
+TEST(NmcLintTest, NoHeapInHotPath) {
+  CheckFixture("no_heap_in_hot_path.cc", "src/sim/fixture.cc");
+}
+
+TEST(NmcLintTest, HeapRuleScopedToProtocolCode) {
+  // src/streams builds whole streams up front — per-update allocation
+  // pressure cannot arise there, so the same content is clean. (The
+  // fixture's allow annotation then correctly surfaces as stale.)
+  const std::string content = ReadFixture("no_heap_in_hot_path.cc");
+  for (const lint::Finding& finding :
+       lint::LintContent("src/streams/fixture.cc", content)) {
+    EXPECT_EQ(finding.rule, "ALLOW_UNUSED") << lint::FormatFinding(finding);
+  }
+}
+
 TEST(NmcLintTest, RngRuleScopedToResultProducingCode) {
   // tests/ only *check* results; the determinism rules do not apply there.
   // (The fixture's allow annotations correctly surface as ALLOW_UNUSED in
@@ -199,6 +214,7 @@ TEST(NmcLintTest, EveryEmittedRuleIsRegistered) {
       "no_iostream_in_lib.cc", "include_hygiene.cc",
       "missing_pragma_once.h", "allow_annotations.cc",
       "no_per_update_transcendentals.cc",
+      "no_heap_in_hot_path.cc",
   };
   std::vector<std::string> registered;
   for (const lint::RuleInfo& rule : lint::Rules()) {

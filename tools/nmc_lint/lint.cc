@@ -79,6 +79,10 @@ const std::vector<RuleInfo> kAllRules = {
     {"NO_PER_UPDATE_TRANSCENDENTALS",
      "no log/exp/pow inside per-update protocol entry points; hoist into a "
      "rate helper or cache (see core::RateCache)"},
+    {"NO_HEAP_IN_HOT_PATH",
+     "no new/make_unique/make_shared, and no push_back/emplace_back on a "
+     "receiver the file never reserve()s, inside per-update hot-path entry "
+     "points (src/{core,hyz,baselines,sim})"},
     {"INCLUDE_HYGIENE",
      "no parent-relative #include \"../...\" and no <bits/...> headers"},
     {"PRAGMA_ONCE", "every header starts with #pragma once"},
@@ -186,6 +190,18 @@ constexpr const char* kTranscendentals[] = {"log1p", "log2",  "log10", "log",
 constexpr const char* kPerUpdateEntryPoints[] = {
     "OnLocalUpdate", "ProcessUpdate", "ProcessBatch", "ProcessRun",
     "ConsumeRun"};
+/// The per-update entry points plus the network delivery machinery they
+/// drive — everything executed once (or more) per stream update. These are
+/// the bodies where a stray heap allocation turns into O(n) mallocs per
+/// trial.
+constexpr const char* kHotPathEntryPoints[] = {
+    "OnLocalUpdate", "ProcessUpdate",        "ProcessBatch",
+    "ProcessRun",    "ConsumeRun",           "DeliverAll",
+    "Route",         "BeginTickSlow",        "SendToCoordinator",
+    "SendToSite",    "Broadcast",            "OnSiteMessage",
+    "OnCoordinatorMessage"};
+constexpr const char* kHeapMakers[] = {"make_unique", "make_shared"};
+constexpr const char* kGrowthCalls[] = {"push_back", "emplace_back"};
 
 void CheckWallclock(const std::string& path, const std::vector<Token>& code,
                     std::vector<Finding>* findings) {
@@ -725,6 +741,97 @@ void CheckPerUpdateTranscendentals(const std::string& path,
   }
 }
 
+// ---- NO_HEAP_IN_HOT_PATH --------------------------------------------------
+
+/// Receivers the file reserves capacity for somewhere: `name.reserve(` or
+/// `name->reserve(`. Same-file rather than same-function on purpose — the
+/// sanctioned pattern is exactly "constructor reserves, hot path pushes",
+/// and those live in different functions of one translation unit.
+std::vector<std::string> CollectReservedReceivers(
+    const std::vector<Token>& code) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i + 3 < code.size(); ++i) {
+    if (IsIdent(code, i) &&
+        (IsPunct(code, i + 1, ".") || IsPunct(code, i + 1, "->")) &&
+        IsIdent(code, i + 2, "reserve") && IsPunct(code, i + 3, "(")) {
+      names.push_back(code[i].text);
+    }
+  }
+  return names;
+}
+
+/// Brace-tracks the hot-path entry-point definitions (same machinery as
+/// CheckPerUpdateTranscendentals) and flags heap traffic inside them:
+/// `new` / std::make_unique / std::make_shared outright, and vector growth
+/// (`x.push_back` / `x.emplace_back`) on a receiver the file never calls
+/// reserve() on. Reserved receivers amortize to zero steady-state
+/// allocations (the repo's arena-backed queues additionally never touch
+/// the heap at all); unreserved ones reallocate on a schedule the adversary
+/// controls. Lexical by design, like the transcendental rule: helpers
+/// called from the body are not traced.
+void CheckHeapInHotPath(const std::string& path,
+                        const std::vector<Token>& code,
+                        std::vector<Finding>* findings) {
+  const std::vector<std::string> reserved = CollectReservedReceivers(code);
+  auto is_reserved = [&](const std::string& name) {
+    return std::find(reserved.begin(), reserved.end(), name) != reserved.end();
+  };
+  enum class Mode { kOutside, kSeeking, kInside };
+  Mode mode = Mode::kOutside;
+  int depth = 0;
+  std::string entry;
+  for (size_t i = 0; i < code.size(); ++i) {
+    switch (mode) {
+      case Mode::kOutside:
+        if (IsIdentIn(code, i, kHotPathEntryPoints) &&
+            IsPunct(code, i + 1, "(")) {
+          mode = Mode::kSeeking;
+          entry = code[i].text;
+          ++i;  // skip the '('; a ';' before '{' still aborts below
+        }
+        break;
+      case Mode::kSeeking:
+        if (IsPunct(code, i, ";")) {
+          mode = Mode::kOutside;  // declaration (or call), not a body
+        } else if (IsPunct(code, i, "{")) {
+          mode = Mode::kInside;
+          depth = 1;
+        }
+        break;
+      case Mode::kInside:
+        if (IsPunct(code, i, "{")) {
+          ++depth;
+        } else if (IsPunct(code, i, "}")) {
+          if (--depth == 0) mode = Mode::kOutside;
+        } else if (IsIdent(code, i, "new")) {
+          findings->push_back(
+              {path, code[i].line, "NO_HEAP_IN_HOT_PATH",
+               "'new' inside " + entry +
+                   "() allocates once per update; preallocate in the "
+                   "constructor or use the per-tick arena (sim::Arena)"});
+        } else if (IsIdentIn(code, i, kHeapMakers) &&
+                   (IsPunct(code, i + 1, "<") || IsPunct(code, i + 1, "("))) {
+          findings->push_back(
+              {path, code[i].line, "NO_HEAP_IN_HOT_PATH",
+               "'" + code[i].text + "' inside " + entry +
+                   "() allocates once per update; hoist the allocation out "
+                   "of the per-update path"});
+        } else if (i >= 2 && IsIdentIn(code, i, kGrowthCalls) &&
+                   IsPunct(code, i + 1, "(") &&
+                   (IsPunct(code, i - 1, ".") || IsPunct(code, i - 1, "->")) &&
+                   IsIdent(code, i - 2) && !is_reserved(code[i - 2].text)) {
+          findings->push_back(
+              {path, code[i].line, "NO_HEAP_IN_HOT_PATH",
+               "'" + code[i - 2].text + "." + code[i].text + "' inside " +
+                   entry + "() with no reserve() on '" + code[i - 2].text +
+                   "' anywhere in this file; reserve capacity up front so "
+                   "the steady state never reallocates"});
+        }
+        break;
+    }
+  }
+}
+
 // ---- Allow annotations ----------------------------------------------------
 
 struct Allowance {
@@ -807,6 +914,7 @@ FileAnalysis AnalyzeFile(const std::string& path, const std::string& content) {
   if (InProtocolCode(path)) {
     CheckUnorderedIteration(path, streams.code, findings);
     CheckPerUpdateTranscendentals(path, streams.code, findings);
+    CheckHeapInHotPath(path, streams.code, findings);
   }
   CheckIncludeHygiene(path, streams, findings);
   if (IsHeader(path)) CheckPragmaOnce(path, streams, findings);
