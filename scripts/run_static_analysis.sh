@@ -28,6 +28,9 @@
 #   6  a sanitizer build or its ctest run failed
 #   7  the SARIF emission pass failed (text pass was clean — an emitter or
 #      baseline inconsistency, not a new lint finding)
+#   8  the full-repo lint took longer than the 30 s budget — the
+#      interprocedural pass is meant to be cheap enough to run on every
+#      commit; a blowup here is a performance regression in the linter
 
 set -uo pipefail
 
@@ -58,8 +61,21 @@ sarif_rc=$?
 [[ "${sarif_rc}" -ge 2 ]] && exit 7
 echo "SARIF log: build/nmc_lint.sarif"
 
+# The gating text pass also exports the resolved cross-TU call graph
+# (build/nmc_call_graph.dot, a CI artifact) and runs under a wall-clock
+# budget: the interprocedural pass must stay fast enough for pre-commit.
+LINT_BUDGET_SECONDS=30
+lint_start="$(date +%s)"
 ./build/tools/nmc_lint/nmc_lint --root="${REPO_ROOT}" \
-    --compile-commands=build/compile_commands.json || exit 1
+    --compile-commands=build/compile_commands.json \
+    --dot=build/nmc_call_graph.dot || exit 1
+lint_elapsed="$(( $(date +%s) - lint_start ))"
+echo "call graph: build/nmc_call_graph.dot (lint took ${lint_elapsed}s)"
+if [[ "${lint_elapsed}" -gt "${LINT_BUDGET_SECONDS}" ]]; then
+  echo "nmc_lint: full-repo lint took ${lint_elapsed}s" \
+       "(budget ${LINT_BUDGET_SECONDS}s)" >&2
+  exit 8
+fi
 
 echo "== stage 2: clang-format (check only) =="
 scripts/check_format.sh || exit 3

@@ -181,6 +181,7 @@ void BatchRng::FillGeometricGaps(std::span<int64_t> out, double p) {
   // reciprocal value.
   if (p != gap_memo_p_) {
     gap_memo_p_ = p;
+    // nmc-lint: allow(NO_PER_UPDATE_TRANSCENDENTALS) memoized: one log1p per rate *change*, not per update; every lane then multiplies by the cached reciprocal
     gap_memo_inv_log_q_ = 1.0 / std::log1p(-p);
   }
   const double inv_log_q = gap_memo_inv_log_q_;

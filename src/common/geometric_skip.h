@@ -102,6 +102,7 @@ class GeometricSkip {
   /// Rng::Bernoulli's clamps (p >= 1 reports immediately and p <= 0
   /// never reports, neither consuming randomness) and clamps the cast so
   /// a tiny p cannot overflow int64 (UB on the raw cast).
+  // nmc: reentrant
   static int64_t DrawGap(common::Rng* rng, double p) {
     if (p >= 1.0) return 0;
     if (p <= 0.0) return kInfiniteGap;
@@ -141,9 +142,11 @@ class GeometricSkip {
     } else {
       if (rate != memo_rate_) {
         memo_rate_ = rate;
+        // nmc-lint: allow(NO_PER_UPDATE_TRANSCENDENTALS) memoized: one log1p per rate change, reused for every gap drawn at that rate
         memo_log_q_ = std::log1p(-rate);
       }
       const double u = 1.0 - rng->UniformDouble();  // in (0, 1]
+      // nmc-lint: allow(NO_PER_UPDATE_TRANSCENDENTALS) one log per *drawn gap*, amortized over the gap's length — the geometric skip exists precisely to replace per-update coin flips with this single draw
       const double gap = std::floor(std::log(u) / memo_log_q_);
       gap_ = gap < static_cast<double>(kInfiniteGap)
                  ? static_cast<int64_t>(gap)

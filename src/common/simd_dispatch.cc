@@ -20,6 +20,7 @@ SimdLevel Detect() {
 
 // Plain global, not atomic: ForceSimdLevel is a single-threaded test hook,
 // and in production the value never changes after static init.
+// nmc-lint: allow(NO_MUTABLE_GLOBAL_STATE) set once at static init; the only writers are the single-threaded test hooks below, annotated not-thread-safe
 SimdLevel g_active = Detect();
 
 }  // namespace
@@ -51,12 +52,14 @@ bool SimdLevelAvailable(SimdLevel level) {
   return false;
 }
 
+// nmc: not-thread-safe(test hook; writes the g_active dispatch global with no synchronization)
 bool ForceSimdLevel(SimdLevel level) {
   if (!SimdLevelAvailable(level)) return false;
   g_active = level;
   return true;
 }
 
+// nmc: not-thread-safe(test hook; writes the g_active dispatch global with no synchronization)
 void ResetSimdLevel() { g_active = Detect(); }
 
 }  // namespace nmc::common

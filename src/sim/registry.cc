@@ -8,6 +8,7 @@
 
 namespace nmc::sim {
 
+// nmc: not-thread-safe(leaked singleton is initialized lazily; first call must happen before any threads spawn)
 ProtocolRegistry& ProtocolRegistry::Global() {
   static ProtocolRegistry* registry = new ProtocolRegistry();
   return *registry;
@@ -22,6 +23,7 @@ const ProtocolRegistry::Entry* ProtocolRegistry::Find(
   return &*it;
 }
 
+// nmc: not-thread-safe(mutates the shared entry vector; registration happens at static init and from main, both single-threaded)
 bool ProtocolRegistry::Register(std::string name, const ProtocolTraits& traits,
                                 Builder builder) {
   NMC_CHECK(!name.empty());

@@ -115,7 +115,7 @@ class ScriptedChannel : public ChannelModel {
   explicit ScriptedChannel(std::vector<ChannelVerdict> script)
       : script_(std::move(script)) {}
 
-  ChannelVerdict Adjudicate(const Hop& hop) override {
+  ChannelVerdict Adjudicate(const Hop& /*hop*/) override {
     if (next_ >= script_.size()) return ChannelVerdict::Deliver();
     return script_[next_++];
   }
@@ -127,7 +127,7 @@ class ScriptedChannel : public ChannelModel {
 
 class SilentSite : public SiteNode {
  public:
-  void OnLocalUpdate(double value) override {}
+  void OnLocalUpdate(double /*value*/) override {}
   void OnCoordinatorMessage(const Message& message) override {
     received_.push_back(message);
   }

@@ -141,10 +141,11 @@ class JsonReader {
 
 std::vector<Finding> SampleFindings() {
   return {
-      {"src/sim/network.cc", 42, "NO_MAP_IN_HOT_PATH", "node-based container"},
+      {"src/sim/network.cc", 42, "NO_MAP_IN_HOT_PATH", "node-based container",
+       {}},
       {"src/core/counter.cc", 7, "NO_UNSEEDED_RNG",
-       "hard-coded seed with a \"quoted\" excuse"},
-      {"bench/bench_util.h", 3, "LAYERING_VIOLATION", "climbs the DAG"},
+       "hard-coded seed with a \"quoted\" excuse", {}},
+      {"bench/bench_util.h", 3, "LAYERING_VIOLATION", "climbs the DAG", {}},
   };
 }
 
@@ -206,6 +207,42 @@ TEST(NmcLintSarifTest, BaselinedResultsAreSuppressedNotes) {
   EXPECT_EQ(results.at(1).at("suppressions").at(0).at("kind").str,
             "external");
   EXPECT_EQ(results.at(2).at("suppressions").kind, Json::Kind::kNull);
+}
+
+TEST(NmcLintSarifTest, PropagatedFindingsCarryCodeFlows) {
+  Finding finding{"src/common/helpers.cc", 19, "NO_HEAP_IN_HOT_PATH",
+                  "'new' reachable from an entry point"};
+  finding.flow = {
+      {"src/core/pump.cc", 18, "Pump::ProcessUpdate() is an entry point"},
+      {"src/core/pump.cc", 20, "calls Pump::StageOne()"},
+      {"src/common/helpers.cc", 19, "'new' reachable from an entry point"},
+  };
+  Json doc;
+  ASSERT_TRUE(JsonReader(SarifReport({finding}, {false})).Read(&doc));
+  const Json& r = doc.at("runs").at(0).at("results").at(0);
+  const Json& steps =
+      r.at("codeFlows").at(0).at("threadFlows").at(0).at("locations");
+  ASSERT_EQ(steps.array.size(), finding.flow.size());
+  for (size_t i = 0; i < finding.flow.size(); ++i) {
+    const Json& loc = steps.at(i).at("location");
+    EXPECT_EQ(loc.at("physicalLocation")
+                  .at("artifactLocation")
+                  .at("uri")
+                  .str,
+              finding.flow[i].file);
+    EXPECT_EQ(static_cast<int>(loc.at("physicalLocation")
+                                   .at("region")
+                                   .at("startLine")
+                                   .number),
+              finding.flow[i].line);
+    EXPECT_EQ(loc.at("message").at("text").str, finding.flow[i].note);
+  }
+  // Direct findings (empty flow) emit no codeFlows property at all.
+  finding.flow.clear();
+  Json direct;
+  ASSERT_TRUE(JsonReader(SarifReport({finding}, {false})).Read(&direct));
+  EXPECT_EQ(direct.at("runs").at(0).at("results").at(0).at("codeFlows").kind,
+            Json::Kind::kNull);
 }
 
 TEST(NmcLintSarifTest, OutputIsDeterministic) {

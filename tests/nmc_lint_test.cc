@@ -188,15 +188,11 @@ TEST(NmcLintTest, HeapRuleScopedToProtocolCode) {
   }
 }
 
-TEST(NmcLintTest, RngRuleScopedToResultProducingCode) {
-  // tests/ only *check* results; the determinism rules do not apply there.
-  // (The fixture's allow annotations correctly surface as ALLOW_UNUSED in
-  // this scope — an allowance for a rule that cannot fire is stale.)
-  const std::string content = ReadFixture("no_unseeded_rng.cc");
-  for (const lint::Finding& finding :
-       lint::LintContent("tests/fixture.cc", content)) {
-    EXPECT_EQ(finding.rule, "ALLOW_UNUSED") << lint::FormatFinding(finding);
-  }
+TEST(NmcLintTest, RngRuleAppliesToTests) {
+  // tests/ joined the determinism scope when repo-mode linting was
+  // extended there: an unseeded RNG in a test makes the *check* itself
+  // unreproducible. The fixture lints identically under tests/ and src/.
+  CheckFixture("no_unseeded_rng.cc", "tests/fixture.cc");
 }
 
 TEST(NmcLintTest, PathsOutsideRepoCodeAreIgnored) {
@@ -232,7 +228,8 @@ TEST(NmcLintTest, EveryEmittedRuleIsRegistered) {
 
 TEST(NmcLintTest, FormatFindingIsStable) {
   const lint::Finding finding{"src/sim/network.cc", 42, "NO_MAP_IN_HOT_PATH",
-                              "node-based container"};
+                              "node-based container",
+                              {}};
   EXPECT_EQ(lint::FormatFinding(finding),
             "src/sim/network.cc:42: NO_MAP_IN_HOT_PATH: node-based container");
 }

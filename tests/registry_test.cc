@@ -49,7 +49,7 @@ TEST(RegistryTest, DuplicateRegistrationIsRejected) {
   const size_t before = registry.Names().size();
   const bool inserted = registry.Register(
       "counter", ProtocolTraits{},
-      [](int num_sites, const ProtocolParams& params) {
+      [](int num_sites, const ProtocolParams& /*params*/) {
         return std::unique_ptr<Protocol>(
             new core::NonMonotonicCounter(num_sites, core::CounterOptions{}));
       });

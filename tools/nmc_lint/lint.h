@@ -7,12 +7,27 @@
 
 namespace nmc::lint {
 
+/// One hop of an interprocedural call chain: where execution is and what
+/// happens there ("calls Foo::Bar", "'log' call"). Rendered as a SARIF
+/// codeFlow and by `nmc_lint --why`.
+struct FlowStep {
+  std::string file;
+  int line = 0;
+  std::string note;
+
+  bool operator==(const FlowStep&) const = default;
+};
+
 /// One rule violation (or annotation-hygiene problem) at a specific line.
 struct Finding {
   std::string file;  ///< Repo-relative path, as passed to LintContent.
   int line = 0;      ///< 1-based line number.
   std::string rule;  ///< Rule ID, e.g. "NO_UNSEEDED_RNG".
   std::string message;
+  /// Entry-point → … → finding chain for findings produced by the
+  /// interprocedural propagation; empty for direct findings (the default
+  /// member initializer keeps four-element aggregate inits warning-free).
+  std::vector<FlowStep> flow = {};
 
   bool operator==(const Finding&) const = default;
 };
@@ -51,6 +66,13 @@ struct RepoLintOptions {
   std::string compile_commands;     ///< empty = no compile database
   std::vector<std::string> roots;   ///< repo-relative directories
   std::string layers_path;          ///< empty = skip include-graph rules
+  /// Worker threads for the per-file analysis pass. 0 = hardware
+  /// concurrency. Output is byte-identical for every value — files are
+  /// sharded deterministically and merged in path order.
+  unsigned threads = 0;
+  /// When non-empty, the resolved call graph is written here as Graphviz
+  /// DOT (the CI artifact).
+  std::string dot_path;
 };
 std::vector<Finding> LintRepo(const RepoLintOptions& options,
                               size_t* files_linted = nullptr);
@@ -76,9 +98,9 @@ struct Baseline {
 Baseline ParseBaseline(const std::string& content);
 bool LoadBaseline(const std::string& path, Baseline* baseline);
 
-/// True if the finding matches a baseline entry. BASELINE_STALE and the
-/// annotation-hygiene rules are never baselinable — the suppression layers
-/// must stay honest.
+/// True if the finding matches a baseline entry. BASELINE_STALE, the
+/// annotation-hygiene rules, and THREAD_COMPAT are never baselinable — the
+/// suppression and contract layers must stay honest.
 bool IsBaselined(const Baseline& baseline, const Finding& finding);
 
 /// Stale-entry findings (rule BASELINE_STALE) for baseline entries that no

@@ -16,7 +16,16 @@
 //                           <root>/tools/nmc_lint/baseline.txt if present);
 //                           --no-baseline disables it
 //   --format=text|sarif     output format (default: text); sarif emits a
-//                           SARIF 2.1.0 log on stdout
+//                           SARIF 2.1.0 log on stdout (interprocedural
+//                           findings carry their call chain as codeFlows)
+//   --threads=N             analysis worker threads (0 = hardware
+//                           concurrency, the default); output is
+//                           byte-identical for every value
+//   --dot=PATH              write the resolved cross-TU call graph as
+//                           Graphviz DOT (repo mode only)
+//   --why RULE FILE:LINE    repo mode; print the finding at FILE:LINE for
+//                           RULE and the shortest entry-point call chain
+//                           that produced it, then exit (0 = found)
 //   --list-rules            print rule IDs + summaries and exit
 //   roots-or-files...       repo-relative directories to lint as a repo run
 //                           (default: src bench tests tools), or individual
@@ -28,6 +37,7 @@
 //             1 = gating findings printed, 2 = usage or I/O error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -47,6 +57,10 @@ int main(int argc, char** argv) {
   bool baseline_set = false;
   bool no_baseline = false;
   std::string format = "text";
+  unsigned threads = 0;
+  std::string dot_path;
+  std::string why_rule;
+  std::string why_location;
   std::vector<std::string> roots;
   std::vector<std::string> file_args;
 
@@ -79,6 +93,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "nmc_lint: --format must be text or sarif\n");
         return 2;
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr,
+                                                   10));
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+    } else if (arg == "--why") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "nmc_lint: --why needs RULE and FILE:LINE\n");
+        return 2;
+      }
+      why_rule = argv[++i];
+      why_location = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "nmc_lint: unknown flag %s\n", arg.c_str());
       return 2;
@@ -115,6 +141,10 @@ int main(int argc, char** argv) {
                    "nmc_lint: cannot mix directory and file arguments\n");
       return 2;
     }
+    if (!why_rule.empty()) {
+      std::fprintf(stderr, "nmc_lint: --why needs a repo run, not files\n");
+      return 2;
+    }
   } else {
     if (roots.empty()) roots = {"src", "bench", "tests", "tools"};
     nmc::lint::RepoLintOptions options;
@@ -122,12 +152,49 @@ int main(int argc, char** argv) {
     options.compile_commands = compile_commands;
     options.roots = roots;
     options.layers_path = layers;
+    options.threads = threads;
+    options.dot_path = dot_path;
     findings = nmc::lint::LintRepo(options, &files_linted);
     if (files_linted == 0) {
       std::fprintf(stderr, "nmc_lint: no files found under --root=%s\n",
                    root.c_str());
       return 2;
     }
+  }
+
+  if (!why_rule.empty()) {
+    // --why RULE FILE:LINE — explain one finding: where it is and, for
+    // interprocedural findings, the shortest entry-point chain that
+    // reaches it.
+    const size_t colon = why_location.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "nmc_lint: --why location must be FILE:LINE\n");
+      return 2;
+    }
+    const std::string why_file = why_location.substr(0, colon);
+    const int why_line = std::atoi(why_location.c_str() + colon + 1);
+    for (const nmc::lint::Finding& finding : findings) {
+      if (finding.rule != why_rule || finding.file != why_file ||
+          finding.line != why_line) {
+        continue;
+      }
+      std::printf("%s\n", nmc::lint::FormatFinding(finding).c_str());
+      if (finding.flow.empty()) {
+        std::printf("  direct finding; no interprocedural chain\n");
+      } else {
+        for (size_t j = 0; j < finding.flow.size(); ++j) {
+          const nmc::lint::FlowStep& step = finding.flow[j];
+          std::printf("  #%zu %s:%d: %s\n", j, step.file.c_str(), step.line,
+                      step.note.c_str());
+        }
+      }
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "nmc_lint: no %s finding at %s (suppressed findings have "
+                 "no chain; check allow()/baseline)\n",
+                 why_rule.c_str(), why_location.c_str());
+    return 2;
   }
 
   nmc::lint::Baseline baseline;

@@ -83,6 +83,22 @@ std::string SarifReport(const std::vector<Finding>& findings,
         << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
         << (f.line > 0 ? f.line : 1) << "}}}\n"
         << "          ]";
+    if (!f.flow.empty()) {
+      // Interprocedural chain: entry point → call sites → hazard, as one
+      // SARIF codeFlow/threadFlow so viewers can step the propagation.
+      out << ",\n          \"codeFlows\": [{\"threadFlows\": [{\"locations\": "
+             "[\n";
+      for (size_t j = 0; j < f.flow.size(); ++j) {
+        const FlowStep& step = f.flow[j];
+        out << "            {\"location\": {\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << JsonEscape(step.file) << "\"}, \"region\": {\"startLine\": "
+            << (step.line > 0 ? step.line : 1)
+            << "}}, \"message\": {\"text\": \"" << JsonEscape(step.note)
+            << "\"}}}" << (j + 1 < f.flow.size() ? "," : "") << "\n";
+      }
+      out << "          ]}]}]";
+    }
     if (suppressed) {
       out << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
     }

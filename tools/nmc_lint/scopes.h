@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+
+namespace nmc::lint {
+
+// Path scopes and the shared name tables. Rule *scope* decisions use only
+// the repo-relative path prefix, so fixture tests can lint files "as if"
+// they lived anywhere; both the single-file rules (lint.cc) and the
+// interprocedural pass (call_graph.cc) make the same decisions from the
+// same predicates.
+
+inline bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool IsHeader(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/// src/ minus src/bench/ — the simulator + protocol library proper, where
+/// wall-clock reads and console output are banned (src/bench is the timing
+/// and reporting layer, which needs both).
+inline bool InSimLibrary(const std::string& path) {
+  return StartsWith(path, "src/") && !StartsWith(path, "src/bench/");
+}
+
+/// Directories whose code decides *what messages are sent when* — any
+/// iteration-order dependence here leaks straight into message schedules.
+inline bool InProtocolCode(const std::string& path) {
+  return StartsWith(path, "src/core/") || StartsWith(path, "src/hyz/") ||
+         StartsWith(path, "src/baselines/") || StartsWith(path, "src/sim/");
+}
+
+inline bool InHotPath(const std::string& path) {
+  return StartsWith(path, "src/sim/");
+}
+
+/// Determinism scope: everything that can influence a recorded result —
+/// the library, the bench drivers, the CLI tools, and (since the
+/// interprocedural PR) tests/. Tests only *check* results, but an
+/// unseeded RNG in a test still makes the check itself unreproducible,
+/// which is how flakes are born.
+inline bool InDeterminismScope(const std::string& path) {
+  return StartsWith(path, "src/") || StartsWith(path, "bench/") ||
+         StartsWith(path, "tools/") || StartsWith(path, "tests/");
+}
+
+/// Scope of the library-state concurrency rules (mutable globals, thread
+/// annotations): the library itself. bench/tests/tools binaries own their
+/// process and may keep globals (gtest and google-benchmark registries
+/// force them to).
+inline bool InLibraryCode(const std::string& path) {
+  return StartsWith(path, "src/");
+}
+
+inline bool InRepoCode(const std::string& path) {
+  return StartsWith(path, "src/") || StartsWith(path, "bench/") ||
+         StartsWith(path, "tests/") || StartsWith(path, "tools/");
+}
+
+/// The RNG implementation itself is the one place allowed to spell engine
+/// constructors — it *is* the factory the provenance rule points everyone
+/// at.
+inline bool IsRngFactory(const std::string& path) {
+  return path == "src/common/rng.h" || path == "src/common/rng.cc";
+}
+
+/// Per-update protocol entry points (the transcendental rule's direct
+/// scope).
+inline constexpr const char* kPerUpdateEntryPoints[] = {
+    "OnLocalUpdate", "ProcessUpdate", "ProcessBatch", "ProcessRun",
+    "ConsumeRun"};
+
+/// The per-update entry points plus the network delivery machinery they
+/// drive — everything executed once (or more) per stream update. These are
+/// the roots of the transitive hot-path propagation: a heap allocation or
+/// transcendental anywhere in a call chain starting here is paid O(n)
+/// times per trial.
+inline constexpr const char* kHotPathEntryPoints[] = {
+    "OnLocalUpdate", "ProcessUpdate",        "ProcessBatch",
+    "ProcessRun",    "ConsumeRun",           "DeliverAll",
+    "Route",         "BeginTickSlow",        "SendToCoordinator",
+    "SendToSite",    "Broadcast",            "OnSiteMessage",
+    "OnCoordinatorMessage"};
+
+/// Classes whose member functions root the reentrancy audit
+/// (NO_STATIC_LOCAL_IN_REENTRANT): the seams the upcoming threaded runtime
+/// will call from concurrent contexts.
+inline constexpr const char* kReentrantAuditClasses[] = {"Protocol", "Network",
+                                                         "BatchRng"};
+
+inline constexpr const char* kTranscendentals[] = {
+    "log1p", "log2", "log10", "log", "exp2", "expm1", "exp", "pow"};
+
+inline constexpr const char* kHeapMakers[] = {"make_unique", "make_shared"};
+inline constexpr const char* kGrowthCalls[] = {"push_back", "emplace_back"};
+inline constexpr const char* kMapLike[] = {"map", "multimap", "deque"};
+
+}  // namespace nmc::lint

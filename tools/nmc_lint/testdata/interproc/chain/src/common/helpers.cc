@@ -1,0 +1,28 @@
+// Hazard TU for the chain fixture: src/common/ is library code but not a
+// hot-path directory, so the heap allocation and the transcendental below
+// are only reportable through the propagated chain rooted at
+// Pump::ProcessUpdate. CycleBack closes a cross-TU cycle back into the
+// chain to prove the reachability walk terminates.
+#include <cmath>
+
+namespace fix {
+
+void StageOne(double value);
+void StageThree(double value);
+
+void StageTwo(double value) {
+  StageThree(value);
+  CycleBack(value);
+}
+
+void StageThree(double value) {
+  double* scratch = new double[8];
+  scratch[0] = std::log(value);
+  delete[] scratch;
+}
+
+void CycleBack(double value) {
+  if (value > 0.0) StageTwo(value);
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Interprocedural fixture: a hot-path entry point whose hazards all live
+// two-plus calls away, across a TU boundary (helpers.cc). Nothing in this
+// file is a direct finding.
+namespace fix {
+
+void StageTwo(double value);
+void CycleBack(double value);
+
+class Pump {
+ public:
+  void ProcessUpdate(int site, double value);
+
+ private:
+  void StageOne(double value);
+  int sites_ = 0;
+};
+
+void Pump::ProcessUpdate(int site, double value) {
+  sites_ = site;
+  StageOne(value);
+}
+
+void Pump::StageOne(double value) { StageTwo(value); }
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Mutable-global fixture: one namespace-scope mutable variable and one
+// mutable static data member are findings; const/constexpr state and
+// plain (per-object) members are not.
+namespace fix {
+
+int g_mutable_counter = 0;
+const int kLimit = 8;
+constexpr double kScale = 2.0;
+
+class Box {
+ public:
+  static int live_count_;
+  static const int kMax = 4;
+  int per_object_ = 0;
+};
+
+}  // namespace fix

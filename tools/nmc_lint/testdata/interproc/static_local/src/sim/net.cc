@@ -1,0 +1,26 @@
+// Static-local fixture: CountCall's mutable static is two calls below
+// Network::Route, a reentrancy root both by entry-point name and by audit
+// class; the const and thread_local statics are fine.
+namespace fix {
+
+void CountCall(int packet);
+
+class Network {
+ public:
+  void Route(int packet) { Dispatch(packet); }
+
+ private:
+  void Dispatch(int packet);
+};
+
+void Network::Dispatch(int packet) { CountCall(packet); }
+
+void CountCall(int packet) {
+  static long calls = 0;
+  static const int kTableSize = 4;
+  thread_local int scratch = 0;
+  scratch = packet % kTableSize;
+  calls += scratch;
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// THREAD_COMPAT fixture: a reentrant function may only call functions
+// that are themselves marked reentrant — one unannotated callee and one
+// hostile callee are findings at their call lines. The tail of the file
+// seeds the three annotation-grammar findings (unknown verb, missing
+// reason, unattached marker).
+namespace fix {
+
+int Unmarked(int x);
+int Hostile(int x);
+
+// nmc: reentrant
+int SafeDouble(int x) { return x * 2; }
+
+// nmc: reentrant
+int DrawValue(int x) {
+  int total = SafeDouble(x);
+  total += Unmarked(x);
+  total += Hostile(x);
+  return total;
+}
+
+int Unmarked(int x) { return x + 1; }
+
+// nmc: not-thread-safe(writes a shared buffer without locks)
+int Hostile(int x) { return x - 1; }
+
+// nmc: not-thread-safe
+int NoReason(int x) { return x; }
+
+// nmc: frobnicates(some excuse)
+int UnknownVerb(int x) { return x; }
+
+// nmc: reentrant
+
+}  // namespace fix

@@ -54,4 +54,4 @@ double logical(double x) { return x; }       // 'log' inside an identifier
 double ReProcessUpdate(double x) {           // name embedded in a longer one
   return std::pow(x, 2.0);                   // ...so this body is untracked
 }
-double export_rate = 0.0;                    // 'exp' prefix, no call
+const double export_rate = 0.0;              // 'exp' prefix, no call

@@ -24,4 +24,4 @@ double resolution_time();
 double QueryResolution() { return resolution_time(); }
 int downtime(int x) { return x; }
 struct Clockwork {};  // 'clock' inside an identifier, no call
-int uptime_seconds = 0;
+const int uptime_seconds = 0;
