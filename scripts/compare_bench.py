@@ -14,7 +14,9 @@ Accepted input formats (either side, auto-detected, mixable):
 
 Every metric is a throughput (higher is better):
   * micro rows  -> "micro/<name>" = items_per_second,
-  * tracked benches -> "bench/<name>" = updates_per_sec.
+  * tracked benches -> "bench/<name>" = updates_per_sec,
+  * named bench scalars -> "bench/<name>/<metric>" (the BenchReport
+    "metrics" array — throughput-only benches report through these).
 Metrics present on only one side are reported but never gate.
 
 --min_ratio=PATTERN=RATIO (repeatable) is a hard speedup gate: every
@@ -67,6 +69,12 @@ def metrics_from_bench_report(doc):
     rate = doc.get("updates_per_sec")
     if rate:
         out[f"bench/{doc['bench']}"] = float(rate)
+    # Throughput-only benches (e.g. bench_e15_concurrent_serving) report
+    # named scalars in a "metrics" array instead of RunRecord batches.
+    for metric in doc.get("metrics", []):
+        value = metric.get("value")
+        if value:
+            out[f"bench/{doc['bench']}/{metric['name']}"] = float(value)
     return out
 
 

@@ -28,8 +28,10 @@
 # BENCH_baseline.json via scripts/compare_bench.py; a >10% throughput
 # regression on any shared metric fails the script.
 #
-# Also verifies the parallel runner under ThreadSanitizer when the host
-# toolchain supports it (build-tsan/, thread_pool_test + runner_test).
+# Also verifies the parallel runner and the threaded transport backend
+# under ThreadSanitizer when the host toolchain supports it (build-tsan/:
+# thread_pool_test, runner_test, spsc_queue_test, seqlock_test,
+# threaded_runtime_test, plus a bench_e15 --transport=threads smoke).
 
 set -euo pipefail
 
@@ -76,6 +78,15 @@ for bench in "${TRACKED_BENCHES[@]}"; do
       --json_out="${WORK_DIR}/BENCH_${bench}.json"
 done
 
+# E15 exercises the threaded transport backend, so it takes --transport
+# on top of the shared flags and runs outside the loop. Its reader-scaling
+# and update-throughput metrics land in the same BENCH_*.json shape and the
+# aggregation below picks the file up with the rest.
+echo "== bench_e15_concurrent_serving (transport=threads) =="
+"${BUILD_DIR}/bench/bench_e15_concurrent_serving" \
+    --transport=threads \
+    --json_out="${WORK_DIR}/BENCH_bench_e15_concurrent_serving.json"
+
 echo "== aggregating =="
 python3 - "${WORK_DIR}" "${WORK_DIR}/aggregate.json" <<'EOF'
 import json
@@ -121,13 +132,21 @@ fi
 cp "${WORK_DIR}/aggregate.json" "${OUT}"
 echo "wrote ${OUT}"
 
-echo "== ThreadSanitizer: thread pool + parallel runner =="
+echo "== ThreadSanitizer: thread pool, runner, concurrent runtime =="
 if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DNMC_SANITIZE=thread > /dev/null 2>&1 \
    && cmake --build build-tsan -j "$(nproc)" \
-        --target thread_pool_test runner_test > /dev/null 2>&1; then
+        --target thread_pool_test runner_test spsc_queue_test seqlock_test \
+        threaded_runtime_test bench_e15_concurrent_serving > /dev/null 2>&1; then
   ./build-tsan/tests/thread_pool_test
   ./build-tsan/tests/runner_test
+  ./build-tsan/tests/spsc_queue_test
+  ./build-tsan/tests/seqlock_test
+  ./build-tsan/tests/threaded_runtime_test
+  # End-to-end smoke of the threaded backend (k sites + m readers +
+  # coordinator + linearizability replay) under TSan, sized to stay fast.
+  ./build-tsan/bench/bench_e15_concurrent_serving \
+      --transport=threads --sites=4 --readers=4 --updates=20000
   echo "TSan: clean"
 else
   echo "TSan build unavailable on this toolchain; skipped" >&2

@@ -110,6 +110,15 @@ std::string BenchReportToJson(const BenchReport& report) {
   out += "    \"min\": " + JsonDouble(pooled.min()) + ",\n";
   out += "    \"max\": " + JsonDouble(pooled.max()) + "\n";
   out += "  },\n";
+  out += "  \"metrics\": [";
+  for (size_t i = 0; i < report.metrics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"name\": " + JsonString(report.metrics[i].name) + ",\n";
+    out += "      \"value\": " + JsonDouble(report.metrics[i].value) + "\n";
+    out += "    }";
+  }
+  out += report.metrics.empty() ? "],\n" : "\n  ],\n";
   out += "  \"runs\": [";
   for (size_t i = 0; i < report.runs.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -143,6 +152,7 @@ struct BenchSession {
   int batch = 0;
   bool legacy_pump = false;
   sim::ChannelConfig channel;
+  runtime::TransportKind transport = runtime::TransportKind::kSim;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -170,6 +180,7 @@ constexpr BenchFlagSpec kBenchFlags[] = {
     {"delay_prob", "--delay_prob=P"},
     {"delay_max", "--delay_max=T"},
     {"channel_seed", "--channel_seed=S"},
+    {"transport", "--transport=sim|threads"},
 };
 
 bool IsSharedBenchFlag(const std::string& token) {
@@ -210,6 +221,12 @@ bool ConsumeBenchFlags(const common::Flags& flags, BenchFlagValues* values,
   channel.max_delay = flags.GetInt("delay_max", channel.max_delay);
   channel.seed = static_cast<uint64_t>(
       flags.GetInt("channel_seed", static_cast<int64_t>(channel.seed)));
+
+  const std::string transport = flags.GetString("transport", "sim");
+  if (!runtime::ParseTransportKind(transport, &values->transport)) {
+    *error = "--transport expects sim|threads, got '" + transport + "'";
+    return false;
+  }
   return true;
 }
 
@@ -259,26 +276,22 @@ void PeelBenchFlags(int argc, const char* const* argv,
   }
 }
 
-void InitBench(int argc, const char* const* argv,
-               const std::string& bench_name) {
+void InitBenchRest(int argc, const char* const* argv,
+                   const std::string& bench_name,
+                   std::vector<std::string>* rest) {
   BenchSession& session = Session();
   session.initialized = true;
   session.report.bench = bench_name;
   session.start = std::chrono::steady_clock::now();
 
   BenchFlagValues values;
-  std::vector<std::string> rest;
-  PeelBenchFlags(argc, argv, bench_name, &values, &rest);
-  if (!rest.empty()) {
-    std::fprintf(stderr, "%s: unknown flag %s (%s)\n", bench_name.c_str(),
-                 rest.front().c_str(), BenchFlagHelp().c_str());
-    std::exit(2);
-  }
+  PeelBenchFlags(argc, argv, bench_name, &values, rest);
   session.report.threads = values.threads;
   session.json_out = values.json_out;
   session.batch = values.batch;
   session.legacy_pump = values.legacy_pump;
   session.channel = values.channel;
+  session.transport = values.transport;
   session.report.batch = session.batch;
   session.report.legacy_pump = session.legacy_pump;
   if (session.report.threads > 1) {
@@ -289,6 +302,21 @@ void InitBench(int argc, const char* const* argv,
         session.channel.kind == sim::ChannelConfig::Kind::kLoss ? "loss"
                                                                 : "delay";
     std::printf("[bench: %s channel installed]\n", kind);
+  }
+  if (session.transport != runtime::TransportKind::kSim) {
+    std::printf("[bench: %s transport]\n",
+                runtime::TransportKindName(session.transport));
+  }
+}
+
+void InitBench(int argc, const char* const* argv,
+               const std::string& bench_name) {
+  std::vector<std::string> rest;
+  InitBenchRest(argc, argv, bench_name, &rest);
+  if (!rest.empty()) {
+    std::fprintf(stderr, "%s: unknown flag %s (%s)\n", bench_name.c_str(),
+                 rest.front().c_str(), BenchFlagHelp().c_str());
+    std::exit(2);
   }
 }
 
@@ -311,10 +339,20 @@ const sim::ChannelConfig& BenchChannel() {
   return Session().channel;
 }
 
+runtime::TransportKind BenchTransport() {
+  return Session().transport;
+}
+
 void RecordRun(const RunRecord& record) {
   BenchSession& session = Session();
   if (!session.initialized) return;
   session.report.runs.push_back(record);
+}
+
+void RecordMetric(const std::string& name, double value) {
+  BenchSession& session = Session();
+  if (!session.initialized) return;
+  session.report.metrics.push_back(BenchMetric{name, value});
 }
 
 std::string NextRunLabel() {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bench/runner.h"
+#include "runtime/transport.h"
 #include "sim/channel.h"
 
 namespace nmc::bench {
@@ -19,6 +20,15 @@ struct RunRecord {
   RunSummary summary;
 };
 
+/// One named scalar a bench records outside the RunRecord vocabulary —
+/// throughput-style results (reader queries/sec, update rates, scaling
+/// ratios) that have no accuracy/message-count axes. compare_bench.py
+/// tracks them as bench/<bench>/<name>.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+};
+
 /// Machine-readable record of one bench binary's execution — the unit the
 /// perf trajectory is built from (one BENCH_*.json per binary per run).
 struct BenchReport {
@@ -28,6 +38,8 @@ struct BenchReport {
   int batch = 0;
   bool legacy_pump = false;
   std::vector<RunRecord> runs;
+  /// Free-form named scalars (see RecordMetric); empty for most benches.
+  std::vector<BenchMetric> metrics;
   /// Wall time of the whole binary, not just the recorded batches.
   double wall_seconds = 0.0;
 
@@ -66,6 +78,8 @@ bool WriteBenchReport(const std::string& path, const BenchReport& report);
 ///   --delay_prob=P    delay probability per hop (with --channel=delay)
 ///   --delay_max=T     max delay in ticks (with --channel=delay)
 ///   --channel_seed=S  channel RNG seed (base; offset per trial)
+///   --transport=K     runtime backend: sim (deterministic simulator,
+///                     default) | threads (concurrent runtime)
 /// Crash schedules need interval lists and stay config-driven (see
 /// bench_e14_fault_tolerance), not flag-driven.
 struct BenchFlagValues {
@@ -74,6 +88,7 @@ struct BenchFlagValues {
   int batch = 0;
   bool legacy_pump = false;
   sim::ChannelConfig channel;
+  runtime::TransportKind transport = runtime::TransportKind::kSim;
 };
 
 /// Splits argv[1..) into the shared bench flags above and everything else.
@@ -94,6 +109,14 @@ std::string BenchFlagHelp();
 /// with status 2 on malformed or unknown flags.
 void InitBench(int argc, const char* const* argv, const std::string& bench_name);
 
+/// InitBench for binaries with their own flags on top of the shared set:
+/// shared flags initialize the session as in InitBench, everything else is
+/// appended to *rest for the caller to parse (and reject leftovers from)
+/// itself.
+void InitBenchRest(int argc, const char* const* argv,
+                   const std::string& bench_name,
+                   std::vector<std::string>* rest);
+
 /// Thread count resolved by InitBench (1 before InitBench is called).
 int BenchThreads();
 
@@ -110,8 +133,16 @@ bool BenchLegacyPump();
 /// it when it is faulty.
 const sim::ChannelConfig& BenchChannel();
 
+/// Runtime backend requested by --transport (kSim before InitBench, and by
+/// default).
+runtime::TransportKind BenchTransport();
+
 /// Appends a record to the session report (no-op before InitBench).
 void RecordRun(const RunRecord& record);
+
+/// Appends a named scalar to the session report's "metrics" array (no-op
+/// before InitBench).
+void RecordMetric(const std::string& name, double value);
 
 /// Label "repeatNN" for the next auto-recorded batch.
 std::string NextRunLabel();

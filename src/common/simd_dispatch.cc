@@ -1,5 +1,7 @@
 #include "common/simd_dispatch.h"
 
+#include <atomic>
+
 namespace nmc::common {
 namespace {
 
@@ -18,10 +20,11 @@ SimdLevel Detect() {
   return SimdLevel::kScalar;
 }
 
-// Plain global, not atomic: ForceSimdLevel is a single-threaded test hook,
-// and in production the value never changes after static init.
-// nmc-lint: allow(NO_MUTABLE_GLOBAL_STATE) set once at static init; the only writers are the single-threaded test hooks below, annotated not-thread-safe
-SimdLevel g_active = Detect();
+// Relaxed ordering is all dispatch needs: every level's kernel is
+// bit-identical on the same inputs, so a thread racing a Force/Reset only
+// ever picks one of two correct kernels.
+// nmc-lint: allow(NO_MUTABLE_GLOBAL_STATE) the dispatch level is inherently process-wide; reads and the test-hook writes are relaxed atomics, so any interleaving is race-free
+std::atomic<SimdLevel> g_active{Detect()};
 
 }  // namespace
 
@@ -37,7 +40,10 @@ const char* SimdLevelName(SimdLevel level) {
   return "unknown";
 }
 
-SimdLevel ActiveSimdLevel() { return g_active; }
+// nmc: reentrant
+SimdLevel ActiveSimdLevel() {
+  return g_active.load(std::memory_order_relaxed);
+}
 
 bool SimdLevelAvailable(SimdLevel level) {
   if (level == SimdLevel::kScalar) return true;
@@ -52,14 +58,14 @@ bool SimdLevelAvailable(SimdLevel level) {
   return false;
 }
 
-// nmc: not-thread-safe(test hook; writes the g_active dispatch global with no synchronization)
 bool ForceSimdLevel(SimdLevel level) {
   if (!SimdLevelAvailable(level)) return false;
-  g_active = level;
+  g_active.store(level, std::memory_order_relaxed);
   return true;
 }
 
-// nmc: not-thread-safe(test hook; writes the g_active dispatch global with no synchronization)
-void ResetSimdLevel() { g_active = Detect(); }
+void ResetSimdLevel() {
+  g_active.store(Detect(), std::memory_order_relaxed);
+}
 
 }  // namespace nmc::common

@@ -26,8 +26,9 @@ bool SimdLevelAvailable(SimdLevel level);
 
 /// Test hook: pin dispatch to `level`. Returns false (no change) if the
 /// level is unavailable. Lets a single binary compare scalar and vector
-/// kernels bit-for-bit. Not thread-safe against concurrent Fill calls —
-/// test-only by design.
+/// kernels bit-for-bit. The dispatch global is a relaxed atomic, so a
+/// Force racing concurrent Fill calls is race-free — each Fill just picks
+/// the old or the new (bit-identical) kernel.
 bool ForceSimdLevel(SimdLevel level);
 
 /// Undo ForceSimdLevel: back to auto-detection.

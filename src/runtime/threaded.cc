@@ -1,0 +1,366 @@
+#include "runtime/threaded.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/seqlock.h"
+#include "common/spsc_queue.h"
+#include "common/thread_pool.h"
+
+namespace nmc::runtime {
+
+namespace {
+
+/// Per-reader accumulator. Owned by one reader thread for the duration of
+/// the run; the coordinator folds them only after the pool has joined.
+struct ReaderStats {
+  int64_t reads = 0;
+  int64_t torn = 0;
+  int64_t regressions = 0;
+  int64_t sampled = 0;
+  std::vector<ReadSample> samples;
+};
+
+/// Reader snapshots are thinned by a fixed stride and retained in a ring,
+/// so both early and late generations survive into the linearizability
+/// check without unbounded memory. Prime, so readers de-synchronize from
+/// the coordinator's publish cadence instead of aliasing it.
+constexpr int64_t kSampleStride = 17;
+
+/// Yield cadence for the spin paths. On an oversubscribed machine (more
+/// threads than cores — CI runners, the 1-core container this repo grows
+/// in) an unyielding spin loop starves the very thread it waits on.
+constexpr int64_t kReaderYieldEvery = 256;
+
+void ReaderLoop(const common::Seqlock<PublishedEstimate>& slot,
+                const std::atomic<bool>& run_done, int64_t sample_capacity,
+                ReaderStats* stats) {
+  if (sample_capacity > 0) {
+    stats->samples.resize(static_cast<size_t>(sample_capacity));
+  }
+  int64_t last_generation = 0;
+  while (!run_done.load(std::memory_order_acquire)) {
+    PublishedEstimate snapshot;
+    if (!slot.TryRead(&snapshot)) {
+      ++stats->torn;
+      std::this_thread::yield();
+      continue;
+    }
+    ++stats->reads;
+    if (snapshot.generation < last_generation) {
+      ++stats->regressions;
+    } else {
+      last_generation = snapshot.generation;
+    }
+    if (sample_capacity > 0 && stats->reads % kSampleStride == 0) {
+      stats->samples[static_cast<size_t>(stats->sampled % sample_capacity)] =
+          ReadSample{snapshot.generation, snapshot.estimate};
+      ++stats->sampled;
+    }
+    if (stats->reads % kReaderYieldEvery == 0) std::this_thread::yield();
+  }
+}
+
+void SiteLoop(const std::vector<double>& shard,
+              common::SpscQueue<double>* inbox,
+              common::SpscQueue<PublishedEstimate>* echoes,
+              std::atomic<bool>* done, std::atomic<int64_t>* echoes_received) {
+  int64_t received = 0;
+  size_t pos = 0;
+  const std::span<const double> all(shard);
+  while (pos < all.size()) {
+    const size_t pushed = inbox->TryPushSpan(all.subspan(pos));
+    pos += pushed;
+    PublishedEstimate echo;
+    while (echoes->TryPop(&echo)) ++received;
+    if (pushed == 0) std::this_thread::yield();
+  }
+  // Publish the shard-exhausted flag only after the last TryPushSpan: the
+  // release store orders every enqueued update before the flag, so a
+  // coordinator that sees done==true and an empty mailbox has seen
+  // everything.
+  done->store(true, std::memory_order_release);
+  echoes_received->fetch_add(received, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ThreadedRunResult RunThreaded(sim::Protocol* protocol,
+                              std::span<const std::vector<double>> shards,
+                              const ThreadedRunOptions& options) {
+  NMC_CHECK(protocol != nullptr);
+  const int num_sites = protocol->num_sites();
+  NMC_CHECK_EQ(static_cast<int>(shards.size()), num_sites);
+  NMC_CHECK_GE(options.num_readers, 0);
+  NMC_CHECK_GE(options.mailbox_capacity, 1);
+  NMC_CHECK_GE(options.max_pull, 1);
+
+  int64_t total_updates = 0;
+  for (const std::vector<double>& shard : shards) {
+    total_updates += static_cast<int64_t>(shard.size());
+  }
+
+  ThreadedRunResult result;
+  if (options.capture) {
+    result.transcript.reserve(static_cast<size_t>(total_updates));
+    result.publish_log.reserve(static_cast<size_t>(total_updates / 8 + 16));
+  }
+
+  std::vector<std::unique_ptr<common::SpscQueue<double>>> inboxes;
+  std::vector<std::unique_ptr<common::SpscQueue<PublishedEstimate>>> echoes;
+  inboxes.reserve(static_cast<size_t>(num_sites));
+  echoes.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    inboxes.push_back(std::make_unique<common::SpscQueue<double>>(
+        static_cast<size_t>(options.mailbox_capacity)));
+    // The echo ring is advisory (lagging sites drop echoes), so a small
+    // fixed capacity suffices.
+    echoes.push_back(std::make_unique<common::SpscQueue<PublishedEstimate>>(64));
+  }
+  std::unique_ptr<std::atomic<bool>[]> site_done(
+      new std::atomic<bool>[static_cast<size_t>(num_sites)]);
+  for (int i = 0; i < num_sites; ++i) site_done[i].store(false);
+  std::atomic<bool> run_done{false};
+  std::atomic<int64_t> echoes_received{0};
+
+  common::Seqlock<PublishedEstimate> slot;
+  const auto publish = [&](int64_t generation, double estimate) {
+    slot.Publish(PublishedEstimate{generation, estimate});
+    ++result.publishes;
+    if (options.capture) {
+      result.publish_log.push_back(PublishedEstimate{generation, estimate});
+    }
+  };
+  publish(0, protocol->Estimate());
+
+  std::vector<ReaderStats> reader_stats(
+      static_cast<size_t>(options.num_readers));
+
+  // Sites and readers on pool threads; the coordinator is the calling
+  // thread, so the pool never has to schedule a task that other running
+  // tasks spin-wait on.
+  common::ThreadPool pool(num_sites + options.num_readers);
+  std::vector<std::future<void>> joins;
+  joins.reserve(static_cast<size_t>(num_sites + options.num_readers));
+  for (int i = 0; i < num_sites; ++i) {
+    joins.push_back(pool.Submit(
+        [&shards, &inboxes, &echoes, &site_done, &echoes_received, i]() {
+          SiteLoop(shards[static_cast<size_t>(i)],
+                   inboxes[static_cast<size_t>(i)].get(),
+                   echoes[static_cast<size_t>(i)].get(), &site_done[i],
+                   &echoes_received);
+        }));
+  }
+  for (int r = 0; r < options.num_readers; ++r) {
+    ReaderStats* stats = &reader_stats[static_cast<size_t>(r)];
+    joins.push_back(pool.Submit([&slot, &run_done, &options, stats]() {
+      ReaderLoop(slot, run_done, options.reader_sample_capacity, stats);
+    }));
+  }
+
+  // Coordinator: round-robin over the mailboxes, feeding contiguous spans
+  // straight from the ring storage into ProcessBatch (zero copies), and
+  // publishing the estimate at every point the protocol may have changed
+  // it (each ProcessBatch return).
+  int64_t consumed_total = 0;
+  int64_t last_echo = 0;
+  double estimate = protocol->Estimate();
+  while (true) {
+    bool progressed = false;
+    for (int s = 0; s < num_sites; ++s) {
+      common::SpscQueue<double>& inbox = *inboxes[static_cast<size_t>(s)];
+      const std::span<const double> batch =
+          inbox.PeekContiguous(static_cast<size_t>(options.max_pull));
+      if (batch.empty()) continue;
+      progressed = true;
+      size_t pos = 0;
+      while (pos < batch.size()) {
+        const int64_t consumed =
+            protocol->ProcessBatch(s, batch.subspan(pos));
+        NMC_CHECK_GE(consumed, 1);
+        if (options.capture) {
+          for (int64_t j = 0; j < consumed; ++j) {
+            result.transcript.push_back(TranscriptEntry{
+                s, batch[pos + static_cast<size_t>(j)]});
+          }
+        }
+        pos += static_cast<size_t>(consumed);
+        consumed_total += consumed;
+        estimate = protocol->Estimate();
+        publish(consumed_total, estimate);
+      }
+      inbox.Advance(batch.size());
+    }
+    if (options.echo_period > 0 &&
+        consumed_total - last_echo >= options.echo_period) {
+      last_echo = consumed_total;
+      const PublishedEstimate echo{consumed_total, estimate};
+      for (int s = 0; s < num_sites; ++s) {
+        if (echoes[static_cast<size_t>(s)]->TryPush(echo)) {
+          ++result.echoes_sent;
+        }
+      }
+    }
+    if (progressed) continue;
+    // Check done flags before re-probing the mailboxes: a site's pushes
+    // happen-before its done flag, so done && empty is conclusive.
+    bool finished = true;
+    for (int s = 0; s < num_sites; ++s) {
+      if (!site_done[s].load(std::memory_order_acquire) ||
+          !inboxes[static_cast<size_t>(s)]->PeekContiguous(1).empty()) {
+        finished = false;
+        break;
+      }
+    }
+    if (finished) break;
+    std::this_thread::yield();
+  }
+  NMC_CHECK_EQ(consumed_total, total_updates);
+  run_done.store(true, std::memory_order_release);
+  for (std::future<void>& join : joins) join.get();
+
+  result.updates = consumed_total;
+  result.echoes_received = echoes_received.load(std::memory_order_relaxed);
+  result.final_published = PublishedEstimate{consumed_total, estimate};
+  result.reader_samples.reserve(reader_stats.size());
+  for (ReaderStats& stats : reader_stats) {
+    result.total_reads += stats.reads;
+    result.torn_reads += stats.torn;
+    result.generation_regressions += stats.regressions;
+    const int64_t kept =
+        stats.sampled < static_cast<int64_t>(stats.samples.size())
+            ? stats.sampled
+            : static_cast<int64_t>(stats.samples.size());
+    stats.samples.resize(static_cast<size_t>(kept));
+    result.reader_samples.push_back(std::move(stats.samples));
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> ShardRoundRobin(
+    const std::vector<double>& stream, int num_sites) {
+  NMC_CHECK_GE(num_sites, 1);
+  std::vector<std::vector<double>> shards(static_cast<size_t>(num_sites));
+  for (std::vector<double>& shard : shards) {
+    shard.reserve(stream.size() / static_cast<size_t>(num_sites) + 1);
+  }
+  for (size_t t = 0; t < stream.size(); ++t) {
+    shards[t % static_cast<size_t>(num_sites)].push_back(stream[t]);
+  }
+  return shards;
+}
+
+std::vector<double> InterleaveShards(
+    std::span<const std::vector<double>> shards) {
+  size_t total = 0;
+  for (const std::vector<double>& shard : shards) total += shard.size();
+  std::vector<double> stream;
+  stream.reserve(total);
+  for (size_t round = 0; stream.size() < total; ++round) {
+    for (const std::vector<double>& shard : shards) {
+      if (round < shard.size()) stream.push_back(shard[round]);
+    }
+  }
+  return stream;
+}
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+std::string Mismatch(const char* what, int64_t generation, double got,
+                     double want) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s at generation %lld: observed %.17g, oracle %.17g", what,
+                static_cast<long long>(generation), got, want);
+  return buffer;
+}
+
+}  // namespace
+
+LinearizabilityReport CheckLinearizable(const ThreadedRunResult& run,
+                                        sim::Protocol* oracle) {
+  NMC_CHECK(oracle != nullptr);
+  LinearizabilityReport report;
+  if (run.transcript.empty() && run.updates > 0) {
+    report.failure = "run was not captured (set ThreadedRunOptions::capture)";
+    return report;
+  }
+  if (run.generation_regressions > 0) {
+    report.failure = "a reader observed the published generation regress";
+    return report;
+  }
+
+  // The oracle trajectory: the deterministic simulator's estimate after
+  // each prefix of the captured consumption order.
+  std::vector<double> trajectory;
+  trajectory.reserve(run.transcript.size() + 1);
+  trajectory.push_back(oracle->Estimate());
+  for (const TranscriptEntry& entry : run.transcript) {
+    oracle->ProcessUpdate(static_cast<int>(entry.site), entry.value);
+    trajectory.push_back(oracle->Estimate());
+  }
+
+  const auto check = [&](const char* what, int64_t generation,
+                         double estimate) {
+    if (generation < 0 ||
+        generation >= static_cast<int64_t>(trajectory.size())) {
+      report.failure = Mismatch(what, generation, estimate, 0.0) +
+                       " (generation outside the replayed range)";
+      return false;
+    }
+    const double want = trajectory[static_cast<size_t>(generation)];
+    if (!SameBits(estimate, want)) {
+      report.failure = Mismatch(what, generation, estimate, want);
+      return false;
+    }
+    return true;
+  };
+
+  for (const PublishedEstimate& published : run.publish_log) {
+    if (!check("publish", published.generation, published.estimate)) {
+      return report;
+    }
+    ++report.publishes_checked;
+  }
+  for (const std::vector<ReadSample>& samples : run.reader_samples) {
+    for (const ReadSample& sample : samples) {
+      if (!check("reader snapshot", sample.generation, sample.estimate)) {
+        return report;
+      }
+      ++report.samples_checked;
+    }
+  }
+  report.linearizable = true;
+  return report;
+}
+
+bool TransportSupports(TransportKind kind, std::string_view name) {
+  const sim::ProtocolTraits* traits =
+      sim::ProtocolRegistry::Global().Traits(name);
+  if (traits == nullptr) return false;
+  return kind == TransportKind::kSim || traits->thread_safe;
+}
+
+std::unique_ptr<sim::Protocol> CreateForTransport(
+    TransportKind kind, std::string_view name, int num_sites,
+    const sim::ProtocolParams& params) {
+  const sim::ProtocolTraits* traits =
+      sim::ProtocolRegistry::Global().Traits(name);
+  if (traits != nullptr && kind == TransportKind::kThreads) {
+    // Refuse loudly: silently running a thread-hostile protocol on the
+    // threaded backend would corrupt results, not just crash.
+    NMC_CHECK(traits->thread_safe);
+  }
+  return sim::ProtocolRegistry::Global().Create(name, num_sites, params);
+}
+
+}  // namespace nmc::runtime

@@ -1,0 +1,27 @@
+#include "runtime/transport.h"
+
+namespace nmc::runtime {
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kThreads:
+      return "threads";
+  }
+  return "unknown";
+}
+
+bool ParseTransportKind(std::string_view name, TransportKind* out) {
+  if (name == "sim") {
+    *out = TransportKind::kSim;
+    return true;
+  }
+  if (name == "threads") {
+    *out = TransportKind::kThreads;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace nmc::runtime

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string_view>
+
+namespace nmc::runtime {
+
+/// Which transport drives a protocol run — the backend seam selected at
+/// bench time via --transport (modeled on the DKVStore one-interface /
+/// many-backends pattern).
+///
+///   * kSim: the historical deterministic in-process simulator
+///     (sim::RunTracking). Single-threaded, simulated time, bit-exact
+///     across machines and thread counts — it stays the oracle that the
+///     concurrent backend is checked against.
+///   * kThreads: the real-time concurrent runtime (runtime::RunThreaded):
+///     one thread per site feeding lock-free SPSC mailboxes, a coordinator
+///     thread running the protocol, and a seqlock-published estimate read
+///     wait-free by query-client threads.
+enum class TransportKind {
+  kSim = 0,
+  kThreads = 1,
+};
+
+/// "sim" / "threads" — the --transport flag vocabulary.
+const char* TransportKindName(TransportKind kind);
+
+/// Parses the --transport flag value; false (and *out untouched) on an
+/// unknown name.
+bool ParseTransportKind(std::string_view name, TransportKind* out);
+
+}  // namespace nmc::runtime

@@ -8,14 +8,17 @@
 
 namespace nmc::sim {
 
-// nmc: not-thread-safe(leaked singleton is initialized lazily; first call must happen before any threads spawn)
 ProtocolRegistry& ProtocolRegistry::Global() {
+  // Magic-static init is itself thread-safe (C++11 [stmt.dcl]); the leaked
+  // singleton then serializes its own accesses on mutex_, so first call may
+  // come from any thread.
   static ProtocolRegistry* registry = new ProtocolRegistry();
   return *registry;
 }
 
 const ProtocolRegistry::Entry* ProtocolRegistry::Find(
     std::string_view name) const {
+  // Callers hold mutex_, which serializes every entries_ access.
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), name,
       [](const Entry& entry, std::string_view key) { return entry.name < key; });
@@ -23,11 +26,11 @@ const ProtocolRegistry::Entry* ProtocolRegistry::Find(
   return &*it;
 }
 
-// nmc: not-thread-safe(mutates the shared entry vector; registration happens at static init and from main, both single-threaded)
 bool ProtocolRegistry::Register(std::string name, const ProtocolTraits& traits,
                                 Builder builder) {
   NMC_CHECK(!name.empty());
   NMC_CHECK(builder != nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (Find(name) != nullptr) return false;
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), name,
@@ -39,33 +42,44 @@ bool ProtocolRegistry::Register(std::string name, const ProtocolTraits& traits,
 }
 
 bool ProtocolRegistry::Contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return Find(name) != nullptr;
 }
 
 const ProtocolTraits* ProtocolRegistry::Traits(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const Entry* entry = Find(name);
   return entry != nullptr ? &entry->traits : nullptr;
 }
 
 std::unique_ptr<Protocol> ProtocolRegistry::Create(
     std::string_view name, int num_sites, const ProtocolParams& params) const {
-  const Entry* entry = Find(name);
-  if (entry == nullptr) {
-    std::fprintf(stderr, "ProtocolRegistry: unknown protocol \"%.*s\"; known:",
-                 static_cast<int>(name.size()), name.data());
-    for (const Entry& known : entries_) {
-      std::fprintf(stderr, " %s", known.name.c_str());
+  // Copy the builder out so an arbitrarily slow (or recursively
+  // registering) builder never runs under the table lock.
+  Builder builder;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* entry = Find(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr,
+                   "ProtocolRegistry: unknown protocol \"%.*s\"; known:",
+                   static_cast<int>(name.size()), name.data());
+      for (const Entry& known : entries_) {
+        std::fprintf(stderr, " %s", known.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      NMC_CHECK(entry != nullptr);
     }
-    std::fprintf(stderr, "\n");
-    NMC_CHECK(entry != nullptr);
+    builder = entry->builder;
   }
-  std::unique_ptr<Protocol> protocol = entry->builder(num_sites, params);
+  std::unique_ptr<Protocol> protocol = builder(num_sites, params);
   NMC_CHECK(protocol != nullptr);
   NMC_CHECK_EQ(protocol->num_sites(), num_sites);
   return protocol;
 }
 
 std::vector<std::string> ProtocolRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const Entry& entry : entries_) names.push_back(entry.name);

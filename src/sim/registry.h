@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,12 @@ struct ProtocolTraits {
   bool general_values = true;
   /// Monotonic counter of unit increments (+1 only).
   bool monotonic_only = false;
+  /// Safe to drive from the threaded transport backend: the protocol is a
+  /// self-contained state machine (always single-threaded — only one
+  /// coordinator thread ever touches it) that does not reach into mutable
+  /// process-global state behind the registry's back. False quarantines a
+  /// protocol to --transport=sim.
+  bool thread_safe = true;
 };
 
 /// String-keyed factory for every protocol in the library, so benches and
@@ -47,9 +54,12 @@ struct ProtocolTraits {
 /// duplicating ad-hoc construction switches. Entries are kept in a sorted
 /// flat vector (deterministic iteration, no node containers in src/sim).
 ///
-/// Registration is not thread-safe: register everything (normally once,
-/// via registry::RegisterBuiltinProtocols) before spawning trial workers;
-/// lookups on the then-immutable table are safe from any thread.
+/// Thread-safe: registration and lookups serialize on an internal mutex,
+/// so the threaded transport backend (and any trial worker) may build
+/// protocols by name without an external registration barrier. Traits()
+/// returns a pointer into the table, which a later Register() can
+/// reallocate — read the traits out immediately instead of caching the
+/// pointer across registrations.
 class ProtocolRegistry {
  public:
   using Builder = std::function<std::unique_ptr<Protocol>(
@@ -84,8 +94,11 @@ class ProtocolRegistry {
     Builder builder;
   };
 
+  /// Requires mutex_ held.
   const Entry* Find(std::string_view name) const;
 
+  /// Serializes every entries_ access; never held while running a builder.
+  mutable std::mutex mutex_;
   /// Sorted by name (binary-searched lookups, deterministic Names()).
   std::vector<Entry> entries_;
 };

@@ -1,0 +1,146 @@
+#include "common/spsc_queue.h"
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmc::common {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscQueue<int>(65).capacity(), 128u);
+}
+
+TEST(SpscQueueTest, FifoSingleThread) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.TryPush(99)) << "full queue must refuse";
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&out)) << "empty queue must refuse";
+}
+
+TEST(SpscQueueTest, WraparoundAtCapacityBoundary) {
+  // Capacity 4; drive the indices far past one lap so every slot is
+  // reused many times and the monotonic-index-with-mask arithmetic is
+  // exercised across the wrap.
+  SpscQueue<int64_t> queue(4);
+  int64_t next_push = 0;
+  int64_t next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (queue.TryPush(next_push)) ++next_push;
+    int64_t out = -1;
+    while (queue.TryPop(&out)) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GE(next_push, 100 * 4);
+}
+
+TEST(SpscQueueTest, PeekContiguousSplitsAtWrap) {
+  SpscQueue<int> queue(4);
+  // Advance the ring so the next batch straddles the physical end:
+  // push 3, pop 3 (head = tail = 3), then push 4 (slots 3, 0, 1, 2).
+  int out = -1;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.TryPush(i));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.TryPop(&out));
+  for (int i = 10; i < 14; ++i) ASSERT_TRUE(queue.TryPush(i));
+
+  // First peek stops at the wrap point: one item (slot 3).
+  std::span<const int> view = queue.PeekContiguous(16);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 10);
+  queue.Advance(view.size());
+
+  // Second peek returns the remainder from the ring's start.
+  view = queue.PeekContiguous(16);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 11);
+  EXPECT_EQ(view[2], 13);
+  queue.Advance(view.size());
+  EXPECT_TRUE(queue.PeekContiguous(1).empty());
+}
+
+TEST(SpscQueueTest, TryPushSpanTakesWhatFits) {
+  SpscQueue<int> queue(8);
+  std::vector<int> items(12);
+  std::iota(items.begin(), items.end(), 0);
+  EXPECT_EQ(queue.TryPushSpan(items), 8u);
+  EXPECT_EQ(queue.TryPushSpan(std::span<const int>(items).subspan(8)), 0u);
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  // One slot freed: exactly one more fits.
+  EXPECT_EQ(queue.TryPushSpan(std::span<const int>(items).subspan(8)), 1u);
+  for (int expected = 1; expected <= 8; ++expected) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(SpscQueueTest, BulkPushMatchesScalarPush) {
+  SpscQueue<int> bulk(16);
+  SpscQueue<int> scalar(16);
+  std::vector<int> items(10);
+  std::iota(items.begin(), items.end(), 100);
+  ASSERT_EQ(bulk.TryPushSpan(items), items.size());
+  for (const int item : items) ASSERT_TRUE(scalar.TryPush(item));
+  int a = -1, b = -1;
+  while (bulk.TryPop(&a)) {
+    ASSERT_TRUE(scalar.TryPop(&b));
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_FALSE(scalar.TryPop(&b));
+}
+
+// Two-thread stress: a tight ring (capacity 64) forces constant
+// backpressure, so the head/tail release/acquire edges are exercised at
+// every wrap. Run under TSan in CI; any missing ordering is a reported
+// race on the slot memory.
+TEST(SpscQueueTest, TwoThreadStress) {
+  constexpr int64_t kItems = 200000;
+  SpscQueue<int64_t> queue(64);
+  std::thread producer([&queue]() {
+    int64_t next = 0;
+    while (next < kItems) {
+      if (queue.TryPush(next)) {
+        ++next;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int64_t expected = 0;
+  int64_t sum = 0;
+  while (expected < kItems) {
+    const std::span<const int64_t> view = queue.PeekContiguous(32);
+    if (view.empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const int64_t item : view) {
+      ASSERT_EQ(item, expected) << "items must arrive in FIFO order";
+      sum += item;
+      ++expected;
+    }
+    queue.Advance(view.size());
+  }
+  producer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_EQ(queue.SizeApprox(), 0u);
+}
+
+}  // namespace
+}  // namespace nmc::common

@@ -85,10 +85,11 @@ inline constexpr const char* kHotPathEntryPoints[] = {
     "OnCoordinatorMessage"};
 
 /// Classes whose member functions root the reentrancy audit
-/// (NO_STATIC_LOCAL_IN_REENTRANT): the seams the upcoming threaded runtime
-/// will call from concurrent contexts.
-inline constexpr const char* kReentrantAuditClasses[] = {"Protocol", "Network",
-                                                         "BatchRng"};
+/// (NO_STATIC_LOCAL_IN_REENTRANT): the seams the threaded runtime calls
+/// from concurrent contexts — the protocol/network surface plus the
+/// lock-free primitives (SPSC mailboxes, the seqlock estimate slot).
+inline constexpr const char* kReentrantAuditClasses[] = {
+    "Protocol", "Network", "BatchRng", "SpscQueue", "Seqlock"};
 
 inline constexpr const char* kTranscendentals[] = {
     "log1p", "log2", "log10", "log", "exp2", "expm1", "exp", "pow"};
