@@ -4,7 +4,11 @@
 #
 #   ln -s ../../scripts/pre-commit.sh .git/hooks/pre-commit
 #
-# or run it by hand before committing. The cross-file rules — layering,
+# or run it by hand before committing. The staged-file pass includes the
+# atomics-discipline rules (ATOMIC_ORDER_EXPLICIT, SEQ_CST_JUSTIFIED,
+# NO_RAW_ATOMIC_IN_RUNTIME), so an implicit-seq_cst atomic op or a raw
+# std::atomic in the runtime layer is caught before the commit exists.
+# The cross-file rules — layering,
 # include cycles/depth, the interprocedural hot-path propagation, and the
 # concurrency pack (NO_MUTABLE_GLOBAL_STATE, NO_STATIC_LOCAL_IN_REENTRANT,
 # THREAD_COMPAT) — need the whole repo, so the hook follows the staged-file

@@ -31,6 +31,10 @@
 #   8  the full-repo lint took longer than the 30 s budget — the
 #      interprocedural pass is meant to be cheap enough to run on every
 #      commit; a blowup here is a performance regression in the linter
+#   9  the nmc_race model-check gate failed: a litmus test found a
+#      reachable violation / lost a pinned outcome, the exploration
+#      budget ran out, or a weakened memory order survived the mutation
+#      matrix (the failing run prints a `repro:` replay command)
 
 set -uo pipefail
 
@@ -76,6 +80,16 @@ if [[ "${lint_elapsed}" -gt "${LINT_BUDGET_SECONDS}" ]]; then
        "(budget ${LINT_BUDGET_SECONDS}s)" >&2
   exit 8
 fi
+
+echo "== stage 1b: nmc_race (deterministic model check) =="
+# The litmus suite pins exact outcome sets over the lock-free primitives;
+# the mutation matrix weakens every named memory order in turn and
+# requires a replay-confirmed kill. Both are exhaustive, bounded searches
+# — deterministic, so a failure here always comes with a replayable
+# schedule (DESIGN.md §13).
+cmake --build build -j "${JOBS}" --target nmc_race > /dev/null || exit 2
+./build/tools/nmc_race/nmc_race --test=all || exit 9
+./build/tools/nmc_race/nmc_race --mutate=all || exit 9
 
 echo "== stage 2: clang-format (check only) =="
 scripts/check_format.sh || exit 3

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/atomic_policy.h"
+
 namespace nmc::common {
 
 /// Single-writer seqlock slot: the coordinator's continuously published
@@ -22,16 +24,19 @@ namespace nmc::common {
 ///     acquire fence orders them before the re-read of seq_; equal even
 ///     values on both sides prove no writer was active in between, so the
 ///     copied words are a consistent snapshot.
-/// The payload is stored as relaxed std::atomic<uint64_t> words, not plain
+/// The payload is stored as relaxed atomic<uint64_t> words, not plain
 /// memory: a torn read is *detected and discarded* by the protocol above,
 /// but the racing accesses themselves must still be data-race-free for the
 /// language (and TSan) — relaxed atomics make them so at zero fence cost.
+/// Each of the four ordering edges is named with an OrderSite so
+/// tools/nmc_race can weaken it in isolation and show the no-torn-read
+/// litmus test fail (DESIGN.md §13 has the contract table).
 ///
 /// TryRead / the manual WriteBegin-StoreWord-WriteEnd steps are exposed
 /// (rather than just Read/Publish loops) so tests can drive every
 /// interleaving of a write deterministically and assert a concurrent read
 /// refuses the torn intermediate states.
-template <typename T>
+template <typename T, typename Policy = StdAtomicPolicy>
 class Seqlock {
   static_assert(std::is_trivially_copyable_v<T>,
                 "Seqlock snapshots are copied word by word");
@@ -68,13 +73,14 @@ class Seqlock {
   /// flight or completed mid-copy — the copy is torn and *out is untouched.
   // nmc: reentrant
   bool TryRead(T* out) const {
-    const uint64_t before = seq_.load(std::memory_order_acquire);
+    const uint64_t before = seq_.load(Policy::Order(
+        OrderSite::kSeqlockReadAcquire, std::memory_order_acquire));
     if ((before & 1) != 0) return false;
     uint64_t words[kWords];
     for (size_t i = 0; i < kWords; ++i) {
       words[i] = words_[i].load(std::memory_order_relaxed);
     }
-    std::atomic_thread_fence(std::memory_order_acquire);
+    Policy::Fence(OrderSite::kSeqlockReadFence, std::memory_order_acquire);
     if (seq_.load(std::memory_order_relaxed) != before) return false;
     std::memcpy(out, words, sizeof(T));
     return true;
@@ -92,10 +98,14 @@ class Seqlock {
   }
 
   /// Generations published so far (the sequence counter is 2x that, odd
-  /// exactly while a write is in flight).
+  /// exactly while a write is in flight). Relaxed on purpose: the count is
+  /// advisory — consistency of any snapshot comes from TryRead's own
+  /// acquire protocol, never from ordering against this load — and
+  /// nmc_race's mutation harness requires every non-relaxed order here to
+  /// be refutable when weakened.
   // nmc: reentrant
   uint64_t generation() const {
-    return seq_.load(std::memory_order_acquire) / 2;
+    return seq_.load(std::memory_order_relaxed) / 2;
   }
 
   // ---- Manual write steps (single writer; exposed for interleaving
@@ -109,7 +119,7 @@ class Seqlock {
     // Order the odd marker before every payload store below: a reader that
     // observes any new word also observes the odd sequence (or the final
     // even one, which postdates all words).
-    std::atomic_thread_fence(std::memory_order_release);
+    Policy::Fence(OrderSite::kSeqlockWriteFence, std::memory_order_release);
   }
 
   /// Stores payload word `index` of the in-flight write.
@@ -123,7 +133,8 @@ class Seqlock {
   // nmc: reentrant
   void WriteEnd() {
     seq_.store(seq_.load(std::memory_order_relaxed) + 1,
-               std::memory_order_release);
+               Policy::Order(OrderSite::kSeqlockWriteRelease,
+                             std::memory_order_release));
   }
 
  private:
@@ -132,8 +143,8 @@ class Seqlock {
   /// The sequence counter and payload share one line on purpose: readers
   /// always touch both, and the single writer owns the line between
   /// publishes.
-  alignas(kCacheLine) std::atomic<uint64_t> seq_{0};
-  std::atomic<uint64_t> words_[kWords];
+  alignas(kCacheLine) typename Policy::template Atomic<uint64_t> seq_{0};
+  typename Policy::template Atomic<uint64_t> words_[kWords];
 };
 
 }  // namespace nmc::common

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/atomic_policy.h"
 #include "common/check.h"
 #include "common/seqlock.h"
 #include "common/spsc_queue.h"
@@ -38,7 +39,8 @@ constexpr int64_t kSampleStride = 17;
 constexpr int64_t kReaderYieldEvery = 256;
 
 void ReaderLoop(const common::Seqlock<PublishedEstimate>& slot,
-                const std::atomic<bool>& run_done, int64_t sample_capacity,
+                const common::RuntimeAtomic<bool>& run_done,
+                int64_t sample_capacity,
                 ReaderStats* stats) {
   if (sample_capacity > 0) {
     stats->samples.resize(static_cast<size_t>(sample_capacity));
@@ -69,7 +71,8 @@ void ReaderLoop(const common::Seqlock<PublishedEstimate>& slot,
 void SiteLoop(const std::vector<double>& shard,
               common::SpscQueue<double>* inbox,
               common::SpscQueue<PublishedEstimate>* echoes,
-              std::atomic<bool>* done, std::atomic<int64_t>* echoes_received) {
+              common::RuntimeAtomic<bool>* done,
+              common::RuntimeAtomic<int64_t>* echoes_received) {
   int64_t received = 0;
   size_t pos = 0;
   const std::span<const double> all(shard);
@@ -122,11 +125,13 @@ ThreadedRunResult RunThreaded(sim::Protocol* protocol,
     // fixed capacity suffices.
     echoes.push_back(std::make_unique<common::SpscQueue<PublishedEstimate>>(64));
   }
-  std::unique_ptr<std::atomic<bool>[]> site_done(
-      new std::atomic<bool>[static_cast<size_t>(num_sites)]);
-  for (int i = 0; i < num_sites; ++i) site_done[i].store(false);
-  std::atomic<bool> run_done{false};
-  std::atomic<int64_t> echoes_received{0};
+  std::unique_ptr<common::RuntimeAtomic<bool>[]> site_done(
+      new common::RuntimeAtomic<bool>[static_cast<size_t>(num_sites)]);
+  for (int i = 0; i < num_sites; ++i) {
+    site_done[i].store(false, std::memory_order_relaxed);
+  }
+  common::RuntimeAtomic<bool> run_done{false};
+  common::RuntimeAtomic<int64_t> echoes_received{0};
 
   common::Seqlock<PublishedEstimate> slot;
   const auto publish = [&](int64_t generation, double estimate) {

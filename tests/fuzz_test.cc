@@ -20,6 +20,11 @@
 namespace nmc {
 namespace {
 
+/// Every seed in this file routes through a test-local factory whose
+/// construction site takes the seed as a traceable parameter; a
+/// statistical flake is then fixed by varying one literal at the call.
+common::Rng MakeRng(uint64_t seed) { return common::Rng(seed); }
+
 struct FuzzConfig {
   std::string model;
   int k = 1;
@@ -83,7 +88,7 @@ std::vector<double> MakeStream(const FuzzConfig& config, int64_t n) {
 }
 
 TEST(FuzzTest, RandomConfigurationsAllTrack) {
-  common::Rng rng(20260705);
+  common::Rng rng = MakeRng(20260705);
   const int64_t n = 4096;
   for (int iteration = 0; iteration < 60; ++iteration) {
     const FuzzConfig config = DrawConfig(&rng);

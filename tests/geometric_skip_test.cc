@@ -11,12 +11,17 @@
 namespace nmc::common {
 namespace {
 
+/// Every seed in this file routes through a test-local factory whose
+/// construction site takes the seed as a traceable parameter; a
+/// statistical flake is then fixed by varying one literal at the call.
+common::Rng MakeRng(uint64_t seed) { return common::Rng(seed); }
+
 // ---- Legacy mode: bit-exact coin replay ----------------------------------
 
 TEST(GeometricSkipTest, LegacyStepMatchesBernoulliBitwise) {
   GeometricSkip skip(SamplerMode::kLegacyCoins);
-  common::Rng rng_skip(123);
-  common::Rng rng_ref(123);
+  common::Rng rng_skip = MakeRng(123);
+  common::Rng rng_ref = MakeRng(123);
   // Varying rates, including the no-draw clamps, must consume the RNG
   // identically to a direct Bernoulli sequence.
   const double rates[] = {0.3, 0.0, 1.0, 0.99, 0.01, 0.5, 1.5, -0.5};
@@ -38,7 +43,7 @@ TEST(GeometricSkipTest, GapHistogramMatchesGeometricPmf) {
   const double p = 0.2;
   const int kDraws = 200000;
   const int kBins = 16;  // gaps 0..14 plus pooled tail
-  common::Rng rng(2024);
+  common::Rng rng = MakeRng(2024);
   std::vector<int64_t> counts(kBins, 0);
   for (int i = 0; i < kDraws; ++i) {
     const int64_t gap = GeometricSkip::DrawGap(&rng, p);
@@ -63,7 +68,7 @@ TEST(GeometricSkipTest, GapHistogramMatchesGeometricPmf) {
 TEST(GeometricSkipTest, GapMeanMatchesGeometricMean) {
   const double p = 0.01;
   const int kDraws = 100000;
-  common::Rng rng(7);
+  common::Rng rng = MakeRng(7);
   double sum = 0.0;
   for (int i = 0; i < kDraws; ++i) {
     sum += static_cast<double>(GeometricSkip::DrawGap(&rng, p));
@@ -76,16 +81,16 @@ TEST(GeometricSkipTest, GapMeanMatchesGeometricMean) {
 // ---- Boundary cases ------------------------------------------------------
 
 TEST(GeometricSkipTest, CertainRateDrawsNoRandomness) {
-  common::Rng rng(5);
-  common::Rng untouched(5);
+  common::Rng rng = MakeRng(5);
+  common::Rng untouched = MakeRng(5);
   EXPECT_EQ(GeometricSkip::DrawGap(&rng, 1.0), 0);
   EXPECT_EQ(GeometricSkip::DrawGap(&rng, 2.0), 0);
   EXPECT_EQ(rng.NextU64(), untouched.NextU64());  // no draw consumed
 }
 
 TEST(GeometricSkipTest, ZeroRateIsInfiniteWithoutRandomness) {
-  common::Rng rng(5);
-  common::Rng untouched(5);
+  common::Rng rng = MakeRng(5);
+  common::Rng untouched = MakeRng(5);
   EXPECT_EQ(GeometricSkip::DrawGap(&rng, 0.0), GeometricSkip::kInfiniteGap);
   EXPECT_EQ(GeometricSkip::DrawGap(&rng, -1.0), GeometricSkip::kInfiniteGap);
   EXPECT_EQ(rng.NextU64(), untouched.NextU64());
@@ -94,7 +99,7 @@ TEST(GeometricSkipTest, ZeroRateIsInfiniteWithoutRandomness) {
 TEST(GeometricSkipTest, TinyRateClampsInsteadOfOverflowing) {
   // log(u)/log1p(-p) for p = 1e-300 overflows any int64; the clamp must
   // return the sentinel instead of invoking UB on the cast.
-  common::Rng rng(11);
+  common::Rng rng = MakeRng(11);
   for (int i = 0; i < 100; ++i) {
     const int64_t gap = GeometricSkip::DrawGap(&rng, 1e-300);
     EXPECT_EQ(gap, GeometricSkip::kInfiniteGap);
@@ -111,8 +116,8 @@ TEST(GeometricSkipTest, EnsureGapMemoMatchesDrawGapBitwise) {
   // EnsureGap memoizes log1p(-rate) across draws; the values must still
   // be bit-identical to the un-memoized DrawGap at every rate change.
   GeometricSkip skip(SamplerMode::kGeometricSkip);
-  common::Rng rng_a(31);
-  common::Rng rng_b(31);
+  common::Rng rng_a = MakeRng(31);
+  common::Rng rng_b = MakeRng(31);
   const double rates[] = {0.25, 0.25, 0.03, 0.25, 0.9, 0.03};
   for (int i = 0; i < 6000; ++i) {
     const double rate = rates[i % 6];
@@ -126,7 +131,7 @@ TEST(GeometricSkipTest, EnsureGapMemoMatchesDrawGapBitwise) {
 
 TEST(GeometricSkipTest, AdvanceAndTakeCandidateWalkTheGap) {
   GeometricSkip skip;
-  common::Rng rng(13);
+  common::Rng rng = MakeRng(13);
   for (int run = 0; run < 100; ++run) {
     skip.EnsureGap(&rng, 0.1);
     const int64_t gap = skip.gap();
@@ -142,7 +147,7 @@ TEST(GeometricSkipTest, AdvanceAndTakeCandidateWalkTheGap) {
 
 TEST(GeometricSkipTest, StepSkipModeHeadFrequency) {
   GeometricSkip skip;
-  common::Rng rng(17);
+  common::Rng rng = MakeRng(17);
   const double p = 0.05;
   const int kSteps = 200000;
   int heads = 0;
@@ -158,8 +163,8 @@ TEST(GeometricSkipTest, StepSkipModeHeadFrequency) {
 TEST(GeometricSkipTest, ForkedSiteStreamsAreIndependent) {
   // Sites draw gaps from forked RNGs; interleaving one site's draws must
   // not perturb another's sequence (each site owns its stream).
-  common::Rng seeder_a(99);
-  common::Rng seeder_b(99);
+  common::Rng seeder_a = MakeRng(99);
+  common::Rng seeder_b = MakeRng(99);
   common::Rng site1_solo = seeder_a.Fork();
   common::Rng ignored = seeder_a.Fork();
   (void)ignored;
@@ -177,7 +182,7 @@ TEST(GeometricSkipTest, ForkedSiteStreamsAreIndependent) {
   EXPECT_EQ(solo, interleaved);
 
   // And the two sites' gap sequences are not correlated copies.
-  common::Rng seeder_c(99);
+  common::Rng seeder_c = MakeRng(99);
   common::Rng s1 = seeder_c.Fork();
   common::Rng s2 = seeder_c.Fork();
   int equal = 0;
@@ -203,7 +208,7 @@ TEST(GeometricSkipTest, FeedGapHistogramMatchesGeometricPmf) {
   GeometricSkip skip(SamplerMode::kGeometricSkip);
   BatchRng batch(2024);
   skip.AttachBatchRng(&batch);
-  common::Rng unused(1);  // feed-backed EnsureGap never touches it
+  common::Rng unused = MakeRng(1);  // feed-backed EnsureGap never touches it
   std::vector<int64_t> counts(kBins, 0);
   for (int i = 0; i < kDraws; ++i) {
     skip.EnsureGap(&unused, p);
@@ -225,7 +230,7 @@ TEST(GeometricSkipTest, FeedGapHistogramMatchesGeometricPmf) {
   // df = 15; the 0.999 quantile is 37.7.
   EXPECT_LT(chi2, 37.7);
   // The scalar RNG really was never consumed.
-  common::Rng check(1);
+  common::Rng check = MakeRng(1);
   EXPECT_EQ(unused.NextU64(), check.NextU64());
 }
 
@@ -238,7 +243,7 @@ TEST(GeometricSkipTest, FeedRateLadderCostsOneDrawPerFreshRate) {
   BatchRng batch(7);
   BatchRng shadow(7);  // tracks the expected stream position
   skip.AttachBatchRng(&batch);
-  common::Rng unused(1);
+  common::Rng unused = MakeRng(1);
   const double rates[] = {0.5, 0.25, 0.125, 0.0625, 0.03125};
   for (const double rate : rates) {
     skip.EnsureGap(&unused, rate);
@@ -259,7 +264,7 @@ TEST(GeometricSkipTest, FeedBlockRefillServesRepeatRateFromBlock) {
   BatchRng batch(13);
   BatchRng shadow(13);
   skip.AttachBatchRng(&batch);
-  common::Rng unused(1);
+  common::Rng unused = MakeRng(1);
   const double rate = 0.1;
   skip.EnsureGap(&unused, rate);  // fresh rate: single draw
   skip.Invalidate();
@@ -291,8 +296,8 @@ TEST(GeometricSkipTest, LegacyModeIgnoresAttachedFeed) {
   GeometricSkip skip(SamplerMode::kLegacyCoins);
   BatchRng batch(5);
   skip.AttachBatchRng(&batch);
-  common::Rng rng_skip(123);
-  common::Rng rng_ref(123);
+  common::Rng rng_skip = MakeRng(123);
+  common::Rng rng_ref = MakeRng(123);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_EQ(skip.Step(&rng_skip, 0.3), rng_ref.Bernoulli(0.3));
   }

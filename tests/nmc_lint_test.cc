@@ -188,6 +188,49 @@ TEST(NmcLintTest, HeapRuleScopedToProtocolCode) {
   }
 }
 
+TEST(NmcLintTest, AtomicsDiscipline) {
+  // Outside the modeled-concurrency scope only the ordering rules apply;
+  // the EXPECT-RUNTIME markers (raw-atomic findings) are invisible to the
+  // expectation parser here.
+  CheckFixture("atomics_discipline.cc", "src/core/fixture.cc");
+}
+
+TEST(NmcLintTest, RawAtomicsFlaggedInModeledConcurrencyScope) {
+  // At src/runtime/ the raw std::atomic / bare-fence findings join in:
+  // promote the fixture's EXPECT-RUNTIME markers to EXPECT and demand an
+  // exact match again.
+  std::string content = ReadFixture("atomics_discipline.cc");
+  const std::string from = "EXPECT-RUNTIME:";
+  for (size_t pos = content.find(from); pos != std::string::npos;
+       pos = content.find(from, pos)) {
+    content.replace(pos, from.size(), "EXPECT:");
+  }
+  const std::vector<LineRule> expected = ParseExpectations(content);
+  const std::vector<LineRule> actual =
+      Actual(lint::LintContent("src/runtime/fixture.cc", content));
+  EXPECT_EQ(expected, actual) << "expected:\n"
+                              << Describe(expected) << "actual:\n"
+                              << Describe(actual);
+}
+
+TEST(NmcLintTest, RawAtomicsAllowedOutsideRuntime) {
+  // src/common at large (the shim itself, simd dispatch) may spell
+  // std::atomic — only the modeled files and src/runtime/ are restricted.
+  const std::string content = ReadFixture("atomics_discipline.cc");
+  for (const lint::Finding& finding :
+       lint::LintContent("src/common/fixture.cc", content)) {
+    EXPECT_NE(finding.rule, "NO_RAW_ATOMIC_IN_RUNTIME")
+        << lint::FormatFinding(finding);
+  }
+}
+
+TEST(NmcLintTest, AtomicOrderRulesScopedToLibrary) {
+  // tests/ and tools/ scaffolding may use defaulted seq_cst atomics.
+  const std::string content = ReadFixture("atomics_discipline.cc");
+  EXPECT_TRUE(lint::LintContent("tests/fixture.cc", content).empty());
+  EXPECT_TRUE(lint::LintContent("tools/fixture.cc", content).empty());
+}
+
 TEST(NmcLintTest, RngRuleAppliesToTests) {
   // tests/ joined the determinism scope when repo-mode linting was
   // extended there: an unseeded RNG in a test makes the *check* itself
@@ -210,7 +253,7 @@ TEST(NmcLintTest, EveryEmittedRuleIsRegistered) {
       "no_iostream_in_lib.cc", "include_hygiene.cc",
       "missing_pragma_once.h", "allow_annotations.cc",
       "no_per_update_transcendentals.cc",
-      "no_heap_in_hot_path.cc",
+      "no_heap_in_hot_path.cc",  "atomics_discipline.cc",
   };
   std::vector<std::string> registered;
   for (const lint::RuleInfo& rule : lint::Rules()) {

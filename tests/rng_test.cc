@@ -12,15 +12,20 @@
 namespace nmc::common {
 namespace {
 
+/// Every RngTest seed routes through this test-local factory so the
+/// construction site takes its seed from a traceable parameter; a
+/// statistical flake is then fixed by varying one literal at the call.
+Rng MakeRng(uint64_t seed) { return Rng(seed); }
+
 TEST(RngTest, SameSeedSameSequence) {
-  Rng a(42);
-  Rng b(42);
+  Rng a = MakeRng(42);
+  Rng b = MakeRng(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
 }
 
 TEST(RngTest, DifferentSeedsDifferentSequences) {
-  Rng a(1);
-  Rng b(2);
+  Rng a = MakeRng(1);
+  Rng b = MakeRng(2);
   int differing = 0;
   for (int i = 0; i < 64; ++i) {
     if (a.NextU64() != b.NextU64()) ++differing;
@@ -29,7 +34,7 @@ TEST(RngTest, DifferentSeedsDifferentSequences) {
 }
 
 TEST(RngTest, UniformDoubleRangeAndMean) {
-  Rng rng(7);
+  Rng rng = MakeRng(7);
   RunningStat stat;
   for (int i = 0; i < 100000; ++i) {
     const double u = rng.UniformDouble();
@@ -43,7 +48,7 @@ TEST(RngTest, UniformDoubleRangeAndMean) {
 }
 
 TEST(RngTest, UniformIntBoundsInclusive) {
-  Rng rng(9);
+  Rng rng = MakeRng(9);
   std::set<int64_t> seen;
   for (int i = 0; i < 10000; ++i) {
     const int64_t v = rng.UniformInt(-3, 3);
@@ -55,13 +60,13 @@ TEST(RngTest, UniformIntBoundsInclusive) {
 }
 
 TEST(RngTest, UniformIntSingleton) {
-  Rng rng(11);
+  Rng rng = MakeRng(11);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
 }
 
 TEST(RngTest, UniformIntUnbiasedOverPowerOfTwoRange) {
   // Range of 3 exercises the rejection path (2^64 mod 3 != 0).
-  Rng rng(13);
+  Rng rng = MakeRng(13);
   int64_t counts[3] = {0, 0, 0};
   const int n = 90000;
   for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(0, 2)];
@@ -71,7 +76,7 @@ TEST(RngTest, UniformIntUnbiasedOverPowerOfTwoRange) {
 }
 
 TEST(RngTest, BernoulliFrequency) {
-  Rng rng(17);
+  Rng rng = MakeRng(17);
   for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
     int heads = 0;
     const int n = 50000;
@@ -81,13 +86,13 @@ TEST(RngTest, BernoulliFrequency) {
 }
 
 TEST(RngTest, BernoulliClampsOutOfRange) {
-  Rng rng(19);
+  Rng rng = MakeRng(19);
   EXPECT_FALSE(rng.Bernoulli(-0.5));
   EXPECT_TRUE(rng.Bernoulli(1.5));
 }
 
 TEST(RngTest, GaussianMoments) {
-  Rng rng(23);
+  Rng rng = MakeRng(23);
   RunningStat stat;
   for (int i = 0; i < 200000; ++i) stat.Add(rng.Gaussian());
   EXPECT_NEAR(stat.mean(), 0.0, 0.01);
@@ -95,7 +100,7 @@ TEST(RngTest, GaussianMoments) {
 }
 
 TEST(RngTest, GaussianTailMass) {
-  Rng rng(29);
+  Rng rng = MakeRng(29);
   int beyond_two_sigma = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
@@ -106,7 +111,7 @@ TEST(RngTest, GaussianTailMass) {
 }
 
 TEST(RngTest, GaussianMeanStddev) {
-  Rng rng(31);
+  Rng rng = MakeRng(31);
   RunningStat stat;
   for (int i = 0; i < 100000; ++i) stat.Add(rng.Gaussian(3.0, 2.0));
   EXPECT_NEAR(stat.mean(), 3.0, 0.05);
@@ -114,7 +119,7 @@ TEST(RngTest, GaussianMeanStddev) {
 }
 
 TEST(RngTest, GeometricMeanMatchesTheory) {
-  Rng rng(37);
+  Rng rng = MakeRng(37);
   for (double p : {0.1, 0.5, 0.9}) {
     RunningStat stat;
     for (int i = 0; i < 50000; ++i) {
@@ -127,12 +132,12 @@ TEST(RngTest, GeometricMeanMatchesTheory) {
 }
 
 TEST(RngTest, GeometricWithPOneIsZero) {
-  Rng rng(41);
+  Rng rng = MakeRng(41);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0);
 }
 
 TEST(RngTest, ShufflePreservesMultiset) {
-  Rng rng(43);
+  Rng rng = MakeRng(43);
   std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<int> shuffled = values;
   rng.Shuffle(&shuffled);
@@ -143,7 +148,7 @@ TEST(RngTest, ShufflePreservesMultiset) {
 
 TEST(RngTest, ShuffleIsApproximatelyUniform) {
   // Position of element 0 after shuffling [0,1,2,3] should be uniform.
-  Rng rng(47);
+  Rng rng = MakeRng(47);
   int64_t position_counts[4] = {0, 0, 0, 0};
   const int trials = 40000;
   for (int t = 0; t < trials; ++t) {
@@ -159,7 +164,7 @@ TEST(RngTest, ShuffleIsApproximatelyUniform) {
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
-  Rng parent(53);
+  Rng parent = MakeRng(53);
   Rng child = parent.Fork();
   // The child stream should not be identical to the parent's continuation.
   int differing = 0;
@@ -170,7 +175,7 @@ TEST(RngTest, ForkProducesIndependentStream) {
 }
 
 TEST(RngTest, SignIsPlusMinusOne) {
-  Rng rng(59);
+  Rng rng = MakeRng(59);
   int64_t sum = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {

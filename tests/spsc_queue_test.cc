@@ -105,6 +105,77 @@ TEST(SpscQueueTest, BulkPushMatchesScalarPush) {
   EXPECT_FALSE(scalar.TryPop(&b));
 }
 
+// The RingCapacity tag bypasses the historical floor-of-2 rounding of the
+// min-capacity constructor (compile-time rejected unless a power of two),
+// so the degenerate one-slot ring is constructible and must ping-pong.
+TEST(SpscQueueTest, RingCapacityTagAllowsCapacityOne) {
+  SpscQueue<int> queue(RingCapacity<1>{});
+  EXPECT_EQ(queue.capacity(), 1u);
+  int out = -1;
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(queue.TryPush(round));
+    EXPECT_FALSE(queue.TryPush(99)) << "one-slot ring must refuse a second";
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, round);
+    EXPECT_FALSE(queue.TryPop(&out)) << "drained ring must refuse";
+  }
+}
+
+// Exact-wraparound peek on the one-slot ring: every single item sits at
+// the physical boundary, so PeekContiguous must never hand out a view
+// that runs past the end of the slot array.
+TEST(SpscQueueTest, PeekContiguousExactWrapCapacityOne) {
+  SpscQueue<int> queue(RingCapacity<1>{});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.TryPush(i));
+    const std::span<const int> view = queue.PeekContiguous(16);
+    ASSERT_EQ(view.size(), 1u) << "view must stop at the wrap";
+    EXPECT_EQ(view[0], i);
+    queue.Advance(view.size());
+    EXPECT_TRUE(queue.PeekContiguous(1).empty());
+  }
+}
+
+// Capacity-2 ring peeked exactly at the wrap point: head parked on slot 1
+// with both slots full means the contiguous view is exactly one item (the
+// physical tail of the array), and the remainder arrives in a second view
+// from slot 0.
+TEST(SpscQueueTest, PeekContiguousExactWrapCapacityTwo) {
+  SpscQueue<int> queue(RingCapacity<2>{});
+  int out = -1;
+  ASSERT_TRUE(queue.TryPush(0));
+  ASSERT_TRUE(queue.TryPop(&out));  // park head/tail on slot 1
+  ASSERT_TRUE(queue.TryPush(10));   // slot 1
+  ASSERT_TRUE(queue.TryPush(11));   // wraps into slot 0
+
+  std::span<const int> view = queue.PeekContiguous(2);
+  ASSERT_EQ(view.size(), 1u) << "first view ends at the physical boundary";
+  EXPECT_EQ(view[0], 10);
+  queue.Advance(view.size());
+
+  view = queue.PeekContiguous(2);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 11);
+  queue.Advance(view.size());
+  EXPECT_TRUE(queue.PeekContiguous(1).empty());
+}
+
+// TryPushSpan must split its batch at the seam of a capacity-2 ring the
+// same way scalar pushes would land, with nothing lost on either side.
+TEST(SpscQueueTest, TryPushSpanSplitsAtExactWrapCapacityTwo) {
+  SpscQueue<int> queue(RingCapacity<2>{});
+  int out = -1;
+  ASSERT_TRUE(queue.TryPush(0));
+  ASSERT_TRUE(queue.TryPop(&out));  // next write wraps after one slot
+  const std::vector<int> items = {20, 21, 22};
+  EXPECT_EQ(queue.TryPushSpan(items), 2u) << "only the ring fits";
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 20);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 21);
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
 // Two-thread stress: a tight ring (capacity 64) forces constant
 // backpressure, so the head/tail release/acquire edges are exercised at
 // every wrap. Run under TSan in CI; any missing ordering is a reported

@@ -8,6 +8,11 @@
 namespace nmc::streams {
 namespace {
 
+/// Every seed in this file routes through a test-local factory whose
+/// construction site takes the seed as a traceable parameter; a
+/// statistical flake is then fixed by varying one literal at the call.
+common::Rng MakeRng(uint64_t seed) { return common::Rng(seed); }
+
 TEST(ZipfTest, ProbabilitiesSumToOne) {
   ZipfSampler zipf(100, 1.1);
   double total = 0.0;
@@ -31,7 +36,7 @@ TEST(ZipfTest, ZeroExponentIsUniform) {
 
 TEST(ZipfTest, EmpiricalFrequenciesMatch) {
   ZipfSampler zipf(20, 1.2);
-  common::Rng rng(55);
+  common::Rng rng = MakeRng(55);
   std::vector<int64_t> counts(20, 0);
   const int n = 200000;
   for (int i = 0; i < n; ++i) {
@@ -49,14 +54,14 @@ TEST(ZipfTest, EmpiricalFrequenciesMatch) {
 
 TEST(ZipfTest, SingletonUniverse) {
   ZipfSampler zipf(1, 2.0);
-  common::Rng rng(1);
+  common::Rng rng = MakeRng(1);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0);
   EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
 }
 
 TEST(ZipfTest, HighSkewConcentratesOnHead) {
   ZipfSampler zipf(1000, 2.0);
-  common::Rng rng(77);
+  common::Rng rng = MakeRng(77);
   int head = 0;
   const int n = 10000;
   for (int i = 0; i < n; ++i) {

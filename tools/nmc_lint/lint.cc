@@ -59,6 +59,19 @@ const std::vector<RuleInfo> kAllRules = {
      "// nmc: reentrant / not-thread-safe(reason) contracts are "
      "well-formed, attach to a definition, and a reentrant function only "
      "calls reentrant functions"},
+    {"ATOMIC_ORDER_EXPLICIT",
+     "every atomic load/store/RMW in src/ spells its memory_order "
+     "argument; a defaulted (seq_cst) call hides the synchronization "
+     "contract the model checker verifies"},
+    {"SEQ_CST_JUSTIFIED",
+     "every memory_order_seq_cst in src/ carries a same-or-previous-line "
+     "// nmc: seq-cst(reason) — the total order is expensive and almost "
+     "never what the protocol actually needs"},
+    {"NO_RAW_ATOMIC_IN_RUNTIME",
+     "concurrency in src/runtime/ and the lock-free primitives goes "
+     "through the atomics policy shim (common/atomic_policy.h), never raw "
+     "std::atomic / atomic_thread_fence — raw atomics are invisible to "
+     "tools/nmc_race"},
     {"INCLUDE_HYGIENE",
      "no parent-relative #include \"../...\" and no <bits/...> headers"},
     {"PRAGMA_ONCE", "every header starts with #pragma once"},
@@ -188,6 +201,108 @@ void CheckPragmaOnce(const std::string& path, const TokenStreams& streams,
   findings->push_back({path, 1, "PRAGMA_ONCE",
                        "header lacks #pragma once (repo convention; "
                        "#ifndef guards were retired in PR 2)"});
+}
+
+// ---- Atomics-discipline rules ---------------------------------------------
+
+/// std::atomic member operations that take a memory_order parameter and
+/// default it to seq_cst when omitted. `load`/`store` are atomic-specific
+/// enough as member names in this codebase; the repo's own SlotArray
+/// spells Store/View capitalized precisely to stay out of this namespace.
+constexpr const char* kAtomicOrderedOps[] = {
+    "load",          "store",        "exchange",
+    "fetch_add",     "fetch_sub",    "fetch_and",
+    "fetch_or",      "fetch_xor",    "test_and_set",
+    "compare_exchange_weak",         "compare_exchange_strong"};
+
+/// ATOMIC_ORDER_EXPLICIT: a member call `x.load(...)` / `x->fetch_add(...)`
+/// must mention a memory_order somewhere in its argument list — either a
+/// std::memory_order_* constant or a Policy::Order(...) wrapper (whose
+/// site argument spells the declared constant). Lexical by design: the
+/// receiver's type is unknown, but non-atomic receivers with these exact
+/// member names do not occur in library code, and allow() is the escape.
+void CheckAtomicOrderExplicit(const std::string& path,
+                              const std::vector<Token>& code,
+                              std::vector<Finding>* findings) {
+  for (size_t i = 2; i < code.size(); ++i) {
+    if (!IsIdentIn(code, i, kAtomicOrderedOps)) continue;
+    if (!IsPunct(code, i - 1, ".") && !IsPunct(code, i - 1, "->")) continue;
+    if (!IsPunct(code, i + 1, "(")) continue;
+    const size_t close = MatchingClose(code, i + 1, ParenDelta);
+    if (close == code.size()) continue;  // unbalanced; not a call we parse
+    bool has_order = false;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (IsIdent(code, j) &&
+          code[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        break;
+      }
+    }
+    if (!has_order) {
+      findings->push_back(
+          {path, code[i].line, "ATOMIC_ORDER_EXPLICIT",
+           "'" + code[i].text +
+               "' with a defaulted memory_order (seq_cst); spell the "
+               "ordering — and justify it if seq_cst is really meant"});
+    }
+  }
+}
+
+/// SEQ_CST_JUSTIFIED: each memory_order_seq_cst token needs a
+/// // nmc: seq-cst(<reason>) on its own or the preceding raw line.
+void CheckSeqCstJustified(const std::string& path,
+                          const std::vector<Token>& code,
+                          const std::vector<std::string>& lines,
+                          std::vector<Finding>* findings) {
+  static const std::regex kJustification(R"(//\s*nmc:\s*seq-cst\([^)\s][^)]*\))");
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code, i, "memory_order_seq_cst")) continue;
+    const int line = code[i].line;  // 1-based
+    bool justified = false;
+    for (int candidate = line - 1; candidate <= line; ++candidate) {
+      if (candidate < 1 || candidate > static_cast<int>(lines.size())) {
+        continue;
+      }
+      if (std::regex_search(lines[static_cast<size_t>(candidate) - 1],
+                            kJustification)) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      findings->push_back(
+          {path, line, "SEQ_CST_JUSTIFIED",
+           "memory_order_seq_cst without a justification; write "
+           "// nmc: seq-cst(<why the single total order is required>) on "
+           "this or the preceding line"});
+    }
+  }
+}
+
+/// NO_RAW_ATOMIC_IN_RUNTIME: inside the modeled-concurrency scope
+/// (src/runtime/ + the lock-free primitive headers), spelling std::atomic
+/// or a bare fence bypasses the policy shim and makes the code invisible
+/// to the model checker.
+void CheckRawAtomicInRuntime(const std::string& path,
+                             const std::vector<Token>& code,
+                             std::vector<Finding>* findings) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code, i, "std") && IsPunct(code, i + 1, "::") &&
+        (IsIdent(code, i + 2, "atomic") ||
+         IsIdent(code, i + 2, "atomic_flag"))) {
+      findings->push_back(
+          {path, code[i].line, "NO_RAW_ATOMIC_IN_RUNTIME",
+           "raw std::" + code[i + 2].text +
+               " in model-checked concurrency code; use the policy shim "
+               "(common::RuntimeAtomic<T> or Policy::template Atomic<T>) "
+               "so tools/nmc_race can model this synchronization"});
+    } else if (IsIdent(code, i, "atomic_thread_fence")) {
+      findings->push_back(
+          {path, code[i].line, "NO_RAW_ATOMIC_IN_RUNTIME",
+           "bare atomic_thread_fence in model-checked concurrency code; "
+           "route fences through Policy::Fence(OrderSite, order)"});
+    }
+  }
 }
 
 // ---- NO_UNSEEDED_RNG: banned sources + seed provenance --------------------
@@ -860,13 +975,21 @@ FileAnalysis AnalyzeFile(const std::string& path, const std::string& content) {
   if (!InRepoCode(path)) return analysis;
 
   const TokenStreams streams = SplitStreams(Lex(content));
-  analysis.allowances = ParseAllowances(SplitLines(content));
+  const std::vector<std::string> lines = SplitLines(content);
+  analysis.allowances = ParseAllowances(lines);
 
   std::vector<Finding>* findings = &analysis.findings;
   if (InLibraryCode(path)) {
     analysis.symbols = BuildFileSymbols(path, content);
     analysis.has_symbols = true;
     CheckSymbolRules(path, analysis.symbols, findings);
+  }
+  if (InAtomicsDisciplineScope(path)) {
+    CheckAtomicOrderExplicit(path, streams.code, findings);
+    CheckSeqCstJustified(path, streams.code, lines, findings);
+  }
+  if (InModeledConcurrencyScope(path)) {
+    CheckRawAtomicInRuntime(path, streams.code, findings);
   }
   if (InDeterminismScope(path)) CheckUnseededRng(path, streams.code, findings);
   if (InSimLibrary(path)) {

@@ -66,6 +66,23 @@ inline bool IsRngFactory(const std::string& path) {
   return path == "src/common/rng.h" || path == "src/common/rng.cc";
 }
 
+/// Scope of the atomics-discipline rules (ATOMIC_ORDER_EXPLICIT,
+/// SEQ_CST_JUSTIFIED): the library. Tests and tools may use defaulted
+/// seq_cst atomics for scaffolding; library code states every ordering.
+inline bool InAtomicsDisciplineScope(const std::string& path) {
+  return StartsWith(path, "src/");
+}
+
+/// Files whose concurrency must be expressed through the atomics policy
+/// shim (common/atomic_policy.h) so tools/nmc_race can model-check it:
+/// the threaded runtime plus the lock-free primitives that back the
+/// reentrant audit classes (SpscQueue, Seqlock). The shim itself is
+/// outside this scope — it is the one place that spells std::atomic.
+inline bool InModeledConcurrencyScope(const std::string& path) {
+  return StartsWith(path, "src/runtime/") ||
+         path == "src/common/spsc_queue.h" || path == "src/common/seqlock.h";
+}
+
 /// Per-update protocol entry points (the transcendental rule's direct
 /// scope).
 inline constexpr const char* kPerUpdateEntryPoints[] = {

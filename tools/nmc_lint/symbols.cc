@@ -467,6 +467,10 @@ std::vector<ThreadMarker> ParseThreadMarkers(const std::string& content) {
     marker.target_line = comment_only ? line_number + 1 : line_number;
     marker.verb = match[1].str();
     marker.reason = match[2].matched ? match[2].str() : "";
+    // `// nmc: seq-cst(reason)` belongs to the atomics-discipline rule
+    // (SEQ_CST_JUSTIFIED validates it in place), not the thread-contract
+    // grammar — skip it here so it is not reported as an unknown verb.
+    if (marker.verb == "seq-cst") continue;
     if (marker.verb == "reentrant") {
       marker.kind = ThreadAnnotation::kReentrant;
     } else if (marker.verb == "not-thread-safe") {

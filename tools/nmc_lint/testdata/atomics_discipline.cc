@@ -1,0 +1,78 @@
+// Fixture for the atomics-discipline rules. Linted twice: as
+// src/core/fixture.cc (ATOMIC_ORDER_EXPLICIT + SEQ_CST_JUSTIFIED apply)
+// and as src/runtime/fixture.cc (NO_RAW_ATOMIC_IN_RUNTIME joins in; the
+// raw-atomic EXPECT-RUNTIME markers below are rewritten to EXPECT by the
+// test before linting at that path).
+#include <atomic>
+
+class Widget {
+ public:
+  int DefaultedLoad() {
+    return counter_.load();  // EXPECT: ATOMIC_ORDER_EXPLICIT
+  }
+
+  void DefaultedStore(int v) {
+    counter_.store(v);  // EXPECT: ATOMIC_ORDER_EXPLICIT
+  }
+
+  int DefaultedRmw() {
+    return counter_.fetch_add(1);  // EXPECT: ATOMIC_ORDER_EXPLICIT
+  }
+
+  bool DefaultedCas(int want, int next) {
+    // EXPECT-NEXT: ATOMIC_ORDER_EXPLICIT
+    return counter_.compare_exchange_strong(want, next);
+  }
+
+  int ExplicitRelaxedIsFine() {
+    counter_.store(1, std::memory_order_relaxed);
+    return counter_.load(std::memory_order_acquire);
+  }
+
+  int SpannedArgumentListIsStillSeen(int v) {
+    counter_.store(v,
+                   std::memory_order_release);
+    return 0;
+  }
+
+  int UnjustifiedSeqCst() {
+    return counter_.load(std::memory_order_seq_cst);  // EXPECT: SEQ_CST_JUSTIFIED
+  }
+
+  int JustifiedSeqCstSameLine() {
+    return counter_.load(std::memory_order_seq_cst);  // nmc: seq-cst(SB litmus needs the total order)
+  }
+
+  int JustifiedSeqCstPrecedingLine() {
+    // nmc: seq-cst(cross-variable agreement between watchers)
+    counter_.store(2, std::memory_order_seq_cst);
+    return 0;
+  }
+
+  int EmptyReasonDoesNotJustify() {
+    // nmc: seq-cst()
+    return counter_.load(std::memory_order_seq_cst);  // EXPECT: SEQ_CST_JUSTIFIED
+  }
+
+  void RawFence() {
+    std::atomic_thread_fence(  // EXPECT-RUNTIME: NO_RAW_ATOMIC_IN_RUNTIME
+        std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> counter_{0};  // EXPECT-RUNTIME: NO_RAW_ATOMIC_IN_RUNTIME
+  std::atomic_flag flag_;        // EXPECT-RUNTIME: NO_RAW_ATOMIC_IN_RUNTIME
+};
+
+// Near-misses that must stay silent: capitalized SlotArray-style members,
+// identifiers named load/store that are not member calls, and free calls.
+struct Slots {
+  void Store(unsigned long i, int v);
+  int View(unsigned long i) const;
+};
+inline void UsesSlots(Slots* slots) {
+  slots->Store(0, 1);
+  (void)slots->View(0);
+}
+int load(int x);  // a free function named load is not an atomic op
+inline int CallsFreeLoad() { return load(3); }

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/atomic_policy.h"
+#include "nmc_race/runtime.h"
+
+namespace nmc::race {
+
+/// Drop-in stand-in for std::atomic<T> under the model policy: every op is
+/// announced to the Runtime scheduler (a preemption point) and executed
+/// against the per-location store history, so relaxed loads can observe
+/// any store the C++11 visibility rules admit — not just the newest one.
+/// T must fit in the 64-bit model word.
+template <typename T>
+class ModelAtomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "model atomics hold at most one 64-bit word");
+
+ public:
+  ModelAtomic() : ModelAtomic(T{}) {}
+  explicit ModelAtomic(T initial)
+      : location_(Runtime::Current()->NewLocation(ToBits(initial))) {}
+
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order order) const {
+    return FromBits(Runtime::Current()->AtomicLoad(location_, order));
+  }
+
+  void store(T value, std::memory_order order) {
+    Runtime::Current()->AtomicStore(location_, ToBits(value), order);
+  }
+
+  T fetch_add(T delta, std::memory_order order) {
+    static_assert(std::is_integral_v<T>,
+                  "fetch_add is modeled for integral T only");
+    return FromBits(Runtime::Current()->AtomicRmwAdd(
+        location_, ToBits(delta), order));
+  }
+
+ private:
+  static uint64_t ToBits(T value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    return bits;
+  }
+  static T FromBits(uint64_t bits) {
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+  }
+
+  uint32_t location_;
+};
+
+inline void ModelFence(std::memory_order order) {
+  Runtime::Current()->Fence(order);
+}
+
+/// The model-checking counterpart of common::StdAtomicPolicy: instantiate
+/// SpscQueue<T, ModelAtomicPolicy> / Seqlock<T, ModelAtomicPolicy> inside
+/// an Explore() test body and every atomic, fence, and plain slot access
+/// of the production source runs under the interleaving scheduler.
+struct ModelAtomicPolicy {
+  template <typename T>
+  using Atomic = ModelAtomic<T>;
+
+  /// The mutation hook: declared order, unless this site is the one the
+  /// current exploration weakens to relaxed.
+  static std::memory_order Order(common::OrderSite site,
+                                 std::memory_order declared) {
+    return Runtime::Current()->SiteOrder(site, declared);
+  }
+
+  static void Fence(common::OrderSite site, std::memory_order declared) {
+    ModelFence(Order(site, declared));
+  }
+
+  /// Plain slot storage with vector-clock race detection. View() performs
+  /// the model-level reads at peek time; that is sound for the SPSC
+  /// protocol because the producer's next write to a peeked slot is only
+  /// race-free when it happens-after the consumer's head release, which
+  /// postdates the peek.
+  template <typename T>
+  class SlotArray {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "model slots hold at most one 64-bit word");
+
+   public:
+    explicit SlotArray(size_t size) : data_(size), cells_(size) {
+      for (size_t i = 0; i < size; ++i) {
+        cells_[i] = Runtime::Current()->NewCell();
+      }
+    }
+
+    void Store(size_t index, const T& value) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &value, sizeof(T));
+      Runtime::Current()->CellWrite(cells_[index], bits);
+      data_[index] = value;
+    }
+
+    std::span<const T> View(size_t begin, size_t count) const {
+      for (size_t i = begin; i < begin + count; ++i) {
+        (void)Runtime::Current()->CellRead(cells_[i]);
+      }
+      return {&data_[begin], count};
+    }
+
+   private:
+    std::vector<T> data_;
+    std::vector<uint32_t> cells_;
+  };
+};
+
+}  // namespace nmc::race

@@ -1,0 +1,219 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_policy.h"
+
+namespace nmc::race {
+
+/// Hard cap on model threads per execution (thread 0 is the main/setup
+/// thread; litmus tests use 2-3 workers). Vector clocks are fixed-size
+/// arrays indexed by thread id.
+constexpr uint32_t kMaxThreads = 8;
+
+/// A happens-before vector clock over the model threads.
+struct VClock {
+  std::array<uint32_t, kMaxThreads> c{};
+
+  void Join(const VClock& other) {
+    for (uint32_t i = 0; i < kMaxThreads; ++i) {
+      if (other.c[i] > c[i]) c[i] = other.c[i];
+    }
+  }
+  /// True when every component of *this is <= the corresponding component
+  /// of `other` — i.e. the event stamped *this happened-before (or equals)
+  /// the state stamped `other`.
+  bool LeqThan(const VClock& other) const {
+    for (uint32_t i = 0; i < kMaxThreads; ++i) {
+      if (c[i] > other.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Thrown to unwind a model thread (or the test body) once a violation is
+/// recorded or the execution is pruned; never escapes Explore().
+struct ModelAbort {};
+
+struct ExploreOptions {
+  /// Max context switches away from a still-runnable thread; -1 =
+  /// unbounded. CHESS's observation: almost all concurrency bugs manifest
+  /// within 2-3 preemptions, so bounded runs are the fast default for the
+  /// larger litmus tests.
+  int preemption_bound = -1;
+  /// Sleep-set pruning (Godefroid). Only applied on unbounded runs: the
+  /// sleep-set + preemption-bound combination is known to prune unsoundly.
+  bool sleep_sets = true;
+  uint64_t max_executions = 2'000'000;
+  /// Per-execution step budget; exceeding it is reported as a violation
+  /// (livelock or an unbounded spin in a model thread body).
+  uint64_t max_steps = 20'000;
+  /// When != kCount: the single OrderSite whose declared order the model
+  /// policy weakens to relaxed — the mutation harness.
+  common::OrderSite weakened = common::OrderSite::kCount;
+  /// When non-empty: run exactly one execution following this schedule
+  /// string (as printed by Result::schedule); choices beyond the string's
+  /// end take the DFS default.
+  std::string replay;
+};
+
+struct ExploreResult {
+  uint64_t executions = 0;
+  /// DFS exhausted the (possibly bounded) schedule space without running
+  /// into max_executions.
+  bool complete = false;
+  bool budget_exhausted = false;
+  bool violation = false;
+  /// Replayable schedule of the violating execution ("t1,t1,v0,t2,...").
+  std::string schedule;
+  std::string message;
+  /// Every distinct string passed to Runtime::Outcome() across all
+  /// non-pruned, non-violating executions — the litmus outcome set.
+  std::set<std::string> outcomes;
+};
+
+namespace detail {
+struct Engine;
+}
+
+/// One execution's model state plus the test-facing API. A fresh Runtime
+/// is constructed per execution; the persistent worker threads and the DFS
+/// choice stack live in the Engine owned by Explore().
+class Runtime {
+ public:
+  /// The runtime serving model ops on the calling thread (set for the
+  /// duration of Explore()).
+  static Runtime* Current();
+
+  // ---- test-facing API --------------------------------------------------
+
+  /// Registers a model thread; bodies start only once Run() is called.
+  void Thread(std::function<void()> body);
+  /// Runs the scheduler until every model thread finished. Throws
+  /// ModelAbort when the execution records a violation or is pruned.
+  void Run();
+  /// Records a violation (with the failing schedule) unless `ok`.
+  void Check(bool ok, const std::string& message);
+  /// Records a litmus outcome for this execution (main thread, after Run).
+  void Outcome(const std::string& outcome);
+  bool Violated() const { return violated_; }
+
+  // ---- ops called by ModelAtomic / ModelAtomicPolicy --------------------
+
+  uint32_t NewLocation(uint64_t initial);
+  uint64_t AtomicLoad(uint32_t loc, std::memory_order order);
+  void AtomicStore(uint32_t loc, uint64_t value, std::memory_order order);
+  /// fetch_add; returns the previous value.
+  uint64_t AtomicRmwAdd(uint32_t loc, uint64_t delta, std::memory_order order);
+  void Fence(std::memory_order order);
+
+  /// Plain (non-atomic) shared memory with vector-clock data-race
+  /// detection: the slot arrays of the policy-generic ring buffers. Cell
+  /// accesses are not scheduling points — a racing pair is flagged by its
+  /// missing happens-before edge in whichever interleaving of the *atomic*
+  /// ops exposes it, so interleaving cell ops adds states but no coverage.
+  uint32_t NewCell();
+  void CellWrite(uint32_t cell, uint64_t value);
+  uint64_t CellRead(uint32_t cell);
+
+  /// The mutation hook: `declared` unless `site` is the weakened one.
+  std::memory_order SiteOrder(common::OrderSite site,
+                              std::memory_order declared) const;
+
+ private:
+  friend ExploreResult Explore(const ExploreOptions& options,
+                               const std::function<void(Runtime&)>& test);
+  friend struct detail::Engine;
+
+  struct Store {
+    uint64_t value = 0;
+    /// Writer's full clock at the store: used both to hide older stores
+    /// from threads this store happened-before, and for coherence.
+    VClock hb;
+    /// What an acquire load of this store joins (writer clock for release
+    /// stores, the writer's last release-fence snapshot for relaxed ones).
+    VClock sync;
+    bool has_sync = false;
+  };
+  struct Location {
+    std::vector<Store> stores;  // modification order
+    /// Per-thread coherence floor: index of the newest store this thread
+    /// has read or written; older stores are no longer admissible.
+    std::array<uint32_t, kMaxThreads> last_seen{};
+  };
+  struct Cell {
+    uint64_t value = 0;
+    VClock write_clock;
+    bool written = false;
+    std::array<VClock, kMaxThreads> read_clocks;
+    std::array<bool, kMaxThreads> has_read{};
+  };
+  enum class OpKind : uint8_t { kNone, kStart, kLoad, kStore, kRmw, kFence };
+  struct PendingOp {
+    OpKind kind = OpKind::kNone;
+    uint32_t loc = 0;
+  };
+  struct ThreadState {
+    VClock clock;
+    VClock release_fence;
+    bool has_release_fence = false;
+    /// Join of the sync clocks of every store read so far — what the next
+    /// acquire fence promotes into the thread clock (Boehm fence rule).
+    VClock acq_pending;
+    PendingOp pending;
+    bool started = false;
+    bool finished = false;
+  };
+
+  explicit Runtime(const ExploreOptions& options, detail::Engine* engine,
+                   ExploreResult* result);
+
+  uint32_t CurrentTid() const;
+  static bool OpsDependent(const PendingOp& a, const PendingOp& b);
+  void Tick(uint32_t tid) { threads_[tid].clock.c[tid] += 1; }
+  /// Worker-side: announce the op and hand the token to the scheduler;
+  /// returns once rescheduled (throws ModelAbort when aborting).
+  void PauseForSchedule(OpKind kind, uint32_t loc);
+  void RecordViolation(const std::string& message);
+  [[noreturn]] void AbortExecution();
+  /// Unwinds every unfinished model thread (resume-with-abort handshake).
+  void AbortThreads();
+  /// The scheduler loop body of Run().
+  void RunScheduler();
+
+  const ExploreOptions& options_;
+  detail::Engine* engine_;
+  ExploreResult* result_;
+
+  std::vector<Location> locations_;
+  std::vector<Cell> cells_;
+  std::vector<ThreadState> threads_;  // [0] is the main/setup thread
+  VClock sc_clock_;                   // simplified seq_cst total-order clock
+
+  bool violated_ = false;
+  bool pruned_ = false;
+  std::string violation_message_;
+  uint64_t steps_ = 0;
+};
+
+/// Runs `test` under every schedule the options admit. `test` is invoked
+/// once per execution: it builds the shared state, registers thread
+/// bodies, calls rt.Run(), and asserts/records outcomes afterwards.
+ExploreResult Explore(const ExploreOptions& options,
+                      const std::function<void(Runtime&)>& test);
+
+/// Stable lowercase identifier for an order site ("spsc-head-acquire"...).
+const char* SiteName(common::OrderSite site);
+/// Inverse of SiteName; false when `name` matches no site.
+bool ParseSiteName(const std::string& name, common::OrderSite* site);
+
+}  // namespace nmc::race
