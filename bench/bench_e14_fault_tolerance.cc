@@ -12,9 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "baselines/exact_sync.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "core/nonmonotonic_counter.h"
+#include "runtime/run.h"
 #include "sim/channel.h"
 #include "sim/reliable.h"
 #include "streams/bernoulli.h"
@@ -199,10 +202,177 @@ void ResyncDiagnostics() {
               "(abandonment stays a rare escape hatch)\n");
 }
 
+// ---------------------------------------------------------------------------
+// --transport=sockets: the same fault families injected at the socket
+// layer against real forked site processes. The protocol under test is the
+// exact-sync baseline (estimate == sum of consumed updates, bit for bit),
+// so the checker epsilon can be tiny: any lost mass on the raw link shows
+// up as violations, while the reliable link's go-back-N replay keeps the
+// run exactly violation-free. That is the acceptance contract — this mode
+// exits nonzero if either side of it fails.
+// ---------------------------------------------------------------------------
+
+/// Small checker tolerance for the exact protocol: 1% socket loss drops
+/// ~1% of |S|, far above this, while the reliable run is bit-exact.
+constexpr double kSocketEps = 0.002;
+constexpr int kSocketSites = 4;
+constexpr int64_t kSocketDeadline = 1 << 14;
+
+nmc::runtime::RunResult SocketRun(const std::vector<double>& stream,
+                                  bool reliable,
+                                  const nmc::runtime::SocketFaultOptions&
+                                      faults) {
+  nmc::baselines::ExactSyncProtocol protocol(kSocketSites);
+  nmc::runtime::RunConfig config;
+  config.protocol = &protocol;
+  config.stream = &stream;
+  config.sockets.reliable = reliable;
+  config.sockets.faults = faults;
+  config.sockets.epsilon = kSocketEps;
+  config.sockets.rel_error_floor = 32.0;  // skip the near-zero-sum prefix
+  config.sockets.resync_deadline_updates = kSocketDeadline;
+  return nmc::runtime::RunWithTransport(
+      nmc::runtime::TransportKind::kSockets, config);
+}
+
+bool SocketLossSweep() {
+  std::printf("\n-- socket-level Bernoulli loss: raw link vs go-back-N "
+              "reliable link (k = %d, n = 2^15, exact_sync, eps = %.3f) "
+              "--\n",
+              kSocketSites, kSocketEps);
+  const std::vector<double> stream = DriftStream()(0);
+  nmc::common::Table table({"loss", "raw_viol", "raw_lost", "rel_viol",
+                            "rel_lost", "rel_nacks", "rel_dups"});
+  bool ok = true;
+  for (double loss : {0.0, 0.01, 0.05}) {
+    nmc::runtime::SocketFaultOptions faults;
+    faults.loss = loss;
+    faults.seed = 1440 + static_cast<uint64_t>(loss * 1000.0);
+    const auto raw = SocketRun(stream, /*reliable=*/false, faults);
+    const auto rel = SocketRun(stream, /*reliable=*/true, faults);
+    table.AddRow({Format(loss, 2),
+                  Format(raw.sockets.violation_steps),
+                  Format(raw.sockets.updates_lost),
+                  Format(rel.sockets.violation_steps),
+                  Format(rel.sockets.updates_lost),
+                  Format(rel.sockets.nacks_sent),
+                  Format(rel.sockets.duplicate_updates)});
+    if (rel.sockets.violation_steps != 0 || rel.sockets.updates_lost != 0 ||
+        rel.sockets.timed_out || rel.serving.updates != kN) {
+      std::printf("FAIL: reliable link at loss %.2f is not exact "
+                  "(viol=%lld lost=%lld updates=%lld timed_out=%d)\n",
+                  loss, static_cast<long long>(rel.sockets.violation_steps),
+                  static_cast<long long>(rel.sockets.updates_lost),
+                  static_cast<long long>(rel.serving.updates),
+                  rel.sockets.timed_out ? 1 : 0);
+      ok = false;
+    }
+    if (loss > 0.0 && raw.sockets.violation_steps == 0) {
+      std::printf("FAIL: raw link at loss %.2f produced no violations "
+                  "(lost=%lld)\n",
+                  loss, static_cast<long long>(raw.sockets.updates_lost));
+      ok = false;
+    }
+    if (loss > 0.0) {
+      nmc::bench::RecordMetric(
+          "sockets_raw_viol_loss" + std::to_string(
+              static_cast<int>(loss * 100.0)),
+          static_cast<double>(raw.sockets.violation_steps));
+    }
+  }
+  table.Print();
+  std::printf("expected: the raw link loses ~loss*n updates and violates "
+              "the\n%.3f-tracking bound almost immediately; the reliable "
+              "link NACKs\nevery gap, re-consumes the retransmissions "
+              "in order and finishes\nbit-exact (zero violations, zero "
+              "lost)\n",
+              kSocketEps);
+  return ok;
+}
+
+bool SocketCrashSweep() {
+  std::printf("\n-- SIGKILL mid-run: respawn-and-resync on the reliable "
+              "link vs dead-forever on the raw link (k = %d) --\n",
+              kSocketSites);
+  const std::vector<double> stream = DriftStream()(0);
+  nmc::runtime::SocketFaultOptions faults;
+  faults.kills.push_back(nmc::runtime::SiteKillSpec{1, 2048});
+  faults.kills.push_back(nmc::runtime::SiteKillSpec{2, 4096});
+  const auto rel = SocketRun(stream, /*reliable=*/true, faults);
+  const auto raw = SocketRun(stream, /*reliable=*/false, faults);
+  nmc::common::Table table({"link", "kills", "respawns", "recovered",
+                            "max_recovery", "viol", "updates", "lost"});
+  table.AddRow({"reliable", Format(rel.sockets.kills_delivered),
+                Format(rel.sockets.respawns),
+                rel.sockets.all_kills_recovered ? "yes" : "no",
+                Format(rel.sockets.max_recovery_updates),
+                Format(rel.sockets.violation_steps),
+                Format(rel.serving.updates),
+                Format(rel.sockets.updates_lost)});
+  table.AddRow({"raw", Format(raw.sockets.kills_delivered),
+                Format(raw.sockets.respawns),
+                raw.sockets.all_kills_recovered ? "yes" : "no",
+                Format(raw.sockets.max_recovery_updates),
+                Format(raw.sockets.violation_steps),
+                Format(raw.serving.updates),
+                Format(raw.sockets.updates_lost)});
+  table.Print();
+  bool ok = true;
+  if (!rel.sockets.all_kills_recovered || rel.sockets.respawns < 2 ||
+      rel.sockets.violation_steps != 0 || rel.serving.updates != kN ||
+      rel.sockets.max_recovery_updates > kSocketDeadline) {
+    std::printf("FAIL: reliable link did not recover both kills within "
+                "%lld updates (recovered=%d respawns=%lld "
+                "max_recovery=%lld viol=%lld updates=%lld)\n",
+                static_cast<long long>(kSocketDeadline),
+                rel.sockets.all_kills_recovered ? 1 : 0,
+                static_cast<long long>(rel.sockets.respawns),
+                static_cast<long long>(rel.sockets.max_recovery_updates),
+                static_cast<long long>(rel.sockets.violation_steps),
+                static_cast<long long>(rel.serving.updates));
+    ok = false;
+  }
+  if (raw.sockets.all_kills_recovered || raw.sockets.respawns != 0 ||
+      raw.serving.updates >= kN) {
+    std::printf("FAIL: raw link unexpectedly recovered from SIGKILL "
+                "(respawns=%lld updates=%lld)\n",
+                static_cast<long long>(raw.sockets.respawns),
+                static_cast<long long>(raw.serving.updates));
+    ok = false;
+  }
+  nmc::bench::RecordMetric(
+      "sockets_max_recovery_updates",
+      static_cast<double>(rel.sockets.max_recovery_updates));
+  std::printf("expected: the reliable coordinator sees EOF, reforks the "
+              "site at its\nconsumption cursor and the replacement "
+              "finishes the shard exactly\n(zero violations); raw kills "
+              "truncate the shard — the tail is lost\nand the run still "
+              "tears down cleanly\n");
+  return ok;
+}
+
+bool SocketSweeps() {
+  Banner("E14 — fault injection over real sockets: forked sites, framed "
+         "wire, loss and SIGKILL at the OS layer",
+         "the sim fault channels' process-level twins");
+  bool ok = SocketLossSweep();
+  ok = SocketCrashSweep() && ok;
+  if (!ok) {
+    std::printf("\nE14 sockets acceptance FAILED (see FAIL lines above)\n");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   nmc::bench::InitBench(argc, argv, "bench_e14_fault_tolerance");
+  if (nmc::bench::BenchTransport() ==
+      nmc::runtime::TransportKind::kSockets) {
+    const bool ok = SocketSweeps();
+    const int json_status = nmc::bench::FinishBench();
+    return ok ? json_status : 1;
+  }
   Banner("E14 — fault injection: loss, delay, and crashes vs the resync "
          "wrapper",
          "graceful degradation beyond the paper's reliable-channel model");

@@ -7,9 +7,12 @@
 //
 // Flags (on top of the shared set): --sites=K, --readers=M (pins the
 // reader sweep to one point), --updates=N, --protocol=NAME. With
-// --transport=sim only the pump reference runs — the threaded sweep and
-// the linearizability check need --transport=threads (the CI TSan smoke
-// runs `--transport=threads --sites=2 --readers=2`).
+// --transport=sim only the pump reference runs; --transport=threads runs
+// the in-process backend (the CI TSan smoke runs `--transport=threads
+// --sites=2 --readers=2`) and --transport=sockets runs the same sweep
+// with the sites as forked processes streaming wire frames over Unix
+// sockets (the CI multi-process smoke). Both concurrent backends end in
+// the linearizability epilogue against the sim oracle.
 //
 // Every reported number is also recorded via RecordMetric, so the BENCH
 // json carries bench/bench_e15_concurrent_serving/<metric> rows for
@@ -26,7 +29,7 @@
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "registry/builtin.h"
-#include "runtime/threaded.h"
+#include "runtime/run.h"
 #include "sim/registry.h"
 #include "streams/bernoulli.h"
 
@@ -141,31 +144,39 @@ double SimPumpUpdatesPerSec(const E15Options& options,
   return elapsed > 0.0 ? static_cast<double>(updates) / elapsed : 0.0;
 }
 
-struct ThreadedPoint {
+struct ServingPoint {
   int readers = 0;
   double updates_per_sec = 0.0;
   double reads_per_sec = 0.0;
   int64_t torn_reads = 0;
 };
 
-ThreadedPoint RunThreadedPoint(const E15Options& options,
-                               const std::vector<std::vector<double>>& shards,
-                               int readers) {
+/// One reader-count point on a concurrent backend (threads or sockets),
+/// through the unified transport entry point.
+ServingPoint RunServingPoint(const E15Options& options,
+                             const std::vector<std::vector<double>>& shards,
+                             int readers, TransportKind kind) {
   const std::unique_ptr<nmc::sim::Protocol> protocol =
-      FreshProtocol(options, TransportKind::kThreads);
-  nmc::runtime::ThreadedRunOptions run_options;
-  run_options.num_readers = readers;
+      FreshProtocol(options, kind);
+  nmc::runtime::RunConfig config;
+  config.protocol = protocol.get();
+  config.shards = shards;
+  config.threaded.num_readers = readers;
+  config.sockets.num_readers = readers;
+  config.sockets.epsilon = kEpsilon;
   const auto start = std::chrono::steady_clock::now();
-  const nmc::runtime::ThreadedRunResult result =
-      nmc::runtime::RunThreaded(protocol.get(), shards, run_options);
+  const nmc::runtime::RunResult result =
+      nmc::runtime::RunWithTransport(kind, config);
   const double elapsed = Seconds(start);
-  ThreadedPoint point;
+  ServingPoint point;
   point.readers = readers;
   if (elapsed > 0.0) {
-    point.updates_per_sec = static_cast<double>(result.updates) / elapsed;
-    point.reads_per_sec = static_cast<double>(result.total_reads) / elapsed;
+    point.updates_per_sec =
+        static_cast<double>(result.serving.updates) / elapsed;
+    point.reads_per_sec =
+        static_cast<double>(result.serving.total_reads) / elapsed;
   }
-  point.torn_reads = result.torn_reads;
+  point.torn_reads = result.serving.torn_reads;
   return point;
 }
 
@@ -173,7 +184,7 @@ ThreadedPoint RunThreadedPoint(const E15Options& options,
 /// published estimate and every reader snapshot must be bit-identical to
 /// the oracle's trajectory at its generation. Aborts the bench (exit 1) on
 /// a violation — a concurrency bug, not a perf result.
-bool VerifyLinearizable(const E15Options& options) {
+bool VerifyLinearizable(const E15Options& options, TransportKind kind) {
   E15Options small = options;
   small.updates = std::min<int64_t>(options.updates, 1 << 14);
   const std::vector<double> stream = nmc::streams::BernoulliStream(
@@ -182,12 +193,17 @@ bool VerifyLinearizable(const E15Options& options) {
       nmc::runtime::ShardRoundRobin(stream, small.sites);
 
   const std::unique_ptr<nmc::sim::Protocol> protocol =
-      FreshProtocol(small, TransportKind::kThreads);
-  nmc::runtime::ThreadedRunOptions run_options;
-  run_options.num_readers = 2;
-  run_options.capture = true;
-  const nmc::runtime::ThreadedRunResult result =
-      nmc::runtime::RunThreaded(protocol.get(), shards, run_options);
+      FreshProtocol(small, kind);
+  nmc::runtime::RunConfig config;
+  config.protocol = protocol.get();
+  config.shards = shards;
+  config.threaded.num_readers = 2;
+  config.threaded.capture = true;
+  config.sockets.num_readers = 2;
+  config.sockets.capture = true;
+  config.sockets.epsilon = kEpsilon;
+  const nmc::runtime::RunResult result =
+      nmc::runtime::RunWithTransport(kind, config);
 
   const std::unique_ptr<nmc::sim::Protocol> oracle =
       FreshProtocol(small, TransportKind::kSim);
@@ -235,15 +251,16 @@ int main(int argc, char** argv) {
               sim_ups);
   RecordMetric("sim_pump_updates_per_sec", sim_ups);
 
-  if (BenchTransport() != TransportKind::kThreads) {
-    std::printf("(--transport=sim: skipping the threaded sweep)\n");
+  const TransportKind kind = BenchTransport();
+  if (kind == TransportKind::kSim) {
+    std::printf("(--transport=sim: skipping the concurrent sweep)\n");
     return nmc::bench::FinishBench();
   }
-  if (!nmc::runtime::TransportSupports(TransportKind::kThreads,
-                                       options.protocol)) {
+  if (!nmc::runtime::TransportSupports(kind, options.protocol)) {
     UsageError("protocol '" + options.protocol +
                "' is quarantined to --transport=sim (thread_safe trait)");
   }
+  const char* kind_name = nmc::runtime::TransportKindName(kind);
 
   std::vector<int> sweep;
   if (options.readers > 0) {
@@ -251,30 +268,32 @@ int main(int argc, char** argv) {
   } else {
     sweep = {1, 2, 4, 8};
   }
-  std::printf("\n-- threaded backend: %d site threads, m reader threads --\n",
+  std::printf("\n-- %s backend: %d sites, m reader threads --\n", kind_name,
               options.sites);
   std::printf("%8s  %16s  %16s  %12s\n", "readers", "updates/sec",
               "reads/sec", "torn reads");
-  std::vector<ThreadedPoint> points;
+  std::vector<ServingPoint> points;
   for (const int m : sweep) {
-    points.push_back(RunThreadedPoint(options, shards, m));
-    const ThreadedPoint& p = points.back();
+    points.push_back(RunServingPoint(options, shards, m, kind));
+    const ServingPoint& p = points.back();
     std::printf("%8d  %16.3e  %16.3e  %12lld\n", p.readers, p.updates_per_sec,
                 p.reads_per_sec, static_cast<long long>(p.torn_reads));
     char name[64];
-    std::snprintf(name, sizeof(name), "threads_updates_per_sec_m%d",
+    std::snprintf(name, sizeof(name), "%s_updates_per_sec_m%d", kind_name,
                   p.readers);
     RecordMetric(name, p.updates_per_sec);
     std::snprintf(name, sizeof(name), "reads_per_sec_m%d", p.readers);
     RecordMetric(name, p.reads_per_sec);
   }
 
-  const ThreadedPoint& first = points.front();
+  const ServingPoint& first = points.front();
   if (sim_ups > 0.0) {
-    RecordMetric("threads_vs_sim_pump", first.updates_per_sec / sim_ups);
-    std::printf("\nthreaded/sim update throughput: %.2fx (queue + publish "
-                "overhead; >1x needs real cores for the site threads)\n",
-                first.updates_per_sec / sim_ups);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s_vs_sim_pump", kind_name);
+    RecordMetric(name, first.updates_per_sec / sim_ups);
+    std::printf("\n%s/sim update throughput: %.2fx (transport overhead; >1x "
+                "needs real cores for the sites)\n",
+                kind_name, first.updates_per_sec / sim_ups);
   }
   if (points.size() > 1 && first.reads_per_sec > 0.0) {
     const double scaling = points.back().reads_per_sec / first.reads_per_sec;
@@ -284,7 +303,8 @@ int main(int argc, char** argv) {
                 points.back().readers, first.readers, scaling);
   }
 
-  std::printf("\n-- linearizability (captured run vs sim oracle) --\n");
-  if (!VerifyLinearizable(options)) return 1;
+  std::printf("\n-- linearizability (captured %s run vs sim oracle) --\n",
+              kind_name);
+  if (!VerifyLinearizable(options, kind)) return 1;
   return nmc::bench::FinishBench();
 }

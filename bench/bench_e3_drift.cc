@@ -12,8 +12,8 @@
 #include "bench/bench_util.h"
 #include "common/statistics.h"
 #include "common/table.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
-#include "sim/harness.h"
 #include "streams/bernoulli.h"
 
 namespace {
@@ -44,10 +44,14 @@ void SweepMu() {
       options.seed = 600 + static_cast<uint64_t>(trial);
       nmc::core::NonMonotonicCounter counter(k, options);
       nmc::sim::RoundRobinAssignment psi(k);
-      nmc::sim::TrackingOptions tracking;
-      tracking.epsilon = epsilon;
-      const auto result =
-          nmc::sim::RunTracking(stream, &psi, &counter, tracking);
+      nmc::runtime::RunConfig config;
+      config.protocol = &counter;
+      config.stream = &stream;
+      config.psi = &psi;
+      config.tracking.epsilon = epsilon;
+      const auto result = nmc::runtime::RunWithTransport(
+                              nmc::runtime::TransportKind::kSim, config)
+                              .tracking;
       messages.Add(static_cast<double>(result.messages));
       const auto diag = counter.diagnostics();
       if (diag.phase2_active) {
@@ -89,9 +93,13 @@ void Phase2SwitchScaling() {
     options.seed = 8;
     nmc::core::NonMonotonicCounter counter(k, options);
     nmc::sim::RoundRobinAssignment psi(k);
-    nmc::sim::TrackingOptions tracking;
-    tracking.epsilon = 0.25;
-    (void)nmc::sim::RunTracking(stream, &psi, &counter, tracking);
+    nmc::runtime::RunConfig config;
+    config.protocol = &counter;
+    config.stream = &stream;
+    config.psi = &psi;
+    config.tracking.epsilon = 0.25;
+    (void)nmc::runtime::RunWithTransport(nmc::runtime::TransportKind::kSim,
+                                         config);
     const auto diag = counter.diagnostics();
     const double theory =
         std::log(static_cast<double>(n)) / (mu * mu);

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
 #include "sim/harness.h"
 #include "sim/message.h"
@@ -53,6 +54,22 @@ nmc::sim::TrackingOptions PumpTracking(double epsilon) {
     tracking.batch_size = g_batch;
   }
   return tracking;
+}
+
+/// All pump benches drive the sim backend through the unified transport
+/// entry point — the same call path the benches and tools use.
+nmc::sim::TrackingResult PumpRun(const std::vector<double>& stream,
+                                 nmc::sim::Protocol* protocol,
+                                 nmc::sim::AssignmentPolicy* psi,
+                                 const nmc::sim::TrackingOptions& tracking) {
+  nmc::runtime::RunConfig config;
+  config.protocol = protocol;
+  config.stream = &stream;
+  config.psi = psi;
+  config.tracking = tracking;
+  return nmc::runtime::RunWithTransport(nmc::runtime::TransportKind::kSim,
+                                        config)
+      .tracking;
 }
 
 nmc::common::SamplerMode PumpSampler() {
@@ -124,8 +141,7 @@ void BM_TrackingPump(benchmark::State& state) {
     options.sampler = PumpSampler();
     nmc::core::NonMonotonicCounter counter(k, options);
     nmc::sim::RoundRobinAssignment psi(k);
-    const auto result =
-        nmc::sim::RunTracking(stream, &psi, &counter, PumpTracking(0.25));
+    const auto result = PumpRun(stream, &counter, &psi, PumpTracking(0.25));
     benchmark::DoNotOptimize(result.messages);
     updates += result.n;
   }
@@ -151,8 +167,7 @@ void BM_TrackingPumpLongGap(benchmark::State& state) {
     options.sampler = PumpSampler();
     nmc::core::NonMonotonicCounter counter(k, options);
     nmc::sim::RoundRobinAssignment psi(k);
-    const auto result =
-        nmc::sim::RunTracking(stream, &psi, &counter, PumpTracking(0.25));
+    const auto result = PumpRun(stream, &counter, &psi, PumpTracking(0.25));
     benchmark::DoNotOptimize(result.messages);
     updates += result.n;
   }
@@ -180,8 +195,7 @@ void BM_BatchedPump(benchmark::State& state) {
     nmc::sim::TrackingOptions tracking;
     tracking.epsilon = 0.25;
     tracking.batch_size = batch;
-    const auto result =
-        nmc::sim::RunTracking(stream, &psi, &counter, tracking);
+    const auto result = PumpRun(stream, &counter, &psi, tracking);
     benchmark::DoNotOptimize(result.messages);
     updates += result.n;
   }

@@ -14,8 +14,8 @@
 #include <cstdio>
 
 #include "core/nonmonotonic_counter.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
-#include "sim/harness.h"
 #include "streams/fbm.h"
 
 namespace {
@@ -36,10 +36,14 @@ void MonitorAt(double hurst) {
   nmc::core::NonMonotonicCounter counter(k, options);
   nmc::sim::RoundRobinAssignment psi(k);
 
-  nmc::sim::TrackingOptions tracking;
-  tracking.epsilon = epsilon;
-  const auto result =
-      nmc::sim::RunTracking(increments, &psi, &counter, tracking);
+  nmc::runtime::RunConfig config;
+  config.protocol = &counter;
+  config.stream = &increments;
+  config.psi = &psi;
+  config.tracking.epsilon = epsilon;
+  const auto result = nmc::runtime::RunWithTransport(
+                          nmc::runtime::TransportKind::kSim, config)
+                          .tracking;
 
   std::printf("H = %.2f  delta = %.2f  | deviation now %9.1f | "
               "messages %8lld (%.3f/epoch) | violations %lld\n",

@@ -180,7 +180,7 @@ constexpr BenchFlagSpec kBenchFlags[] = {
     {"delay_prob", "--delay_prob=P"},
     {"delay_max", "--delay_max=T"},
     {"channel_seed", "--channel_seed=S"},
-    {"transport", "--transport=sim|threads"},
+    {"transport", "--transport=sim|threads|sockets"},
 };
 
 bool IsSharedBenchFlag(const std::string& token) {
@@ -224,7 +224,7 @@ bool ConsumeBenchFlags(const common::Flags& flags, BenchFlagValues* values,
 
   const std::string transport = flags.GetString("transport", "sim");
   if (!runtime::ParseTransportKind(transport, &values->transport)) {
-    *error = "--transport expects sim|threads, got '" + transport + "'";
+    *error = "--transport expects sim|threads|sockets, got '" + transport + "'";
     return false;
   }
   return true;

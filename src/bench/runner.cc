@@ -7,8 +7,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
-#include "sim/harness.h"
 
 namespace nmc::bench {
 
@@ -35,8 +35,14 @@ TrialOutcome RunTrial(const RepeatSpec& spec, int trial) {
   } else if (spec.batch_size > 0) {
     tracking.batch_size = spec.batch_size;
   }
+  runtime::RunConfig config;
+  config.protocol = protocol.get();
+  config.stream = &stream;
+  config.psi = psi.get();
+  config.tracking = tracking;
   const auto result =
-      sim::RunTracking(stream, psi.get(), protocol.get(), tracking);
+      runtime::RunWithTransport(runtime::TransportKind::kSim, config)
+          .tracking;
   return TrialOutcome{result.n, result.messages, result.violation_steps,
                       result.max_rel_error};
 }

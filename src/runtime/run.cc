@@ -1,0 +1,72 @@
+#include "runtime/run.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nmc::runtime {
+
+RunResult RunWithTransport(TransportKind kind, const RunConfig& config) {
+  NMC_CHECK(config.protocol != nullptr);
+  NMC_CHECK(config.stream != nullptr || !config.shards.empty());
+  RunResult out;
+  out.transport = kind;
+
+  switch (kind) {
+    case TransportKind::kSim: {
+      std::vector<double> interleaved;
+      const std::vector<double>* stream = config.stream;
+      if (stream == nullptr) {
+        interleaved = InterleaveShards(config.shards);
+        stream = &interleaved;
+      }
+      sim::RoundRobinAssignment round_robin(config.protocol->num_sites());
+      sim::AssignmentPolicy* psi =
+          config.psi != nullptr ? config.psi : &round_robin;
+      out.tracking =
+          sim::RunTracking(*stream, psi, config.protocol, config.tracking);
+      return out;
+    }
+    case TransportKind::kThreads: {
+      std::vector<std::vector<double>> owned;
+      std::span<const std::vector<double>> shards = config.shards;
+      if (shards.empty()) {
+        owned =
+            ShardRoundRobin(*config.stream, config.protocol->num_sites());
+        shards = owned;
+      }
+      out.serving = RunThreaded(config.protocol, shards, config.threaded);
+      return out;
+    }
+    case TransportKind::kSockets: {
+      std::vector<std::vector<double>> owned;
+      std::span<const std::vector<double>> shards = config.shards;
+      if (shards.empty()) {
+        owned =
+            ShardRoundRobin(*config.stream, config.protocol->num_sites());
+        shards = owned;
+      }
+      SocketRunResult socket_run =
+          RunSockets(config.protocol, shards, config.sockets);
+      out.serving = std::move(socket_run.serving);
+      out.sockets = socket_run.stats;
+      return out;
+    }
+  }
+  NMC_CHECK(false);
+  return out;
+}
+
+LinearizabilityReport CheckLinearizable(const RunResult& run,
+                                        sim::Protocol* oracle) {
+  if (run.transport == TransportKind::kSim) {
+    LinearizabilityReport report;
+    report.failure =
+        "sim transport runs have no concurrent serving layer to check";
+    return report;
+  }
+  return CheckLinearizable(run.serving, oracle);
+}
+
+}  // namespace nmc::runtime

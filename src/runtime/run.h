@@ -1,0 +1,71 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/sockets.h"
+#include "runtime/threaded.h"
+#include "runtime/transport.h"
+#include "sim/assignment.h"
+#include "sim/harness.h"
+
+namespace nmc::runtime {
+
+/// The one transport-agnostic run description. Callers fill the input
+/// (either a single stream or pre-built per-site shards), the protocol,
+/// and the per-backend option blocks; RunWithTransport dispatches on the
+/// TransportKind and fills the matching slice of RunResult.
+///
+/// Input forms:
+///   * `stream` set, `shards` empty — the sim backend drives it through
+///     `psi` (round-robin when psi is null); the concurrent backends
+///     shard it with ShardRoundRobin.
+///   * `shards` set, `stream` null — the concurrent backends take them
+///     as-is; the sim backend pumps InterleaveShards(shards) round-robin,
+///     i.e. the canonical serialization of the same per-site
+///     subsequences.
+struct RunConfig {
+  sim::Protocol* protocol = nullptr;
+  const std::vector<double>* stream = nullptr;
+  std::span<const std::vector<double>> shards;
+  /// Sim-only assignment policy (the adversary's psi). Null means
+  /// round-robin, matching what the concurrent backends' sharding
+  /// implies. Ignored by kThreads/kSockets — there the partition IS the
+  /// sharding.
+  sim::AssignmentPolicy* psi = nullptr;
+  /// kSim checker configuration.
+  sim::TrackingOptions tracking;
+  /// kThreads configuration.
+  ThreadedRunOptions threaded;
+  /// kSockets configuration.
+  SocketRunOptions sockets;
+};
+
+/// Transport-agnostic outcome. Exactly one slice is authoritative per
+/// transport: `tracking` for kSim; `serving` for kThreads and kSockets;
+/// `sockets` additionally for kSockets. The untouched slices stay
+/// default-initialized.
+struct RunResult {
+  TransportKind transport = TransportKind::kSim;
+  sim::TrackingResult tracking;
+  ThreadedRunResult serving;
+  SocketStats sockets;
+};
+
+/// Runs config.protocol over the chosen transport backend. This is the
+/// public entry point for every backend; sim::RunTracking,
+/// runtime::RunThreaded and runtime::RunSockets are its internal building
+/// blocks (benches and integration tests go through here so a backend can
+/// be swapped with one flag). The sim path delegates verbatim to
+/// sim::RunTracking — same pump, same checker arithmetic — so existing
+/// sim outputs are pinned byte-identical.
+RunResult RunWithTransport(TransportKind kind, const RunConfig& config);
+
+/// CheckLinearizable over a unified result: replays the captured serving
+/// transcript (kThreads/kSockets runs with capture set) against the sim
+/// oracle. For a kSim result there is nothing concurrent to check; it
+/// reports non-linearizable with an explanatory failure string.
+LinearizabilityReport CheckLinearizable(const RunResult& run,
+                                        sim::Protocol* oracle);
+
+}  // namespace nmc::runtime

@@ -12,61 +12,15 @@
 #include "common/seqlock.h"
 #include "common/spsc_queue.h"
 #include "common/thread_pool.h"
+#include "runtime/serving.h"
+#include "sim/registry.h"
 
 namespace nmc::runtime {
 
 namespace {
 
-/// Per-reader accumulator. Owned by one reader thread for the duration of
-/// the run; the coordinator folds them only after the pool has joined.
-struct ReaderStats {
-  int64_t reads = 0;
-  int64_t torn = 0;
-  int64_t regressions = 0;
-  int64_t sampled = 0;
-  std::vector<ReadSample> samples;
-};
-
-/// Reader snapshots are thinned by a fixed stride and retained in a ring,
-/// so both early and late generations survive into the linearizability
-/// check without unbounded memory. Prime, so readers de-synchronize from
-/// the coordinator's publish cadence instead of aliasing it.
-constexpr int64_t kSampleStride = 17;
-
-/// Yield cadence for the spin paths. On an oversubscribed machine (more
-/// threads than cores — CI runners, the 1-core container this repo grows
-/// in) an unyielding spin loop starves the very thread it waits on.
-constexpr int64_t kReaderYieldEvery = 256;
-
-void ReaderLoop(const common::Seqlock<PublishedEstimate>& slot,
-                const common::RuntimeAtomic<bool>& run_done,
-                int64_t sample_capacity,
-                ReaderStats* stats) {
-  if (sample_capacity > 0) {
-    stats->samples.resize(static_cast<size_t>(sample_capacity));
-  }
-  int64_t last_generation = 0;
-  while (!run_done.load(std::memory_order_acquire)) {
-    PublishedEstimate snapshot;
-    if (!slot.TryRead(&snapshot)) {
-      ++stats->torn;
-      std::this_thread::yield();
-      continue;
-    }
-    ++stats->reads;
-    if (snapshot.generation < last_generation) {
-      ++stats->regressions;
-    } else {
-      last_generation = snapshot.generation;
-    }
-    if (sample_capacity > 0 && stats->reads % kSampleStride == 0) {
-      stats->samples[static_cast<size_t>(stats->sampled % sample_capacity)] =
-          ReadSample{snapshot.generation, snapshot.estimate};
-      ++stats->sampled;
-    }
-    if (stats->reads % kReaderYieldEvery == 0) std::this_thread::yield();
-  }
-}
+using internal::ReaderLoop;
+using internal::ReaderStats;
 
 void SiteLoop(const std::vector<double>& shard,
               common::SpscQueue<double>* inbox,
@@ -232,18 +186,7 @@ ThreadedRunResult RunThreaded(sim::Protocol* protocol,
   result.updates = consumed_total;
   result.echoes_received = echoes_received.load(std::memory_order_relaxed);
   result.final_published = PublishedEstimate{consumed_total, estimate};
-  result.reader_samples.reserve(reader_stats.size());
-  for (ReaderStats& stats : reader_stats) {
-    result.total_reads += stats.reads;
-    result.torn_reads += stats.torn;
-    result.generation_regressions += stats.regressions;
-    const int64_t kept =
-        stats.sampled < static_cast<int64_t>(stats.samples.size())
-            ? stats.sampled
-            : static_cast<int64_t>(stats.samples.size());
-    stats.samples.resize(static_cast<size_t>(kept));
-    result.reader_samples.push_back(std::move(stats.samples));
-  }
+  internal::FoldReaderStats(&reader_stats, &result);
   return result;
 }
 
@@ -352,6 +295,10 @@ bool TransportSupports(TransportKind kind, std::string_view name) {
   const sim::ProtocolTraits* traits =
       sim::ProtocolRegistry::Global().Traits(name);
   if (traits == nullptr) return false;
+  // kSockets confines the protocol to the coordinator thread exactly like
+  // kThreads (processes stream, they never touch protocol state), but the
+  // serving layer still runs concurrent readers in-process, so both
+  // concurrent backends require the same trait.
   return kind == TransportKind::kSim || traits->thread_safe;
 }
 
@@ -360,9 +307,9 @@ std::unique_ptr<sim::Protocol> CreateForTransport(
     const sim::ProtocolParams& params) {
   const sim::ProtocolTraits* traits =
       sim::ProtocolRegistry::Global().Traits(name);
-  if (traits != nullptr && kind == TransportKind::kThreads) {
-    // Refuse loudly: silently running a thread-hostile protocol on the
-    // threaded backend would corrupt results, not just crash.
+  if (traits != nullptr && kind != TransportKind::kSim) {
+    // Refuse loudly: silently running a thread-hostile protocol on a
+    // concurrent backend would corrupt results, not just crash.
     NMC_CHECK(traits->thread_safe);
   }
   return sim::ProtocolRegistry::Global().Create(name, num_sites, params);

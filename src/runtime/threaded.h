@@ -8,7 +8,14 @@
 #include <vector>
 
 #include "runtime/transport.h"
-#include "sim/registry.h"
+
+namespace nmc::sim {
+// Declarations below take these only by pointer/const-ref; pulling in
+// sim/registry.h here would drag the channel/rng chain into every
+// transport user and blow the include-depth budget.
+class Protocol;
+struct ProtocolParams;
+}  // namespace nmc::sim
 
 namespace nmc::runtime {
 
@@ -91,6 +98,10 @@ struct ThreadedRunResult {
 /// The protocol object itself is only ever touched by the coordinator
 /// thread — protocols stay single-threaded state machines; the concurrency
 /// lives in the transport around them.
+///
+/// Internal building block of runtime::RunWithTransport (runtime/run.h),
+/// which is the public per-transport entry point; call this directly only
+/// from code that is explicitly threads-backend-specific.
 ThreadedRunResult RunThreaded(sim::Protocol* protocol,
                               std::span<const std::vector<double>> shards,
                               const ThreadedRunOptions& options);

@@ -8,6 +8,8 @@ const char* TransportKindName(TransportKind kind) {
       return "sim";
     case TransportKind::kThreads:
       return "threads";
+    case TransportKind::kSockets:
+      return "sockets";
   }
   return "unknown";
 }
@@ -19,6 +21,10 @@ bool ParseTransportKind(std::string_view name, TransportKind* out) {
   }
   if (name == "threads") {
     *out = TransportKind::kThreads;
+    return true;
+  }
+  if (name == "sockets") {
+    *out = TransportKind::kSockets;
     return true;
   }
   return false;

@@ -16,12 +16,20 @@ namespace nmc::runtime {
 ///     one thread per site feeding lock-free SPSC mailboxes, a coordinator
 ///     thread running the protocol, and a seqlock-published estimate read
 ///     wait-free by query-client threads.
+///   * kSockets: the multi-process runtime (runtime::RunSockets): sites are
+///     forked child processes speaking the versioned wire framing of
+///     sim::Message (runtime/wire.h) over Unix domain sockets (TCP via an
+///     option), a nonblocking poll loop on the coordinator feeding the same
+///     confined protocol drive loop and the same seqlock serving layer.
+///     Channel faults become *real* transport faults here: frame-level
+///     drop/delay shims and SIGKILLed children.
 enum class TransportKind {
   kSim = 0,
   kThreads = 1,
+  kSockets = 2,
 };
 
-/// "sim" / "threads" — the --transport flag vocabulary.
+/// "sim" / "threads" / "sockets" — the --transport flag vocabulary.
 const char* TransportKindName(TransportKind kind);
 
 /// Parses the --transport flag value; false (and *out untouched) on an

@@ -62,6 +62,11 @@ struct TrackingResult {
   bool any_violation() const { return violation_steps > 0; }
 };
 
+/// Internal building block of runtime::RunWithTransport (runtime/run.h,
+/// TransportKind::kSim), which is the public per-transport entry point;
+/// sim-layer unit tests that exercise the checker itself may still call it
+/// directly.
+///
 /// Drives `stream` through `protocol`, assigning the t-th update to site
 /// psi->NextSite(t, value), and checks the coordinator's estimate against
 /// the exact running sum after every update. Updates are pumped in

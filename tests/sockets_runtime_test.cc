@@ -1,0 +1,206 @@
+// End-to-end tests of the sockets transport: forked site processes, the
+// framed wire, the go-back-N reliable link, and the fault twins (socket
+// loss, SIGKILL). Everything here runs real fork/socketpair machinery, so
+// the assertions are about contracts (bit-identical replay, zero leaks of
+// children or fds) rather than timing.
+
+#include "runtime/sockets.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_sync.h"
+#include "registry/builtin.h"
+#include "runtime/run.h"
+#include "runtime/threaded.h"
+#include "sim/registry.h"
+#include "streams/bernoulli.h"
+
+// The SIGKILL tests fork children that the sanitizer runtimes dislike
+// interrupting; under TSan the atexit machinery of a killed child can
+// deadlock spuriously, so those tests are compiled out there (ASan and
+// plain builds run them).
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NMC_TSAN 1
+#endif
+#endif
+#ifndef NMC_TSAN
+#define NMC_TSAN 0
+#endif
+
+namespace nmc::runtime {
+namespace {
+
+sim::ProtocolParams TestParams(int64_t n) {
+  sim::ProtocolParams params;
+  params.epsilon = 0.25;
+  params.horizon_n = n;
+  params.seed = 41;
+  return params;
+}
+
+std::unique_ptr<sim::Protocol> MakeCounter(int num_sites, int64_t n) {
+  registry::RegisterBuiltinProtocols();
+  return sim::ProtocolRegistry::Global().Create("counter", num_sites,
+                                                TestParams(n));
+}
+
+std::vector<std::vector<double>> TestShards(int64_t n, int num_sites,
+                                            uint64_t seed) {
+  return ShardRoundRobin(streams::BernoulliStream(n, 0.2, seed), num_sites);
+}
+
+TEST(SocketsRuntimeTest, ConsumesEveryUpdateAndTearsDownCleanly) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 91);
+  const auto protocol = MakeCounter(k, n);
+  SocketRunOptions options;
+  const SocketRunResult result = RunSockets(protocol.get(), shards, options);
+  EXPECT_EQ(result.serving.updates, n);
+  EXPECT_FALSE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.unexpected_exits, 0);
+  EXPECT_EQ(result.stats.children_reaped, k);
+  EXPECT_EQ(result.stats.updates_lost, 0);
+  EXPECT_EQ(result.stats.generated_updates, n);
+  EXPECT_GE(result.stats.frames, n);  // n updates + k FINs at least
+}
+
+TEST(SocketsRuntimeTest, CapturedRunReplaysBitIdenticallyAgainstSimOracle) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 92);
+  const auto protocol = MakeCounter(k, n);
+  SocketRunOptions options;
+  options.capture = true;
+  options.num_readers = 2;
+  const SocketRunResult result = RunSockets(protocol.get(), shards, options);
+  ASSERT_EQ(result.serving.updates, n);
+  const auto oracle = MakeCounter(k, n);
+  const LinearizabilityReport report =
+      CheckLinearizable(result.serving, oracle.get());
+  EXPECT_TRUE(report.linearizable) << report.failure;
+  EXPECT_EQ(report.publishes_checked, result.serving.publishes);
+  EXPECT_GT(report.samples_checked, 0);
+  EXPECT_EQ(result.serving.generation_regressions, 0);
+}
+
+TEST(SocketsRuntimeTest, RawLinkUnderLossViolatesAndLosesUpdates) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 93);
+  baselines::ExactSyncProtocol protocol(k);
+  SocketRunOptions options;
+  options.reliable = false;
+  options.faults.loss = 0.02;
+  options.faults.seed = 7;
+  options.epsilon = 0.002;
+  options.rel_error_floor = 32.0;
+  const SocketRunResult result = RunSockets(&protocol, shards, options);
+  EXPECT_GT(result.stats.drops_injected, 0);
+  EXPECT_GT(result.stats.updates_lost, 0);
+  EXPECT_GT(result.stats.violation_steps, 0);
+  EXPECT_EQ(result.stats.nacks_sent, 0) << "raw link must never NACK";
+  // Lost = generated-but-never-consumed; drops at a shard's very tail
+  // never enter the generated world at all, so generated <= n.
+  EXPECT_EQ(result.serving.updates + result.stats.updates_lost,
+            result.stats.generated_updates);
+  EXPECT_LE(result.stats.generated_updates, n);
+  EXPECT_LT(result.serving.updates, n);
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+TEST(SocketsRuntimeTest, ReliableLinkUnderLossIsExact) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 93);
+  baselines::ExactSyncProtocol protocol(k);
+  SocketRunOptions options;
+  options.reliable = true;
+  options.faults.loss = 0.02;
+  options.faults.seed = 7;
+  options.epsilon = 0.002;
+  const SocketRunResult result = RunSockets(&protocol, shards, options);
+  EXPECT_EQ(result.serving.updates, n);
+  EXPECT_EQ(result.stats.updates_lost, 0);
+  EXPECT_EQ(result.stats.violation_steps, 0);
+  EXPECT_GT(result.stats.drops_injected, 0);
+  EXPECT_GT(result.stats.nacks_sent, 0) << "loss must trigger go-back-N";
+  EXPECT_GT(result.stats.duplicate_updates, 0)
+      << "rewind retransmissions necessarily overlap";
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+TEST(SocketsRuntimeTest, TcpLoopbackCarriesTheSameRun) {
+  const int64_t n = 4096;
+  const int k = 3;
+  const auto shards = TestShards(n, k, 94);
+  const auto protocol = MakeCounter(k, n);
+  SocketRunOptions options;
+  options.use_tcp = true;
+  const SocketRunResult result = RunSockets(protocol.get(), shards, options);
+  EXPECT_EQ(result.serving.updates, n);
+  EXPECT_EQ(result.stats.unexpected_exits, 0);
+  EXPECT_EQ(result.stats.children_reaped, k);
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+#if !NMC_TSAN
+
+TEST(SocketsRuntimeTest, SigkilledSiteRespawnsAndFinishesExactly) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 95);
+  baselines::ExactSyncProtocol protocol(k);
+  SocketRunOptions options;
+  options.reliable = true;
+  options.epsilon = 0.002;
+  options.resync_deadline_updates = n;
+  options.faults.kills.push_back(SiteKillSpec{1, 512});
+  const SocketRunResult result = RunSockets(&protocol, shards, options);
+  EXPECT_EQ(result.stats.kills_delivered, 1);
+  EXPECT_EQ(result.stats.respawns, 1);
+  EXPECT_TRUE(result.stats.all_kills_recovered);
+  EXPECT_GT(result.stats.max_recovery_updates, 0);
+  EXPECT_LE(result.stats.max_recovery_updates, n);
+  EXPECT_EQ(result.serving.updates, n)
+      << "the replacement incarnation must finish the shard";
+  EXPECT_EQ(result.stats.violation_steps, 0);
+  EXPECT_EQ(result.stats.updates_lost, 0);
+  EXPECT_EQ(result.stats.unexpected_exits, 0);
+  // k children FIN'd plus one killed incarnation reaped on EOF.
+  EXPECT_EQ(result.stats.children_reaped, k + 1);
+}
+
+TEST(SocketsRuntimeTest, SigkillOnRawLinkStaysDeadAndTearsDown) {
+  const int64_t n = 8192;
+  const int k = 4;
+  const auto shards = TestShards(n, k, 96);
+  baselines::ExactSyncProtocol protocol(k);
+  SocketRunOptions options;
+  options.reliable = false;
+  options.epsilon = 0.002;
+  options.faults.kills.push_back(SiteKillSpec{2, 256});
+  const SocketRunResult result = RunSockets(&protocol, shards, options);
+  EXPECT_EQ(result.stats.kills_delivered, 1);
+  EXPECT_EQ(result.stats.respawns, 0);
+  EXPECT_FALSE(result.stats.all_kills_recovered);
+  EXPECT_LT(result.serving.updates, n) << "the dead site's tail is gone";
+  EXPECT_EQ(result.stats.children_reaped, k);
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+#endif  // !NMC_TSAN
+
+TEST(SocketsRuntimeTest, RegistryGatesSocketsLikeThreads) {
+  registry::RegisterBuiltinProtocols();
+  EXPECT_TRUE(TransportSupports(TransportKind::kSockets, "counter"));
+  EXPECT_TRUE(TransportSupports(TransportKind::kSim, "counter"));
+}
+
+}  // namespace
+}  // namespace nmc::runtime

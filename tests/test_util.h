@@ -6,22 +6,28 @@
 #include <vector>
 
 #include "core/nonmonotonic_counter.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
 #include "sim/harness.h"
 
 namespace nmc::testing {
 
 /// Runs the Non-monotonic Counter over `stream` with round-robin site
-/// assignment and returns the harness result. The checker epsilon equals
-/// the counter's epsilon.
+/// assignment and returns the harness result, going through the unified
+/// transport entry point (sim backend). The checker epsilon equals the
+/// counter's epsilon.
 inline sim::TrackingResult RunCounter(const std::vector<double>& stream,
                                       int num_sites,
                                       const core::CounterOptions& options) {
   core::NonMonotonicCounter counter(num_sites, options);
   sim::RoundRobinAssignment psi(num_sites);
-  sim::TrackingOptions tracking;
-  tracking.epsilon = options.epsilon;
-  return sim::RunTracking(stream, &psi, &counter, tracking);
+  runtime::RunConfig config;
+  config.protocol = &counter;
+  config.stream = &stream;
+  config.psi = &psi;
+  config.tracking.epsilon = options.epsilon;
+  return runtime::RunWithTransport(runtime::TransportKind::kSim, config)
+      .tracking;
 }
 
 /// Default counter options for a stream of length n.

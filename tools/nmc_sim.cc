@@ -25,8 +25,8 @@
 #include "core/horizon_free.h"
 #include "core/nonmonotonic_counter.h"
 #include "hyz/hyz_counter.h"
+#include "runtime/run.h"
 #include "sim/assignment.h"
-#include "sim/harness.h"
 #include "streams/adversarial.h"
 #include "streams/bernoulli.h"
 #include "streams/fbm.h"
@@ -185,8 +185,14 @@ int main(int argc, char** argv) {
     if (trial == 0 && curve_points > 0) {
       tracking.curve_points = static_cast<int>(curve_points);
     }
-    const auto result =
-        nmc::sim::RunTracking(stream, psi.get(), protocol.get(), tracking);
+    nmc::runtime::RunConfig config;
+    config.protocol = protocol.get();
+    config.stream = &stream;
+    config.psi = psi.get();
+    config.tracking = tracking;
+    const auto result = nmc::runtime::RunWithTransport(
+                            nmc::runtime::TransportKind::kSim, config)
+                            .tracking;
     if (trial == 0 && curve_points > 0) {
       nmc::common::Table curve({"t", "messages", "exact_sum", "estimate"});
       for (const auto& point : result.curve) {
